@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen import CrySLBasedCodeGenerator
+from repro.crysl import bundled_ruleset
+from repro.sast import CrySLAnalyzer
+
+
+@pytest.fixture(scope="session")
+def ruleset():
+    return bundled_ruleset()
+
+
+@pytest.fixture(scope="session")
+def generator(ruleset):
+    return CrySLBasedCodeGenerator(ruleset)
+
+
+@pytest.fixture(scope="session")
+def analyzer(ruleset):
+    return CrySLAnalyzer(ruleset)

@@ -1,0 +1,104 @@
+"""Microbenchmarks of the pipeline stages and the crypto substrate.
+
+Not a table of the paper — these locate where generation time goes
+(parsing, automata, selection, emission) and document the throughput of
+the pure-Python provider the generated code runs on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crysl import bundled_ruleset, parse_rule
+from repro.crysl.ruleset import RuleSet
+from repro.fsm import enumerate_paths, rule_dfa
+
+_PBE_RULE_SOURCE = """
+SPEC repro.jca.PBEKeySpec
+OBJECTS
+    bytearray password;
+    bytes salt;
+    int iteration_count;
+    int key_length;
+EVENTS
+    c1: PBEKeySpec(password, salt, iteration_count, key_length);
+    cP: clear_password();
+ORDER
+    c1, cP
+CONSTRAINTS
+    iteration_count >= 10000;
+REQUIRES
+    randomized[salt];
+ENSURES
+    specced_key[this, key_length] after c1;
+NEGATES
+    specced_key[this, _];
+"""
+
+
+class TestFrontend:
+    def test_parse_one_rule(self, benchmark):
+        rule = benchmark(parse_rule, _PBE_RULE_SOURCE)
+        assert rule.simple_name == "PBEKeySpec"
+
+    def test_load_full_ruleset(self, benchmark):
+        rules = benchmark(RuleSet.bundled)
+        assert len(rules) == 15
+
+
+class TestAutomata:
+    def test_build_cipher_dfa(self, benchmark, ruleset):
+        cipher = ruleset.get("Cipher")
+        dfa = benchmark(rule_dfa, cipher)
+        assert dfa.accepts(["g1", "i1", "f1"])
+
+    def test_enumerate_cipher_paths(self, benchmark, ruleset):
+        cipher = ruleset.get("Cipher")
+        paths = benchmark(enumerate_paths, cipher)
+        assert len(paths) == 16
+
+
+class TestGeneration:
+    def test_full_pipeline_pbe(self, benchmark, generator):
+        from repro.usecases import use_case
+
+        template = use_case(3).template_path()
+        module = benchmark(generator.generate_from_file, template)
+        assert "PBEKeySpec" in module.source
+
+    def test_analysis_of_generated_code(self, benchmark, generator, analyzer):
+        from repro.usecases import use_case
+
+        source = generator.generate_from_file(use_case(3).template_path()).source
+        result = benchmark(analyzer.analyze_source, source, "uc3")
+        assert result.is_secure
+
+
+class TestProviderThroughput:
+    def test_aes_block(self, benchmark):
+        from repro.primitives.aes import AES
+
+        cipher = AES(bytes(16))
+        block = bytes(16)
+        out = benchmark(cipher.encrypt_block, block)
+        assert len(out) == 16
+
+    def test_gcm_1kb(self, benchmark):
+        from repro.primitives.modes import gcm_encrypt
+
+        key, nonce, data = bytes(16), bytes(12), bytes(1024)
+        out = benchmark(gcm_encrypt, key, nonce, data)
+        assert len(out) == 1024 + 16
+
+    def test_pbkdf2_1k_iterations(self, benchmark):
+        from repro.primitives.kdf import pbkdf2
+
+        out = benchmark(pbkdf2, b"password", b"salt" * 4, 1000, 32)
+        assert len(out) == 32
+
+    def test_sha256_pure_4kb(self, benchmark):
+        from repro.primitives.hashes import SHA256
+
+        data = bytes(4096)
+        digest = benchmark(lambda: SHA256(data).digest())
+        assert len(digest) == 32

@@ -1,0 +1,45 @@
+"""RQ5 (§5.4): the usability-study pipeline.
+
+Benchmarks the full latin-square → simulation → SUS/NPS → Wilcoxon
+pipeline and asserts the paper's qualitative result pattern on the
+default draw: mixed task times without overall significance, and a
+significant, large usability gap in gen's favour.
+"""
+
+from __future__ import annotations
+
+from repro.eval.rq5 import shape_holds
+from repro.study import run_study
+
+
+def test_study_pipeline(benchmark):
+    results = benchmark(run_study)
+    assert shape_holds(results)
+    benchmark.extra_info.update(
+        {
+            "sus_gen": round(results.sus["gen"], 1),
+            "sus_old": round(results.sus["old-gen"], 1),
+            "paper_sus": "76.3 / 50.8",
+            "nps_gen": round(results.nps["gen"], 1),
+            "nps_old": round(results.nps["old-gen"], 1),
+            "paper_nps": "56.3 / -43.7",
+            "sus_p": round(results.sus_wilcoxon_p, 4),
+            "time_p": round(results.time_wilcoxon_p, 3),
+        }
+    )
+
+
+def test_study_is_seed_robust(benchmark):
+    """The qualitative pattern must not hinge on one lucky seed: at
+    least 8 of 10 seeds reproduce every headline claim."""
+
+    def sweep():
+        hits = 0
+        for seed in range(2018, 2028):
+            if shape_holds(run_study(seed=seed)):
+                hits += 1
+        return hits
+
+    hits = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["seeds_reproducing"] = f"{hits}/10"
+    assert hits >= 8

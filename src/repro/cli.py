@@ -1,0 +1,204 @@
+"""The ``cognicrypt-gen`` command-line interface.
+
+Subcommands::
+
+    cognicrypt-gen generate TEMPLATE -o OUTDIR   # run the generator
+    cognicrypt-gen analyze FILE [FILE ...]       # run the SAST checker
+    cognicrypt-gen list-use-cases                # Table 1 inventory
+    cognicrypt-gen use-case N -o OUTDIR          # generate use case N
+    cognicrypt-gen check-rules [DIR]             # parse + check a rule set
+    cognicrypt-gen eval {table1,table2,rq5,all}  # regenerate the paper's tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .codegen import (
+    CrySLBasedCodeGenerator,
+    GenerationError,
+    TargetProject,
+    TemplateError,
+)
+from .crysl import CrySLError, RuleSet, bundled_ruleset
+from .sast import CrySLAnalyzer
+from .usecases import USE_CASES, generate_use_case, use_case
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    generator = CrySLBasedCodeGenerator(_ruleset(args))
+    try:
+        module = generator.generate_from_file(args.template)
+    except (GenerationError, CrySLError, TemplateError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    module_name = Path(args.template).stem + "_generated"
+    path = TargetProject(args.output).write(module, module_name)
+    print(f"generated {path}")
+    if args.explain:
+        from .codegen.explain import explain_module
+
+        print(explain_module(module))
+    else:
+        for report in module.reports:
+            labels = " ".join(
+                f"{plan.instance.alias}:{','.join(plan.labels)}"
+                for plan in report.plan.instances
+            )
+            print(f"  {report.method_name}: {labels}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    analyzer = CrySLAnalyzer(_ruleset(args))
+    exit_code = 0
+    json_report: dict[str, dict] = {}
+    for file in args.files:
+        result = analyzer.analyze_file(file)
+        if args.json:
+            json_report[str(file)] = result.to_dict()
+        else:
+            print(f"{file}: {result.render()}")
+        if not result.is_secure:
+            exit_code = 2
+    if args.json:
+        import json
+
+        print(json.dumps(json_report, indent=2))
+    return exit_code
+
+
+def _cmd_list_use_cases(_: argparse.Namespace) -> int:
+    for entry in USE_CASES:
+        sources = ", ".join(entry.sources)
+        print(f"{entry.number:2d}  {entry.name:32s} [{entry.template_module}]  {sources}")
+    return 0
+
+
+def _cmd_use_case(args: argparse.Namespace) -> int:
+    entry = use_case(args.number)
+    module = generate_use_case(args.number)
+    path = TargetProject(args.output).write(module, entry.template_module)
+    print(f"generated use case {entry.number} ({entry.name}) -> {path}")
+    return 0
+
+
+def _cmd_check_rules(args: argparse.Namespace) -> int:
+    try:
+        ruleset = (
+            RuleSet.from_directory(args.directory)
+            if args.directory
+            else bundled_ruleset()
+        )
+    except CrySLError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for rule in ruleset:
+        print(
+            f"{rule.class_name}: {len(rule.events)} events, "
+            f"{len(rule.constraints)} constraints, "
+            f"{len(rule.ensures)} ensures, {len(rule.requires)} requires"
+        )
+    print(f"{len(ruleset)} rules OK")
+    return 0
+
+
+def _cmd_lint_rules(args: argparse.Namespace) -> int:
+    from .crysl.lint import lint_ruleset, render_findings
+
+    try:
+        ruleset = (
+            RuleSet.from_directory(args.directory)
+            if args.directory
+            else bundled_ruleset()
+        )
+    except CrySLError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    findings = lint_ruleset(ruleset)
+    print(render_findings(findings))
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    from . import eval as evaluation
+
+    which = args.what
+    if which in ("table1", "all"):
+        rows = evaluation.run_table1(runs=args.runs)
+        print(evaluation.render_table1(rows))
+        print()
+    if which in ("table2", "all"):
+        print(evaluation.render_table2(evaluation.run_table2()))
+        print()
+    if which in ("rq5", "all"):
+        print(evaluation.render_rq5(evaluation.run_rq5()))
+    return 0
+
+
+def _ruleset(args: argparse.Namespace) -> RuleSet:
+    if getattr(args, "rules", None):
+        return RuleSet.from_directory(args.rules)
+    return bundled_ruleset()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cognicrypt-gen",
+        description="Generate secure crypto code from CrySL rules and templates.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="run the generator on a template")
+    generate.add_argument("template", help="template .py file")
+    generate.add_argument("-o", "--output", default=".", help="output directory")
+    generate.add_argument("--rules", help="directory of .crysl rules")
+    generate.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the plan: chosen paths, links, value provenance",
+    )
+    generate.set_defaults(handler=_cmd_generate)
+
+    analyze = sub.add_parser("analyze", help="analyze code for crypto misuses")
+    analyze.add_argument("files", nargs="+", help="Python files")
+    analyze.add_argument("--rules", help="directory of .crysl rules")
+    analyze.add_argument(
+        "--json", action="store_true", help="machine-readable findings"
+    )
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    listing = sub.add_parser("list-use-cases", help="show Table 1's use cases")
+    listing.set_defaults(handler=_cmd_list_use_cases)
+
+    ucase = sub.add_parser("use-case", help="generate one of the 11 use cases")
+    ucase.add_argument("number", type=int, help="use case number (1-11)")
+    ucase.add_argument("-o", "--output", default=".", help="output directory")
+    ucase.set_defaults(handler=_cmd_use_case)
+
+    rules = sub.add_parser("check-rules", help="parse and check a rule set")
+    rules.add_argument("directory", nargs="?", help="directory of .crysl files")
+    rules.set_defaults(handler=_cmd_check_rules)
+
+    lint = sub.add_parser(
+        "lint-rules", help="cross-rule consistency warnings for a rule set"
+    )
+    lint.add_argument("directory", nargs="?", help="directory of .crysl files")
+    lint.set_defaults(handler=_cmd_lint_rules)
+
+    evaluate = sub.add_parser("eval", help="regenerate the paper's tables")
+    evaluate.add_argument("what", choices=("table1", "table2", "rq5", "all"))
+    evaluate.add_argument("--runs", type=int, default=10, help="RQ2 timing runs")
+    evaluate.set_defaults(handler=_cmd_eval)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,285 @@
+"""Code emission: a :class:`~repro.codegen.selector.ChainPlan` → Python
+statements (Figure 6, step 5).
+
+The emitter renders each instance's chosen call path into provider API
+calls, wiring arguments through the resolved bindings:
+
+* template objects keep their template-side expressions (``pwd``),
+* predicate-linked objects reference the producer's generated variable,
+* derived values are emitted as literals (``10000``, ``"AES"``),
+* pushed-up objects become wrapper-method parameters,
+* invalidating events (``clear_password``) are *deferred* to the end of
+  the method, right before the trailing ``return`` (paper §3.3).
+
+Output is plain source text; the generator splices it into the template
+AST and re-parses, so emitted code is syntax-checked by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..constraints.model import UNKNOWN, BindingSource
+from ..crysl import ast as crysl_ast
+from .naming import NameAllocator
+from .selector import ChainPlan, GenerationError, InstancePlan
+
+
+@dataclass(frozen=True)
+class PushedParameter:
+    """A parameter hoisted into the wrapper-method signature."""
+
+    name: str
+    type_name: str | None
+    instance_alias: str
+    rule_var: str
+
+
+@dataclass
+class EmittedChain:
+    """The rendered form of one fluent chain."""
+
+    statements: list[str] = field(default_factory=list)
+    deferred_statements: list[str] = field(default_factory=list)
+    pushed_parameters: list[PushedParameter] = field(default_factory=list)
+    imports: set[tuple[str, str]] = field(default_factory=set)  # (module, name)
+    #: template variable -> generated variable holding the chain result
+    return_assignments: dict[str, str] = field(default_factory=dict)
+    #: generated result variable -> qualified type (for template_usage)
+    result_types: dict[str, str] = field(default_factory=dict)
+
+
+_PRIMITIVE_ANNOTATIONS = {
+    "int": "int",
+    "str": "str",
+    "bool": "bool",
+    "bytes": "bytes",
+    "bytearray": "bytearray",
+    "float": "float",
+}
+
+
+def _literal(value: object) -> str:
+    return repr(value)
+
+
+class ChainEmitter:
+    """Render one chain plan into source statements."""
+
+    def __init__(self, plan: ChainPlan, reserved_names: set[str]):
+        self._plan = plan
+        self._names = NameAllocator(reserved_names)
+        #: (instance index, rule object name) -> source expression
+        self._object_exprs: dict[tuple[int, str], str] = {}
+        #: instance index -> receiver expression
+        self._receivers: dict[int, str] = {}
+        self._emitted = EmittedChain()
+
+    # ------------------------------------------------------------------
+    # expression resolution
+    # ------------------------------------------------------------------
+
+    def _producer_expr(self, consumer_index: int, object_name: str) -> str | None:
+        """The expression for a predicate-linked object: the producer's."""
+        for link in self._plan.active_links:
+            if link.consumer == consumer_index and link.consumer_object == object_name:
+                if link.producer_object == "this":
+                    return self._receivers[link.producer]
+                return self._object_exprs[(link.producer, link.producer_object)]
+        return None
+
+    def _expr_for(self, plan: InstancePlan, object_name: str) -> str:
+        key = (plan.instance.index, object_name)
+        if key in self._object_exprs:
+            return self._object_exprs[key]
+        binding = plan.env.get(object_name)
+        if binding is None:
+            raise GenerationError(
+                f"{plan.instance.rule.class_name}: internal error — no binding "
+                f"for {object_name!r}"
+            )
+        if binding.source is BindingSource.TEMPLATE:
+            expr = binding.template_expr or _literal(binding.value)
+        elif binding.source is BindingSource.PREDICATE:
+            produced = self._producer_expr(plan.instance.index, object_name)
+            if produced is None:
+                raise GenerationError(
+                    f"{plan.instance.rule.class_name}: predicate-bound object "
+                    f"{object_name!r} has no active producer link"
+                )
+            expr = produced
+        elif binding.source is BindingSource.DERIVED:
+            if binding.value is UNKNOWN:
+                raise GenerationError(
+                    f"{plan.instance.rule.class_name}: derived binding for "
+                    f"{object_name!r} carries no value"
+                )
+            expr = _literal(binding.value)
+        elif binding.source is BindingSource.PUSHED_UP:
+            expr = self._push_up(plan, object_name, binding.type_name)
+        elif binding.source is BindingSource.RESULT:
+            # Result variables are allocated when their defining event is
+            # emitted; reaching here means an event consumed the object
+            # before the event that defines it — a rule bug.
+            raise GenerationError(
+                f"{plan.instance.rule.class_name}: object {object_name!r} is "
+                "used before the event that produces it"
+            )
+        else:  # pragma: no cover - enum is closed
+            raise AssertionError(binding.source)
+        self._object_exprs[key] = expr
+        return expr
+
+    def _push_up(
+        self, plan: InstancePlan, object_name: str, type_name: str | None
+    ) -> str:
+        name = self._names.fresh(object_name)
+        annotation = None
+        if type_name in _PRIMITIVE_ANNOTATIONS:
+            annotation = _PRIMITIVE_ANNOTATIONS[type_name]
+        self._emitted.pushed_parameters.append(
+            PushedParameter(name, annotation, plan.instance.alias, object_name)
+        )
+        return name
+
+    # ------------------------------------------------------------------
+    # per-instance emission
+    # ------------------------------------------------------------------
+
+    def _receiver_for(self, plan: InstancePlan) -> str:
+        index = plan.instance.index
+        if index in self._receivers:
+            return self._receivers[index]
+        this_binding = plan.instance.bindings.get("this")
+        if this_binding is not None:
+            expr = this_binding.expr
+        elif plan.receiver_pushed:
+            expr = self._push_up(plan, plan.instance.alias, None)
+        else:
+            produced = self._producer_expr(index, "this")
+            if produced is None:
+                raise GenerationError(
+                    f"{plan.instance.rule.class_name}: no way to obtain the "
+                    "receiver — the rule has no creating event, no template "
+                    "binding and no predicate link supplies it"
+                )
+            expr = produced
+        self._receivers[index] = expr
+        return expr
+
+    def _argument_list(self, plan: InstancePlan, event: crysl_ast.Event) -> str:
+        rendered = []
+        for param in event.params:
+            if param.is_wildcard:
+                raise GenerationError(
+                    f"{plan.instance.rule.class_name}: event {event.label!r} has "
+                    "a wildcard parameter — not generatable"
+                )
+            if param.is_this:
+                rendered.append(self._receiver_for(plan))
+            else:
+                rendered.append(self._expr_for(plan, param.name))
+        return ", ".join(rendered)
+
+    def _class_reference(self, plan: InstancePlan) -> str:
+        rule = plan.instance.rule
+        if rule.module_name:
+            self._emitted.imports.add((rule.module_name, rule.simple_name))
+        return rule.simple_name
+
+    def _result_name(self, plan: InstancePlan, event: crysl_ast.Event) -> str:
+        """Variable name for an event result; the chain's return target
+        claims the name of the output event (paper: the return value of
+        the last required method is stored in the template variable),
+        and explicit output bindings claim their variables directly."""
+        assert event.result is not None
+        explicit = plan.instance.output_bindings.get(event.result)
+        if explicit is not None:
+            self._names.reserve(explicit)
+            self._emitted.return_assignments[explicit] = explicit
+            return explicit
+        target = plan.instance.return_target
+        if target is not None and event is plan.output_event():
+            self._names.reserve(target)
+            return target
+        return self._names.fresh(event.result)
+
+    def emit_instance(self, plan: InstancePlan) -> None:
+        index = plan.instance.index
+        for event in plan.path:
+            deferred = event.label in plan.deferred
+            if event.is_constructor:
+                args = self._argument_list(plan, event)
+                target = plan.instance.return_target
+                if target is not None and event is plan.output_event():
+                    self._names.reserve(target)
+                    receiver = target
+                    self._emitted.return_assignments[target] = target
+                else:
+                    receiver = self._names.fresh(plan.instance.alias)
+                self._receivers[index] = receiver
+                class_ref = self._class_reference(plan)
+                self._statement(f"{receiver} = {class_ref}({args})", deferred)
+                self._emitted.result_types[receiver] = plan.instance.rule.class_name
+            elif event.result == "this":
+                args = self._argument_list(plan, event)
+                receiver = self._names.fresh(plan.instance.alias)
+                self._receivers[index] = receiver
+                class_ref = self._class_reference(plan)
+                self._statement(
+                    f"{receiver} = {class_ref}.{event.method_name}({args})", deferred
+                )
+                self._emitted.result_types[receiver] = plan.instance.rule.class_name
+            elif event.result is not None:
+                receiver = self._receiver_for(plan)
+                args = self._argument_list(plan, event)
+                result = self._result_name(plan, event)
+                self._object_exprs[(index, event.result)] = result
+                if plan.instance.return_target == result:
+                    self._emitted.return_assignments[result] = result
+                declared = plan.instance.rule.object_named(event.result)
+                if declared is not None:
+                    self._emitted.result_types[result] = declared.type_name
+                self._statement(
+                    f"{result} = {receiver}.{event.method_name}({args})", deferred
+                )
+            else:
+                receiver = self._receiver_for(plan)
+                args = self._argument_list(plan, event)
+                self._statement(f"{receiver}.{event.method_name}({args})", deferred)
+
+    def _statement(self, text: str, deferred: bool) -> None:
+        if deferred:
+            self._emitted.deferred_statements.append(text)
+        else:
+            self._emitted.statements.append(text)
+
+    # ------------------------------------------------------------------
+
+    def emit(self) -> EmittedChain:
+        """Render the full chain in template (= dataflow) order."""
+        for plan in self._plan.instances:
+            self.emit_instance(plan)
+        # A return target bound to an instance whose output event is a
+        # plain result assignment is already named correctly; nothing to
+        # re-assign. Sanity-check that every requested target exists.
+        for plan in self._plan.instances:
+            target = plan.instance.return_target
+            if target is None:
+                continue
+            if target not in self._emitted.return_assignments:
+                output = plan.output_event()
+                if output is None:
+                    raise GenerationError(
+                        f"{plan.instance.rule.class_name}: add_return_object was "
+                        "called but the selected path produces no value"
+                    )
+                # Output event produced a value under a different name
+                # (it was not the last result); alias it explicitly.
+                produced = self._object_exprs.get(
+                    (plan.instance.index, output.result or "this"),
+                    self._receivers.get(plan.instance.index),
+                )
+                self._emitted.statements.append(f"{target} = {produced}")
+                self._emitted.return_assignments[target] = target
+        return self._emitted

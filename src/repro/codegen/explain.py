@@ -1,0 +1,87 @@
+"""Explainable generation: render a plan's reasoning as text.
+
+Seven of sixteen study participants hit CogniCryptGEN's "steep learning
+curve" (§5.4): the connection between a template, the rules, and the
+generated statements is invisible. This module makes it visible —
+``cognicrypt-gen generate --explain`` prints, per fluent chain,
+
+* the rule instances and the call path chosen from each ORDER automaton,
+* which events were deferred (NEGATES) and why,
+* the predicate links that carried objects between rules,
+* every resolved object with its provenance (template binding,
+  predicate link, derived literal, pushed-up parameter).
+"""
+
+from __future__ import annotations
+
+from ..constraints.model import UNKNOWN, BindingSource
+from .generator import ChainReport, GeneratedModule
+
+_SOURCE_LABEL = {
+    BindingSource.TEMPLATE: "template binding",
+    BindingSource.PREDICATE: "predicate link",
+    BindingSource.DERIVED: "derived from CONSTRAINTS",
+    BindingSource.RESULT: "event result",
+    BindingSource.PUSHED_UP: "pushed up into the wrapper signature",
+}
+
+
+def explain_chain(report: ChainReport) -> str:
+    """A human-readable account of one chain's plan."""
+    lines: list[str] = [f"chain in {report.method_name}():"]
+    links_by_consumer: dict[int, list[str]] = {}
+    for link in report.plan.active_links:
+        links_by_consumer.setdefault(link.consumer, []).append(
+            f"{link.predicate} from #{link.producer}"
+        )
+    for plan in report.plan.instances:
+        instance = plan.instance
+        lines.append(
+            f"  #{instance.index} {instance.rule.class_name} "
+            f"(as {instance.alias})"
+        )
+        lines.append(
+            "    path: "
+            + " -> ".join(
+                f"{event.label}:{event.method_name}" for event in plan.path
+            )
+        )
+        if plan.deferred:
+            lines.append(
+                "    deferred to end of method (NEGATES): "
+                + ", ".join(plan.deferred)
+            )
+        incoming = links_by_consumer.get(instance.index)
+        if incoming:
+            lines.append("    relies on: " + "; ".join(incoming))
+        for binding in plan.env:
+            provenance = _SOURCE_LABEL[binding.source]
+            if binding.source is BindingSource.DERIVED and binding.value is not UNKNOWN:
+                detail = f"= {binding.value!r} ({provenance})"
+            elif binding.source is BindingSource.TEMPLATE:
+                detail = f"= {binding.template_expr} ({provenance})"
+            else:
+                detail = f"({provenance})"
+            lines.append(f"      {binding.name} {detail}")
+        if plan.pushed_up:
+            lines.append(
+                "    unresolved, added to the method signature: "
+                + ", ".join(plan.pushed_up)
+            )
+    if report.plan.dropped:
+        lines.append(
+            "  dropped (no predicate path established, §3.3): "
+            + ", ".join(f"#{index}" for index in report.plan.dropped)
+        )
+    return "\n".join(lines)
+
+
+def explain_module(module: GeneratedModule) -> str:
+    """Explain every chain of a generated module."""
+    sections = [explain_chain(report) for report in module.reports]
+    header = (
+        f"generation plan for {module.template_class} "
+        f"({module.elapsed_seconds * 1000:.1f} ms, "
+        f"{len(module.reports)} chain(s))"
+    )
+    return "\n\n".join([header, *sections])

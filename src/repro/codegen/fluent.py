@@ -1,0 +1,165 @@
+"""The fluent API of CogniCryptGEN (paper §3.2, Figure 4).
+
+Templates call this API to declare *what* to generate:
+
+.. code-block:: python
+
+    CrySLCodeGenerator.get_instance() \\
+        .consider_crysl_rule("repro.jca.SecureRandom") \\
+        .add_parameter(salt, "out") \\
+        .consider_crysl_rule("repro.jca.PBEKeySpec") \\
+        .add_parameter(pwd, "password") \\
+        .consider_crysl_rule("repro.jca.SecretKeyFactory") \\
+        .consider_crysl_rule("repro.jca.SecretKey") \\
+        .consider_crysl_rule("repro.jca.SecretKeySpec") \\
+        .add_return_object(encryption_key) \\
+        .generate()
+
+Exactly as in the paper — where the template is a regular Java class
+parsed with the JDT — template files are *parsed, not executed*
+(:mod:`repro.codegen.template` extracts chains from the Python AST).
+The same API also works programmatically: calling it at runtime records
+a :class:`GenerationRequest` that can be handed straight to
+:class:`~repro.codegen.generator.CrySLBasedCodeGenerator`, with values
+captured as literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crysl.ast import Rule
+from ..predicates.instances import RuleInstance, TemplateBinding
+
+
+@dataclass
+class ConsideredRule:
+    """One ``consider_crysl_rule`` step and the bindings attached to it."""
+
+    rule_name: str
+    bindings: list[TemplateBinding] = field(default_factory=list)
+    return_target: str | None = None
+    #: rule object name → template variable, for explicit outputs.
+    output_bindings: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class GenerationRequest:
+    """Everything one fluent chain asks for (paper Figure 6, step 1)."""
+
+    considered: list[ConsideredRule] = field(default_factory=list)
+    #: Where the chain appeared (template method name); cosmetic.
+    origin: str = "<direct>"
+
+    def to_instances(self, ruleset) -> list[RuleInstance]:
+        """Resolve rule names and build indexed rule instances."""
+        instances: list[RuleInstance] = []
+        per_rule_counts: dict[str, int] = {}
+        for index, considered in enumerate(self.considered):
+            rule: Rule = ruleset.get(considered.rule_name)
+            instance = RuleInstance(
+                rule=rule,
+                index=index,
+                bindings={b.rule_var: b for b in considered.bindings},
+                return_target=considered.return_target,
+                output_bindings=dict(considered.output_bindings),
+            )
+            instance.index_within_rule = per_rule_counts.get(rule.class_name, 0)
+            per_rule_counts[rule.class_name] = instance.index_within_rule + 1
+            instances.append(instance)
+        return instances
+
+
+class CrySLCodeGenerator:
+    """The fluent builder templates chain on.
+
+    At runtime each call records into a :class:`GenerationRequest`;
+    :meth:`generate` finalises and returns it. (Within template *files*
+    the chain is never executed — the template parser lifts it from the
+    AST — but keeping the API executable makes direct, programmatic use
+    possible and lets templates be imported and type-checked.)
+    """
+
+    def __init__(self) -> None:
+        self._request = GenerationRequest()
+
+    @classmethod
+    def get_instance(cls) -> "CrySLCodeGenerator":
+        """Start a new chain (paper Figure 4, line 49)."""
+        return cls()
+
+    def consider_crysl_rule(self, rule_name: str) -> "CrySLCodeGenerator":
+        """Include a class's CrySL rule in the generation.
+
+        Accepts a rule-name string or a :class:`~repro.codegen.shorthand.
+        JCA` enumeration member (§7's future-work suggestion).
+        """
+        if not isinstance(rule_name, str) or not rule_name:
+            raise TypeError("consider_crysl_rule expects a non-empty rule name")
+        self._request.considered.append(ConsideredRule(str(rule_name)))
+        return self
+
+    def _current(self) -> ConsideredRule:
+        if not self._request.considered:
+            raise ValueError(
+                "add_parameter/add_return_object must follow consider_crysl_rule"
+            )
+        return self._request.considered[-1]
+
+    def add_parameter(self, value: object, rule_var: str) -> "CrySLCodeGenerator":
+        """Associate a template object/literal with an in-rule variable.
+
+        When called at runtime (programmatic use) the value is captured
+        as a literal; in template files the parser records the variable
+        *name* instead.
+        """
+        if not isinstance(rule_var, str) or not rule_var:
+            raise TypeError("add_parameter expects the in-rule variable name")
+        self._current().bindings.append(
+            TemplateBinding(
+                rule_var=rule_var,
+                expr=repr(value),
+                value=value,
+                is_literal=True,
+                type_name=f"{type(value).__module__}.{type(value).__qualname__}"
+                if type(value).__module__ != "builtins"
+                else type(value).__name__,
+            )
+        )
+        return self
+
+    def add_return_object(
+        self, target: object, rule_var: str | None = None
+    ) -> "CrySLCodeGenerator":
+        """Name the template variable that receives a chain result.
+
+        Without ``rule_var`` the variable receives the default output —
+        the value of "the last method of that class that needs to be
+        called" (paper §3.2). With ``rule_var`` the variable is bound to
+        that specific in-rule object (e.g. a Cipher's ``iv_out``), which
+        lets one instance yield several outputs.
+
+        Programmatic callers pass the variable *name* as a string; in
+        template files the parser reads the identifier from the AST.
+        """
+        if not isinstance(target, str) or not target.isidentifier():
+            raise TypeError(
+                "programmatic add_return_object expects a variable name string"
+            )
+        if rule_var is None:
+            self._current().return_target = target
+        else:
+            self._current().output_bindings[rule_var] = target
+        return self
+
+    def generate(self) -> GenerationRequest:
+        """Finalize the chain and hand back the recorded request."""
+        if not self._request.considered:
+            raise ValueError("generate() called on an empty chain")
+        return self._request
+
+    # Short aliases (paper §7: participants "suggested to use shorter
+    # API-method names"). The long forms remain canonical.
+    rule = consider_crysl_rule
+    param = add_parameter
+    returns = add_return_object

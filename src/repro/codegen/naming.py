@@ -1,0 +1,32 @@
+"""Deterministic variable naming for generated code."""
+
+from __future__ import annotations
+
+
+class NameAllocator:
+    """Allocate readable, collision-free local variable names.
+
+    Seeded with every name already visible in the template method
+    (parameters, glue locals) so generated code never shadows glue code.
+    """
+
+    def __init__(self, reserved: set[str] | None = None):
+        self._taken: set[str] = set(reserved or ())
+
+    def reserve(self, name: str) -> None:
+        self._taken.add(name)
+
+    def fresh(self, base: str) -> str:
+        """Return ``base`` if free, else ``base_2``, ``base_3``, …"""
+        if base not in self._taken:
+            self._taken.add(base)
+            return base
+        counter = 2
+        while f"{base}_{counter}" in self._taken:
+            counter += 1
+        name = f"{base}_{counter}"
+        self._taken.add(name)
+        return name
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._taken

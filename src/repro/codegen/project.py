@@ -1,0 +1,58 @@
+"""Target-project integration: writing generated modules into a project.
+
+The paper's tool "operates on a Java project into which it generates
+code". The Python analogue is a directory (usually a package) that
+receives the generated module; the writer verifies the result compiles
+and can round-trip through the import machinery.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from types import ModuleType
+
+from .generator import GeneratedModule
+
+
+@dataclass
+class TargetProject:
+    """A directory that receives generated code."""
+
+    root: Path
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def write(self, module: GeneratedModule, module_name: str) -> Path:
+        """Write ``module`` as ``<root>/<module_name>.py`` after a
+        compile check; returns the path."""
+        module.compile_check()
+        path = self.root / f"{module_name}.py"
+        path.write_text(module.source, encoding="utf-8")
+        return path
+
+    def load(self, module_name: str) -> ModuleType:
+        """Import a previously written module under an isolated name."""
+        path = self.root / f"{module_name}.py"
+        if not path.exists():
+            raise FileNotFoundError(path)
+        qualified = f"_cognicrypt_generated_{module_name}"
+        spec = importlib.util.spec_from_file_location(qualified, path)
+        assert spec is not None and spec.loader is not None
+        loaded = importlib.util.module_from_spec(spec)
+        sys.modules[qualified] = loaded
+        try:
+            spec.loader.exec_module(loaded)
+        except BaseException:
+            sys.modules.pop(qualified, None)
+            raise
+        return loaded
+
+    def write_and_load(self, module: GeneratedModule, module_name: str) -> ModuleType:
+        """Write then import — the full "generate into project" flow."""
+        self.write(module, module_name)
+        return self.load(module_name)

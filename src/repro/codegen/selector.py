@@ -1,0 +1,434 @@
+"""Call-path selection and parameter resolution (Figure 6, steps 3–4).
+
+For every rule instance in a chain the generator must pick one
+repetition-free accepting call path and resolve every parameter on it.
+The paper describes a sequence of filters and heuristics:
+
+1. paths that do not use the objects the template binds via
+   ``add_parameter`` "cannot implement the use case and are therefore
+   eliminated";
+2. paths whose granted predicates do not match the links the chain
+   relies on are discarded;
+3. parameters resolve in a cascade — template object, then
+   predicate-carrying object from earlier generated code, then a secure
+   literal derived from CONSTRAINTS, then (fallback) a parameter pushed
+   up into the wrapper method's signature;
+4. among fully-resolvable alternatives the generator "opts for the
+   method path with the fewest method calls as well as the smallest
+   number of parameters".
+
+This module realises those rules as a small exhaustive search over the
+per-instance path candidates with a lexicographic score
+``(pushed-up, unsatisfied-requires, dropped-instances, calls, params)``
+— the paper's greedy filters fall out as the dominant terms, and the
+ablation benchmarks toggle individual terms.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..constraints import (
+    Binding,
+    BindingSource,
+    ConstraintEvaluator,
+    Environment,
+    UnderconstrainedError,
+    UnsatisfiableError,
+    ValueDeriver,
+)
+from ..constraints.types import TypeRegistry, default_registry
+from ..crysl import ast
+from ..fsm import enumerate_paths
+from ..predicates import (
+    Link,
+    RuleInstance,
+    compute_links,
+    granted_predicates,
+    invalidating_events,
+    unlinked_instances,
+)
+
+#: Hard cap on the path-combination product; beyond it the selector
+#: falls back to a per-instance greedy choice.
+MAX_COMBINATIONS = 20_000
+
+
+class GenerationError(Exception):
+    """The chain admits no consistent plan."""
+
+
+@dataclass
+class InstancePlan:
+    """The chosen path and resolved bindings for one rule instance."""
+
+    instance: RuleInstance
+    path: tuple[ast.Event, ...]
+    env: Environment
+    #: rule objects whose values must be hoisted into the wrapper
+    #: signature (paper §3.3's compilability-over-completeness fallback).
+    pushed_up: tuple[str, ...] = ()
+    #: event labels deferred to the end of the method (NEGATES handling).
+    deferred: tuple[str, ...] = ()
+    #: True when the receiver itself must be pushed up.
+    receiver_pushed: bool = False
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return tuple(event.label for event in self.path)
+
+    def output_event(self) -> ast.Event | None:
+        """The last non-deferred event that yields a value (paper §3.2:
+        the return object binds to "the last method of that class that
+        needs to be called")."""
+        for event in reversed(self.path):
+            if event.label in self.deferred:
+                continue
+            if event.result is not None or event.is_constructor:
+                return event
+        return None
+
+
+@dataclass
+class ChainPlan:
+    """A complete plan for one fluent chain."""
+
+    instances: list[InstancePlan]
+    active_links: list[Link]
+    score: tuple[int, int, int, int, int]
+    dropped: tuple[int, ...] = ()
+
+    def plan_for(self, index: int) -> InstancePlan:
+        return self.instances[index]
+
+
+# ---------------------------------------------------------------------------
+# path prefilters (Figure 6, step 3)
+# ---------------------------------------------------------------------------
+
+
+def candidate_paths(instance: RuleInstance) -> list[tuple[ast.Event, ...]]:
+    """Per-instance path candidates after the template-object filter."""
+    bound_vars = set(instance.bindings) - {"this"}
+    receiver_bound = "this" in instance.bindings
+    needs_output = instance.return_target is not None
+    required_outputs = set(instance.output_bindings)
+    kept: list[tuple[ast.Event, ...]] = []
+    for path in enumerate_paths(instance.rule):
+        param_names = {
+            param.name for event in path for param in event.params if not param.is_wildcard
+        }
+        result_names = {event.result for event in path if event.result}
+        if not bound_vars <= param_names:
+            continue  # filter 1: template objects must be used
+        if not required_outputs <= result_names:
+            continue  # explicitly bound outputs must be produced
+        if receiver_bound and any(
+            event.is_constructor or event.result == "this" for event in path
+        ):
+            continue  # externally supplied receivers must not be re-created
+        if needs_output and not any(
+            event.result is not None or event.is_constructor for event in path
+        ):
+            continue
+        kept.append(path)
+    return kept
+
+
+# ---------------------------------------------------------------------------
+# link activation
+# ---------------------------------------------------------------------------
+
+
+def _path_uses_object(path: tuple[ast.Event, ...], name: str) -> bool:
+    return any(
+        param.name == name for event in path for param in event.params
+    )
+
+
+def _path_defines_object(path: tuple[ast.Event, ...], name: str) -> bool:
+    return any(event.result == name for event in path)
+
+
+def _producer_side_available(
+    link: Link, producer_path: tuple[ast.Event, ...], producer: RuleInstance
+) -> bool:
+    """Is the producer-side object realised by the producer's path?"""
+    if link.producer_object == "this":
+        return True
+    if _path_defines_object(producer_path, link.producer_object):
+        return True
+    # In-place outputs (SecureRandom.next_bytes(out)) and bound params.
+    if _path_uses_object(producer_path, link.producer_object):
+        return True
+    return False
+
+
+def _activatable_links(
+    links: list[Link],
+    instances: list[RuleInstance],
+    paths: dict[int, tuple[ast.Event, ...]],
+) -> list[Link]:
+    """Links whose producer path grants the predicate and whose consumer
+    path actually uses the linked object. One link per consumer slot;
+    the nearest producer wins (freshest value)."""
+    chosen: dict[tuple[int, str], Link] = {}
+    for link in links:
+        producer_path = paths[link.producer]
+        consumer_path = paths[link.consumer]
+        producer_rule = instances[link.producer].rule
+        granted = granted_predicates(producer_rule, tuple(e.label for e in producer_path))
+        if link.ensures not in granted:
+            continue
+        if not _producer_side_available(link, producer_path, instances[link.producer]):
+            continue
+        if link.consumer_object == "this":
+            consumer = instances[link.consumer]
+            consumer_creates = any(
+                event.is_constructor or event.result == "this"
+                for event in consumer_path
+            )
+            if consumer_creates or "this" in consumer.bindings:
+                continue  # receiver already comes from elsewhere
+        elif not _path_uses_object(consumer_path, link.consumer_object):
+            continue
+        slot = (link.consumer, link.consumer_object)
+        current = chosen.get(slot)
+        if current is None or link.producer > current.producer:
+            chosen[slot] = link
+    return list(chosen.values())
+
+
+# ---------------------------------------------------------------------------
+# per-combination evaluation
+# ---------------------------------------------------------------------------
+
+
+def _declared_type(rule: ast.Rule, object_name: str) -> str | None:
+    declaration = rule.object_named(object_name)
+    return declaration.type_name if declaration else None
+
+
+def _template_binding_to_binding(
+    name: str, template_binding, facts_type: str | None = None
+) -> Binding:
+    binding = Binding(
+        name,
+        BindingSource.TEMPLATE,
+        template_expr=template_binding.expr,
+    )
+    if template_binding.is_literal:
+        binding.value = template_binding.value
+    if template_binding.type_name is not None:
+        binding.type_name = template_binding.type_name
+    return binding
+
+
+def _build_environment(
+    instance: RuleInstance,
+    path: tuple[ast.Event, ...],
+    incoming_links: list[Link],
+    instances: list[RuleInstance],
+) -> Environment:
+    env = Environment()
+    for rule_var, template_binding in instance.bindings.items():
+        if rule_var == "this":
+            continue
+        env.bind(_template_binding_to_binding(rule_var, template_binding))
+    for link in incoming_links:
+        if link.consumer != instance.index or link.consumer_object == "this":
+            continue
+        producer = instances[link.producer]
+        if link.producer_object == "this":
+            type_name = producer.rule.class_name
+        else:
+            type_name = _declared_type(producer.rule, link.producer_object)
+        env.bind(
+            Binding(link.consumer_object, BindingSource.PREDICATE, type_name=type_name)
+        )
+    for event in path:
+        if event.result is not None and event.result != "this":
+            if event.result not in env:
+                env.bind(
+                    Binding(
+                        event.result,
+                        BindingSource.RESULT,
+                        type_name=_declared_type(instance.rule, event.result),
+                    )
+                )
+    return env
+
+
+@dataclass
+class _ComboResult:
+    plans: list[InstancePlan]
+    active_links: list[Link]
+    score: tuple[int, int, int, int, int]
+    dropped: tuple[int, ...]
+
+
+def _evaluate_combo(
+    instances: list[RuleInstance],
+    combo: tuple[tuple[ast.Event, ...], ...],
+    links: list[Link],
+    registry: TypeRegistry,
+) -> _ComboResult | None:
+    paths = {instance.index: path for instance, path in zip(instances, combo)}
+    active = _activatable_links(links, instances, paths)
+    pushed_total = 0
+    unsatisfied = 0
+    plans: list[InstancePlan] = []
+    for instance, path in zip(instances, combo):
+        incoming = [link for link in active if link.consumer == instance.index]
+        env = _build_environment(instance, path, incoming, instances)
+        labels = tuple(event.label for event in path)
+        # Resolve remaining parameters from CONSTRAINTS.
+        unknown = []
+        for event in path:
+            for param in event.params:
+                if param.is_wildcard or param.is_this:
+                    continue
+                if param.name not in env:
+                    unknown.append(param.name)
+        pushed: list[str] = []
+        deriver = ValueDeriver(instance.rule, env, labels, registry)
+        for name in dict.fromkeys(unknown):  # stable dedupe
+            try:
+                value = deriver.derive(name)
+            except (UnderconstrainedError, UnsatisfiableError):
+                env.bind(
+                    Binding(
+                        name,
+                        BindingSource.PUSHED_UP,
+                        type_name=_declared_type(instance.rule, name),
+                    )
+                )
+                pushed.append(name)
+                continue
+            env.bind(Binding(name, BindingSource.DERIVED, value=value))
+        # Receiver resolution.
+        receiver_pushed = False
+        creates = any(
+            event.is_constructor or event.result == "this" for event in path
+        )
+        if not creates and "this" not in instance.bindings:
+            has_this_link = any(
+                link.consumer == instance.index and link.consumer_object == "this"
+                for link in active
+            )
+            if not has_this_link:
+                receiver_pushed = True
+        # Hard check: the rule's constraints must not be violated.
+        evaluator = ConstraintEvaluator(env, instance.rule, labels, registry)
+        if evaluator.evaluate_all(instance.rule.constraints) is False:
+            return None
+        # Soft check: requires groups without a link or template waiver.
+        for group in instance.rule.requires:
+            group_objects = {
+                alt.args[0].value
+                for alt in group.alternatives
+                if alt.args and isinstance(alt.args[0].value, str)
+            }
+            used = [
+                name
+                for name in group_objects
+                if name != "this" and _path_uses_object(path, name)
+            ]
+            if not used:
+                continue
+            linked = any(
+                link.consumer == instance.index
+                and link.consumer_object in group_objects
+                for link in active
+            )
+            waived = any(
+                (binding := env.get(name)) is not None
+                and binding.source is BindingSource.TEMPLATE
+                for name in used
+            )
+            if not linked and not waived:
+                unsatisfied += 1
+        pushed_total += len(pushed) + (1 if receiver_pushed else 0)
+        plans.append(
+            InstancePlan(
+                instance=instance,
+                path=path,
+                env=env,
+                pushed_up=tuple(pushed),
+                deferred=invalidating_events(instance.rule, labels),
+                receiver_pushed=receiver_pushed,
+            )
+        )
+    dropped = tuple(unlinked_instances(instances, active))
+    total_calls = sum(len(plan.path) for plan in plans)
+    total_params = sum(event.arity for plan in plans for event in plan.path)
+    score = (pushed_total, unsatisfied, len(dropped), total_calls, total_params)
+    return _ComboResult(plans, active, score, dropped)
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+
+def select(
+    instances: list[RuleInstance],
+    registry: TypeRegistry | None = None,
+) -> ChainPlan:
+    """Choose paths and resolve parameters for a whole chain."""
+    registry = registry or default_registry()
+    links = compute_links(instances)
+    per_instance = []
+    for instance in instances:
+        candidates = candidate_paths(instance)
+        if not candidates:
+            bound = ", ".join(sorted(set(instance.bindings) - {"this"}))
+            raise GenerationError(
+                f"{instance.rule.class_name}: no usage path uses the template "
+                f"objects [{bound}] — check the add_parameter variable names "
+                f"against the rule's EVENTS section"
+            )
+        per_instance.append(candidates)
+
+    combination_count = 1
+    for candidates in per_instance:
+        combination_count *= len(candidates)
+
+    best: _ComboResult | None = None
+    if combination_count <= MAX_COMBINATIONS:
+        for combo in itertools.product(*per_instance):
+            result = _evaluate_combo(instances, combo, links, registry)
+            if result is None:
+                continue
+            if best is None or result.score < best.score:
+                best = result
+    else:
+        # Greedy fallback: pick locally-best path per instance, front to
+        # back, holding earlier choices fixed.
+        chosen: list[tuple[ast.Event, ...]] = []
+        for position, candidates in enumerate(per_instance):
+            local_best = None
+            local_best_result = None
+            for path in candidates:
+                trial = chosen + [path] + [c[0] for c in per_instance[position + 1 :]]
+                result = _evaluate_combo(instances, tuple(trial), links, registry)
+                if result is None:
+                    continue
+                if local_best is None or result.score < local_best_result.score:
+                    local_best = path
+                    local_best_result = result
+            if local_best is None:
+                raise GenerationError(
+                    f"{instances[position].rule.class_name}: every candidate path "
+                    "violates the rule's constraints"
+                )
+            chosen.append(local_best)
+        best = _evaluate_combo(instances, tuple(chosen), links, registry)
+
+    if best is None:
+        raise GenerationError(
+            "no combination of usage paths satisfies all CONSTRAINTS; "
+            "the considered rules are mutually inconsistent"
+        )
+    return ChainPlan(best.plans, best.active_links, best.score, best.dropped)

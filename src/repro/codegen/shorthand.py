@@ -1,0 +1,60 @@
+"""The usability improvements the paper's §7 promises as future work.
+
+User-study participants criticised two aspects of the fluent API:
+class-name parameters passed as strings, and long method names. This
+module implements both suggestions:
+
+* :class:`JCA` — an enumeration of the bundled rules, usable wherever a
+  rule-name string is (``.rule(JCA.SECURE_RANDOM)``), giving template
+  authors completion and typo safety;
+* short fluent aliases — ``rule`` / ``param`` / ``returns`` for
+  ``consider_crysl_rule`` / ``add_parameter`` / ``add_return_object``.
+
+Both work in template files (the template parser resolves them
+statically) and in programmatic use. The long forms remain canonical.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class JCA(str, enum.Enum):
+    """Qualified rule names for the bundled JCA-style rule set.
+
+    A ``str`` subclass, so every member is accepted anywhere a rule
+    name is expected.
+    """
+
+    SECURE_RANDOM = "repro.jca.SecureRandom"
+    PBE_KEY_SPEC = "repro.jca.PBEKeySpec"
+    SECRET_KEY_FACTORY = "repro.jca.SecretKeyFactory"
+    SECRET_KEY = "repro.jca.SecretKey"
+    SECRET_KEY_SPEC = "repro.jca.SecretKeySpec"
+    KEY_GENERATOR = "repro.jca.KeyGenerator"
+    KEY_PAIR_GENERATOR = "repro.jca.KeyPairGenerator"
+    KEY_PAIR = "repro.jca.KeyPair"
+    CIPHER = "repro.jca.Cipher"
+    MESSAGE_DIGEST = "repro.jca.MessageDigest"
+    MAC = "repro.jca.Mac"
+    SIGNATURE = "repro.jca.Signature"
+    IV_PARAMETER_SPEC = "repro.jca.IvParameterSpec"
+    GCM_PARAMETER_SPEC = "repro.jca.GCMParameterSpec"
+    KEY_STORE = "repro.jca.KeyStore"
+
+    def __str__(self) -> str:  # noqa: DunderStr - enum prints its value
+        return self.value
+
+
+#: ``JCA.<MEMBER>`` expressions as they appear in template source,
+#: resolved statically by the template parser.
+RULE_CONSTANTS: dict[str, str] = {
+    f"JCA.{member.name}": member.value for member in JCA
+}
+
+#: Short fluent-method aliases → canonical names.
+FLUENT_ALIASES: dict[str, str] = {
+    "rule": "consider_crysl_rule",
+    "param": "add_parameter",
+    "returns": "add_return_object",
+}

@@ -1,0 +1,29 @@
+"""Constraint evaluation and secure-value derivation (paper §3.3, step 4).
+
+Three-valued constraint evaluation over partially-known bindings, plus
+the first-of-set / closest-satisfying-value derivation the generator
+uses to fill parameters that neither the template nor a predicate link
+provides.
+"""
+
+from .evaluate import ConstraintEvaluator, tri_and, tri_implies, tri_not, tri_or
+from .model import UNKNOWN, Binding, BindingSource, Environment
+from .solver import UnderconstrainedError, UnsatisfiableError, ValueDeriver
+from .types import TypeRegistry, default_registry
+
+__all__ = [
+    "Binding",
+    "BindingSource",
+    "ConstraintEvaluator",
+    "Environment",
+    "TypeRegistry",
+    "UNKNOWN",
+    "UnderconstrainedError",
+    "UnsatisfiableError",
+    "ValueDeriver",
+    "default_registry",
+    "tri_and",
+    "tri_implies",
+    "tri_not",
+    "tri_or",
+]

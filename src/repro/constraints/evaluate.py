@@ -1,0 +1,165 @@
+"""Three-valued evaluation of CrySL constraint expressions.
+
+Constraints are evaluated against an :class:`~repro.constraints.model.
+Environment` of partially-known bindings. The result is ``True``,
+``False`` or ``None`` (unknown). The generator treats unknown as
+satisfiable (it will later *derive* values that make constraints true);
+the static analyzer treats unknown as a warning.
+
+Kleene semantics: ``and`` is False-dominant, ``or`` True-dominant,
+``a => b`` is ``not a or b``.
+"""
+
+from __future__ import annotations
+
+from ..crysl import ast
+from .model import UNKNOWN, Environment
+from .types import TypeRegistry, default_registry
+
+Tri = bool | None
+
+
+def tri_not(x: Tri) -> Tri:
+    return None if x is None else (not x)
+
+
+def tri_and(values: list[Tri]) -> Tri:
+    if any(v is False for v in values):
+        return False
+    if any(v is None for v in values):
+        return None
+    return True
+
+
+def tri_or(values: list[Tri]) -> Tri:
+    if any(v is True for v in values):
+        return True
+    if any(v is None for v in values):
+        return None
+    return False
+
+
+def tri_implies(antecedent: Tri, consequent: Tri) -> Tri:
+    return tri_or([tri_not(antecedent), consequent])
+
+
+class ConstraintEvaluator:
+    """Evaluate constraint trees for one rule instance.
+
+    ``path_labels`` — the event labels of the currently selected call
+    path — back the ``callTo``/``noCallTo`` built-ins; ``rule`` provides
+    aggregate expansion for them.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        rule: ast.Rule | None = None,
+        path_labels: tuple[str, ...] | None = None,
+        registry: TypeRegistry | None = None,
+    ):
+        self._env = env
+        self._rule = rule
+        self._path_labels = path_labels
+        self._registry = registry or default_registry()
+
+    # ------------------------------------------------------------------
+    # value expressions
+    # ------------------------------------------------------------------
+
+    def value(self, expr: ast.ValueExpr) -> object:
+        """Evaluate a value expression; UNKNOWN when underdetermined."""
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.ObjectRef):
+            return self._env.value_of(expr.name)
+        if isinstance(expr, ast.LengthOf):
+            length = self._env.length_of(expr.operand.name)
+            return UNKNOWN if length is None else length
+        if isinstance(expr, ast.PartOf):
+            subject = self._env.value_of(expr.operand.name)
+            if subject is UNKNOWN or not isinstance(subject, str):
+                return UNKNOWN
+            parts = subject.split(expr.separator)
+            if expr.index >= len(parts):
+                return UNKNOWN
+            return parts[expr.index]
+        raise TypeError(f"unknown value expression: {type(expr).__name__}")
+
+    # ------------------------------------------------------------------
+    # constraints
+    # ------------------------------------------------------------------
+
+    def evaluate(self, expr: ast.ConstraintExpr) -> Tri:
+        if isinstance(expr, ast.Comparison):
+            return self._compare(expr)
+        if isinstance(expr, ast.InSet):
+            subject = self.value(expr.subject)
+            if subject is UNKNOWN:
+                return None
+            return any(subject == literal.value for literal in expr.values)
+        if isinstance(expr, ast.Implication):
+            return tri_implies(
+                self.evaluate(expr.antecedent), self.evaluate(expr.consequent)
+            )
+        if isinstance(expr, ast.BoolOp):
+            results = [self.evaluate(operand) for operand in expr.operands]
+            return tri_and(results) if expr.op == "&&" else tri_or(results)
+        if isinstance(expr, ast.Negation):
+            return tri_not(self.evaluate(expr.operand))
+        if isinstance(expr, ast.InstanceOf):
+            return self._instanceof(expr)
+        if isinstance(expr, ast.CallTo):
+            return self._call_to(expr.label)
+        if isinstance(expr, ast.NoCallTo):
+            return tri_not(self._call_to(expr.label))
+        raise TypeError(f"unknown constraint: {type(expr).__name__}")
+
+    def _compare(self, expr: ast.Comparison) -> Tri:
+        lhs = self.value(expr.lhs)
+        rhs = self.value(expr.rhs)
+        if lhs is UNKNOWN or rhs is UNKNOWN:
+            return None
+        try:
+            if expr.op == "==":
+                return lhs == rhs
+            if expr.op == "!=":
+                return lhs != rhs
+            if expr.op == "<=":
+                return lhs <= rhs  # type: ignore[operator]
+            if expr.op == "<":
+                return lhs < rhs  # type: ignore[operator]
+            if expr.op == ">=":
+                return lhs >= rhs  # type: ignore[operator]
+            if expr.op == ">":
+                return lhs > rhs  # type: ignore[operator]
+        except TypeError:
+            return None
+        raise AssertionError(f"unhandled comparison operator {expr.op!r}")
+
+    def _instanceof(self, expr: ast.InstanceOf) -> Tri:
+        binding = self._env.get(expr.operand.name)
+        if binding is None:
+            return None
+        if binding.has_value:
+            cls = self._registry.resolve(expr.type_name)
+            if cls is None:
+                return None
+            return isinstance(binding.value, cls)
+        if binding.type_name is None:
+            return None
+        return self._registry.is_subtype(binding.type_name, expr.type_name)
+
+    def _call_to(self, label: str) -> Tri:
+        if self._path_labels is None:
+            return None
+        concrete = (
+            self._rule.expand_label(label) if self._rule is not None else (label,)
+        )
+        return any(call in concrete for call in self._path_labels)
+
+    # ------------------------------------------------------------------
+
+    def evaluate_all(self, constraints: tuple[ast.ConstraintExpr, ...]) -> Tri:
+        """Conjunction over a rule's CONSTRAINTS section."""
+        return tri_and([self.evaluate(c) for c in constraints])

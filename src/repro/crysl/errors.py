@@ -1,0 +1,59 @@
+"""Diagnostics for the CrySL front end.
+
+Errors carry a source location and, where available, the offending
+line so messages read like a compiler's:
+
+    PBEKeySpec.crysl:27:5: error: unknown object 'iterationcount' in CONSTRAINTS
+        iterationcount >= 10000;
+        ^
+"""
+
+from __future__ import annotations
+
+from .sourceloc import Location
+
+
+class CrySLError(Exception):
+    """Base class for all CrySL front-end failures."""
+
+
+class CrySLSyntaxError(CrySLError):
+    """A lexing or parsing failure."""
+
+    def __init__(
+        self,
+        message: str,
+        location: Location,
+        filename: str = "<rule>",
+        source_line: str | None = None,
+    ):
+        self.message = message
+        self.location = location
+        self.filename = filename
+        self.source_line = source_line
+        rendered = f"{filename}:{location}: error: {message}"
+        if source_line is not None:
+            caret = " " * max(location.column - 1, 0) + "^"
+            rendered += f"\n    {source_line}\n    {caret}"
+        super().__init__(rendered)
+
+
+class CrySLSemanticError(CrySLError):
+    """A well-formed rule that violates CrySL's static semantics."""
+
+    def __init__(self, message: str, location: Location, filename: str = "<rule>"):
+        self.message = message
+        self.location = location
+        self.filename = filename
+        super().__init__(f"{filename}:{location}: error: {message}")
+
+
+class RuleNotFoundError(CrySLError):
+    """A rule was requested for a class the rule set does not cover."""
+
+    def __init__(self, class_name: str, known: tuple[str, ...] = ()):
+        self.class_name = class_name
+        hint = ""
+        if known:
+            hint = f" (known rules: {', '.join(sorted(known))})"
+        super().__init__(f"no CrySL rule for class {class_name!r}{hint}")

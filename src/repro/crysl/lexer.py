@@ -1,0 +1,259 @@
+"""The CrySL tokenizer.
+
+A hand-written scanner producing a flat token stream with source
+locations. CrySL's lexical grammar is small: identifiers (possibly
+dotted, for qualified class names), integer and string literals, a fixed
+set of punctuation/operators, and ``//`` line and ``/* */`` block
+comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from .errors import CrySLSyntaxError
+from .sourceloc import Location
+
+
+class TokenKind(Enum):
+    IDENT = auto()       # PBEKeySpec, iteration_count, this, _
+    QNAME = auto()       # repro.jca.PBEKeySpec (dotted)
+    INT = auto()         # 10000
+    STRING = auto()      # "AES"
+    COLON = auto()       # :
+    ASSIGN_AGG = auto()  # :=
+    SEMI = auto()        # ;
+    COMMA = auto()       # ,
+    LPAREN = auto()      # (
+    RPAREN = auto()      # )
+    LBRACE = auto()      # {
+    RBRACE = auto()      # }
+    LBRACKET = auto()    # [
+    RBRACKET = auto()    # ]
+    PIPE = auto()        # |
+    STAR = auto()        # *
+    PLUS = auto()        # +
+    QUESTION = auto()    # ?
+    EQ = auto()          # ==
+    NEQ = auto()         # !=
+    LE = auto()          # <=
+    LT = auto()          # <
+    GE = auto()          # >=
+    GT = auto()          # >
+    IMPLIES = auto()     # =>
+    AND = auto()         # &&
+    OR = auto()          # ||
+    NOT = auto()         # !
+    ASSIGN = auto()      # =
+    EOF = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    location: Location
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r}, {self.location})"
+
+
+_SIMPLE = {
+    ";": TokenKind.SEMI,
+    ",": TokenKind.COMMA,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "|": TokenKind.PIPE,
+    "*": TokenKind.STAR,
+    "+": TokenKind.PLUS,
+    "?": TokenKind.QUESTION,
+}
+
+
+def _is_ident_start(ch: str) -> bool:
+    return len(ch) == 1 and (ch.isalpha() or ch == "_")
+
+
+def _is_ident_part(ch: str) -> bool:
+    # The length guard matters: _peek() yields "" at end of input, and
+    # `"" in "_-$"` would be True — an infinite loop.
+    return len(ch) == 1 and (ch.isalnum() or ch in "_-$")
+
+
+class Lexer:
+    """Tokenize one CrySL rule file."""
+
+    def __init__(self, source: str, filename: str = "<rule>"):
+        self._source = source
+        self._filename = filename
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+        self._lines = source.splitlines()
+
+    def _location(self) -> Location:
+        return Location(self._line, self._column)
+
+    def _error(self, message: str) -> CrySLSyntaxError:
+        line_text = ""
+        if 1 <= self._line <= len(self._lines):
+            line_text = self._lines[self._line - 1]
+        return CrySLSyntaxError(message, self._location(), self._filename, line_text)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        return self._source[index] if index < len(self._source) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self._source[self._pos : self._pos + count]
+        for ch in text:
+            if ch == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+        self._pos += count
+        return text
+
+    def _skip_trivia(self) -> None:
+        while self._pos < len(self._source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._pos < len(self._source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._location()
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self._pos >= len(self._source):
+                        raise CrySLSyntaxError(
+                            "unterminated block comment", start, self._filename
+                        )
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    def _lex_string(self) -> Token:
+        start = self._location()
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise CrySLSyntaxError("unterminated string literal", start, self._filename)
+            if ch == "\n":
+                raise CrySLSyntaxError(
+                    "newline inside string literal", start, self._filename
+                )
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                self._advance()
+                escape = self._advance()
+                mapping = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+                if escape not in mapping:
+                    raise self._error(f"unknown escape sequence \\{escape}")
+                chars.append(mapping[escape])
+            else:
+                chars.append(self._advance())
+        return Token(TokenKind.STRING, "".join(chars), start)
+
+    def _lex_number(self) -> Token:
+        start = self._location()
+        digits: list[str] = []
+        if self._peek() == "-":
+            digits.append(self._advance())
+        while self._peek().isdigit():
+            digits.append(self._advance())
+        return Token(TokenKind.INT, "".join(digits), start)
+
+    def _lex_word(self) -> Token:
+        start = self._location()
+        chars: list[str] = [self._advance()]
+        dotted = False
+        while True:
+            ch = self._peek()
+            if _is_ident_part(ch):
+                chars.append(self._advance())
+            elif ch == "." and _is_ident_start(self._peek(1)):
+                dotted = True
+                chars.append(self._advance())
+            else:
+                break
+        kind = TokenKind.QNAME if dotted else TokenKind.IDENT
+        return Token(kind, "".join(chars), start)
+
+    def tokens(self) -> list[Token]:
+        """Scan the whole input; always ends with one EOF token."""
+        out: list[Token] = []
+        while True:
+            self._skip_trivia()
+            if self._pos >= len(self._source):
+                out.append(Token(TokenKind.EOF, "", self._location()))
+                return out
+            ch = self._peek()
+            start = self._location()
+            if ch == '"':
+                out.append(self._lex_string())
+            elif ch.isdigit() or (ch == "-" and self._peek(1).isdigit()):
+                out.append(self._lex_number())
+            elif _is_ident_start(ch):
+                out.append(self._lex_word())
+            elif ch == ":" and self._peek(1) == "=":
+                self._advance(2)
+                out.append(Token(TokenKind.ASSIGN_AGG, ":=", start))
+            elif ch == ":":
+                self._advance()
+                out.append(Token(TokenKind.COLON, ":", start))
+            elif ch == "=" and self._peek(1) == "=":
+                self._advance(2)
+                out.append(Token(TokenKind.EQ, "==", start))
+            elif ch == "=" and self._peek(1) == ">":
+                self._advance(2)
+                out.append(Token(TokenKind.IMPLIES, "=>", start))
+            elif ch == "=":
+                self._advance()
+                out.append(Token(TokenKind.ASSIGN, "=", start))
+            elif ch == "!" and self._peek(1) == "=":
+                self._advance(2)
+                out.append(Token(TokenKind.NEQ, "!=", start))
+            elif ch == "!":
+                self._advance()
+                out.append(Token(TokenKind.NOT, "!", start))
+            elif ch == "<" and self._peek(1) == "=":
+                self._advance(2)
+                out.append(Token(TokenKind.LE, "<=", start))
+            elif ch == "<":
+                self._advance()
+                out.append(Token(TokenKind.LT, "<", start))
+            elif ch == ">" and self._peek(1) == "=":
+                self._advance(2)
+                out.append(Token(TokenKind.GE, ">=", start))
+            elif ch == ">":
+                self._advance()
+                out.append(Token(TokenKind.GT, ">", start))
+            elif ch == "&" and self._peek(1) == "&":
+                self._advance(2)
+                out.append(Token(TokenKind.AND, "&&", start))
+            elif ch == "|" and self._peek(1) == "|":
+                self._advance(2)
+                out.append(Token(TokenKind.OR, "||", start))
+            elif ch in _SIMPLE:
+                self._advance()
+                out.append(Token(_SIMPLE[ch], ch, start))
+            else:
+                raise self._error(f"unexpected character {ch!r}")
+
+
+def tokenize(source: str, filename: str = "<rule>") -> list[Token]:
+    """Convenience wrapper: scan ``source`` into tokens."""
+    return Lexer(source, filename).tokens()

@@ -1,0 +1,183 @@
+"""Cross-rule consistency checks ("rule-set lint").
+
+:mod:`repro.crysl.typecheck` validates one rule in isolation; this
+module checks properties that only hold (or fail) across a whole rule
+set — the hygiene that keeps the paper's rely/guarantee reasoning
+sound:
+
+* **orphaned REQUIRES** — a required predicate no rule in the set can
+  ENSURE (under any arity-compatible spelling): the generator could
+  never link it, so every use degrades to template bindings or
+  push-ups;
+* **dead ENSURES** — a granted predicate nothing consumes (often a
+  typo'd name on one of the two sides);
+* **arity drift** — the same predicate granted or required with
+  conflicting argument counts across rules;
+* **unreachable events** — events never mentioned by ORDER (directly or
+  through an aggregate): unreachable code in specification form;
+* **unknown class references** — OBJECTS typed with classes that are
+  neither primitives nor resolvable, so ``instanceof`` reasoning would
+  always be unknown.
+
+Findings are warnings, not errors: a rule set may legitimately grant
+predicates for consumers outside the set (``randomized`` is consumed by
+application rules in upstream CogniCrypt, for example). The CLI exposes
+this as ``cognicrypt-gen lint-rules``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..constraints.types import TypeRegistry, default_registry
+from . import ast
+from .ruleset import RuleSet
+
+
+class LintKind(enum.Enum):
+    ORPHANED_REQUIRES = "orphaned-requires"
+    DEAD_ENSURES = "dead-ensures"
+    ARITY_DRIFT = "arity-drift"
+    UNREACHABLE_EVENT = "unreachable-event"
+    UNKNOWN_CLASS = "unknown-class"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    kind: LintKind
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind.value}] {self.rule}: {self.message}"
+
+
+def _ensured_predicates(ruleset: RuleSet) -> dict[str, set[int]]:
+    """predicate name -> set of arities some rule grants it with."""
+    out: dict[str, set[int]] = {}
+    for rule in ruleset:
+        for ensured in rule.ensures:
+            out.setdefault(ensured.name, set()).add(len(ensured.args))
+    return out
+
+
+def _required_predicates(ruleset: RuleSet) -> dict[str, set[int]]:
+    out: dict[str, set[int]] = {}
+    for rule in ruleset:
+        for group in rule.requires:
+            for alternative in group.alternatives:
+                out.setdefault(alternative.name, set()).add(len(alternative.args))
+    return out
+
+
+def lint_ruleset(
+    ruleset: RuleSet, registry: TypeRegistry | None = None
+) -> list[LintFinding]:
+    """Run all cross-rule checks; returns warnings, worst first-ish."""
+    registry = registry or default_registry()
+    findings: list[LintFinding] = []
+    ensured = _ensured_predicates(ruleset)
+    required = _required_predicates(ruleset)
+
+    for rule in ruleset:
+        # Orphaned REQUIRES: no alternative of a group has any producer.
+        for group in rule.requires:
+            producible = [
+                alternative
+                for alternative in group.alternatives
+                if alternative.name in ensured
+            ]
+            if not producible:
+                findings.append(
+                    LintFinding(
+                        LintKind.ORPHANED_REQUIRES,
+                        rule.class_name,
+                        f"no rule in the set ensures any of: {group}",
+                    )
+                )
+        # Dead ENSURES.
+        for grant in rule.ensures:
+            if grant.name not in required:
+                findings.append(
+                    LintFinding(
+                        LintKind.DEAD_ENSURES,
+                        rule.class_name,
+                        f"ensured predicate {grant.name!r} is never required "
+                        "by any rule in the set",
+                    )
+                )
+        # Unreachable events.
+        reachable = _order_labels(rule)
+        for event in rule.events:
+            if event.label not in reachable:
+                findings.append(
+                    LintFinding(
+                        LintKind.UNREACHABLE_EVENT,
+                        rule.class_name,
+                        f"event {event.label!r} ({event.method_name}) is never "
+                        "reachable through ORDER",
+                    )
+                )
+        # Unknown class references.
+        for declaration in rule.objects:
+            if "." not in declaration.type_name:
+                continue
+            if registry.resolve(declaration.type_name) is None:
+                findings.append(
+                    LintFinding(
+                        LintKind.UNKNOWN_CLASS,
+                        rule.class_name,
+                        f"object {declaration.name!r} has unresolvable type "
+                        f"{declaration.type_name!r}",
+                    )
+                )
+
+    # Arity drift between grants and uses of the same predicate. A
+    # REQUIRES with fewer args than every grant is fine (wildcard-style
+    # lenience); *more* args than any grant can never match.
+    for name, required_arities in required.items():
+        granted_arities = ensured.get(name)
+        if not granted_arities:
+            continue
+        maximum_granted = max(granted_arities)
+        for arity in required_arities:
+            if arity > maximum_granted:
+                findings.append(
+                    LintFinding(
+                        LintKind.ARITY_DRIFT,
+                        "<ruleset>",
+                        f"predicate {name!r} is required with {arity} args but "
+                        f"granted with at most {maximum_granted}",
+                    )
+                )
+    return findings
+
+
+def _order_labels(rule: ast.Rule) -> set[str]:
+    if rule.order is None:
+        return {event.label for event in rule.events}
+    labels: set[str] = set()
+
+    def walk(node: ast.OrderExpr) -> None:
+        if isinstance(node, ast.LabelRef):
+            labels.update(rule.expand_label(node.label))
+        elif isinstance(node, ast.Seq):
+            for part in node.parts:
+                walk(part)
+        elif isinstance(node, ast.Alt):
+            for option in node.options:
+                walk(option)
+        elif isinstance(node, (ast.Star, ast.Plus, ast.Opt)):
+            walk(node.inner)
+
+    walk(rule.order)
+    return labels
+
+
+def render_findings(findings: list[LintFinding]) -> str:
+    if not findings:
+        return "rule set is internally consistent"
+    lines = [f"{len(findings)} warning(s):"]
+    lines.extend(f"  {finding}" for finding in findings)
+    return "\n".join(lines)

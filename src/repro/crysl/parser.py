@@ -1,0 +1,554 @@
+"""The CrySL parser: a recursive-descent parser over the token stream.
+
+The grammar follows the rule structure of Krüger et al. (ECOOP 2018) as
+used by the paper — section order is fixed (SPEC, OBJECTS, EVENTS,
+ORDER, FORBIDDEN, CONSTRAINTS, REQUIRES, ENSURES, NEGATES) and every
+section except SPEC is optional.
+
+The parser builds the frozen AST of :mod:`repro.crysl.ast` and raises
+:class:`~repro.crysl.errors.CrySLSyntaxError` with precise locations on
+malformed input. Semantic checks (undeclared objects, unknown labels)
+live in :mod:`repro.crysl.typecheck`.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .errors import CrySLSyntaxError
+from .lexer import Token, TokenKind, tokenize
+
+_COMPARISON_OPS = {
+    TokenKind.EQ: "==",
+    TokenKind.NEQ: "!=",
+    TokenKind.LE: "<=",
+    TokenKind.LT: "<",
+    TokenKind.GE: ">=",
+    TokenKind.GT: ">",
+}
+
+
+class Parser:
+    """Parse one rule file."""
+
+    def __init__(self, source: str, filename: str = "<rule>"):
+        self._tokens = tokenize(source, filename)
+        self._pos = 0
+        self._filename = filename
+        self._lines = source.splitlines()
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, kind: TokenKind, text: str | None = None) -> bool:
+        token = self._peek()
+        if token.kind is not kind:
+            return False
+        return text is None or token.text == text
+
+    def _match(self, kind: TokenKind, text: str | None = None) -> Token | None:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, what: str) -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            raise self._error(f"expected {what}, found {token.text!r}", token)
+        return self._advance()
+
+    def _error(self, message: str, token: Token | None = None) -> CrySLSyntaxError:
+        token = token or self._peek()
+        line_text = ""
+        if 1 <= token.location.line <= len(self._lines):
+            line_text = self._lines[token.location.line - 1]
+        return CrySLSyntaxError(message, token.location, self._filename, line_text)
+
+    def _at_section_keyword(self) -> bool:
+        token = self._peek()
+        return token.kind is TokenKind.IDENT and token.text in ast.SECTION_KEYWORDS
+
+    def _at_eof(self) -> bool:
+        return self._peek().kind is TokenKind.EOF
+
+    def _section_boundary(self) -> bool:
+        return self._at_eof() or self._at_section_keyword()
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+
+    def parse_rule(self) -> ast.Rule:
+        spec_kw = self._expect(TokenKind.IDENT, "the SPEC keyword")
+        if spec_kw.text != "SPEC":
+            raise self._error("a CrySL rule must start with SPEC", spec_kw)
+        name_token = self._advance()
+        if name_token.kind not in (TokenKind.QNAME, TokenKind.IDENT):
+            raise self._error("expected a class name after SPEC", name_token)
+        class_name = name_token.text
+
+        objects: tuple[ast.ObjectDecl, ...] = ()
+        events: tuple[ast.Event, ...] = ()
+        aggregates: tuple[ast.Aggregate, ...] = ()
+        order: ast.OrderExpr | None = None
+        forbidden: tuple[ast.ForbiddenMethod, ...] = ()
+        constraints: tuple[ast.ConstraintExpr, ...] = ()
+        requires: tuple[ast.PredicateUse, ...] = ()
+        ensures: tuple[ast.PredicateUse, ...] = ()
+        negates: tuple[ast.PredicateUse, ...] = ()
+
+        seen: set[str] = set()
+        while not self._at_eof():
+            keyword_token = self._peek()
+            if not self._at_section_keyword():
+                raise self._error(
+                    f"expected a section keyword, found {keyword_token.text!r}"
+                )
+            keyword = self._advance().text
+            if keyword in seen:
+                raise self._error(f"duplicate section {keyword}", keyword_token)
+            seen.add(keyword)
+            if keyword == "OBJECTS":
+                objects = self._parse_objects()
+            elif keyword == "EVENTS":
+                events, aggregates = self._parse_events()
+            elif keyword == "ORDER":
+                order = self._parse_order()
+            elif keyword == "FORBIDDEN":
+                forbidden = self._parse_forbidden()
+            elif keyword == "CONSTRAINTS":
+                constraints = self._parse_constraints()
+            elif keyword == "REQUIRES":
+                requires = self._parse_requires()
+            elif keyword == "ENSURES":
+                ensures = self._parse_predicates(allow_after=True)
+            elif keyword == "NEGATES":
+                negates = self._parse_predicates(allow_after=False)
+            else:
+                raise self._error(f"section {keyword} is not allowed here", keyword_token)
+
+        return ast.Rule(
+            class_name=class_name,
+            objects=objects,
+            events=events,
+            aggregates=aggregates,
+            order=order,
+            forbidden=forbidden,
+            constraints=constraints,
+            requires=requires,
+            ensures=ensures,
+            negates=negates,
+            filename=self._filename,
+        )
+
+    # ------------------------------------------------------------------
+    # OBJECTS
+    # ------------------------------------------------------------------
+
+    def _parse_objects(self) -> tuple[ast.ObjectDecl, ...]:
+        declarations: list[ast.ObjectDecl] = []
+        while not self._section_boundary():
+            type_token = self._advance()
+            if type_token.kind not in (TokenKind.IDENT, TokenKind.QNAME):
+                raise self._error("expected a type name", type_token)
+            name_token = self._expect(TokenKind.IDENT, "an object name")
+            self._expect(TokenKind.SEMI, "';'")
+            declarations.append(
+                ast.ObjectDecl(type_token.text, name_token.text, type_token.location)
+            )
+        return tuple(declarations)
+
+    # ------------------------------------------------------------------
+    # EVENTS
+    # ------------------------------------------------------------------
+
+    def _parse_events(self) -> tuple[tuple[ast.Event, ...], tuple[ast.Aggregate, ...]]:
+        events: list[ast.Event] = []
+        aggregates: list[ast.Aggregate] = []
+        while not self._section_boundary():
+            label_token = self._expect(TokenKind.IDENT, "an event label")
+            if self._match(TokenKind.ASSIGN_AGG):
+                aggregates.append(self._parse_aggregate_tail(label_token))
+            else:
+                self._expect(TokenKind.COLON, "':' after the event label")
+                events.append(self._parse_event_tail(label_token))
+        return tuple(events), tuple(aggregates)
+
+    def _parse_aggregate_tail(self, label_token: Token) -> ast.Aggregate:
+        members = [self._expect(TokenKind.IDENT, "an aggregated label").text]
+        while self._match(TokenKind.PIPE):
+            members.append(self._expect(TokenKind.IDENT, "an aggregated label").text)
+        self._expect(TokenKind.SEMI, "';'")
+        return ast.Aggregate(label_token.text, tuple(members), label_token.location)
+
+    def _parse_event_tail(self, label_token: Token) -> ast.Event:
+        first = self._expect(TokenKind.IDENT, "a method name or result object")
+        result: str | None = None
+        if self._match(TokenKind.ASSIGN):
+            result = first.text
+            method_token = self._expect(TokenKind.IDENT, "a method name")
+        else:
+            method_token = first
+        self._expect(TokenKind.LPAREN, "'('")
+        params: list[ast.Param] = []
+        if not self._check(TokenKind.RPAREN):
+            while True:
+                param_token = self._advance()
+                if param_token.kind not in (TokenKind.IDENT, TokenKind.QNAME):
+                    raise self._error("expected a parameter name", param_token)
+                params.append(ast.Param(param_token.text, param_token.location))
+                if not self._match(TokenKind.COMMA):
+                    break
+        self._expect(TokenKind.RPAREN, "')'")
+        self._expect(TokenKind.SEMI, "';'")
+        return ast.Event(
+            label=label_token.text,
+            method_name=method_token.text,
+            params=tuple(params),
+            result=result,
+            location=label_token.location,
+        )
+
+    # ------------------------------------------------------------------
+    # ORDER
+    # ------------------------------------------------------------------
+
+    def _parse_order(self) -> ast.OrderExpr:
+        expr = self._parse_order_alt()
+        if not self._section_boundary():
+            raise self._error("unexpected token in ORDER expression")
+        return expr
+
+    def _parse_order_alt(self) -> ast.OrderExpr:
+        options = [self._parse_order_seq()]
+        while self._match(TokenKind.PIPE):
+            options.append(self._parse_order_seq())
+        if len(options) == 1:
+            return options[0]
+        return ast.Alt(tuple(options))
+
+    def _parse_order_seq(self) -> ast.OrderExpr:
+        parts = [self._parse_order_postfix()]
+        while self._match(TokenKind.COMMA):
+            parts.append(self._parse_order_postfix())
+        if len(parts) == 1:
+            return parts[0]
+        return ast.Seq(tuple(parts))
+
+    def _parse_order_postfix(self) -> ast.OrderExpr:
+        expr = self._parse_order_primary()
+        while True:
+            if self._match(TokenKind.STAR):
+                expr = ast.Star(expr)
+            elif self._match(TokenKind.PLUS):
+                expr = ast.Plus(expr)
+            elif self._match(TokenKind.QUESTION):
+                expr = ast.Opt(expr)
+            else:
+                return expr
+
+    def _parse_order_primary(self) -> ast.OrderExpr:
+        if self._match(TokenKind.LPAREN):
+            inner = self._parse_order_alt()
+            self._expect(TokenKind.RPAREN, "')'")
+            return inner
+        token = self._expect(TokenKind.IDENT, "an event label or '('")
+        return ast.LabelRef(token.text, token.location)
+
+    # ------------------------------------------------------------------
+    # FORBIDDEN
+    # ------------------------------------------------------------------
+
+    def _parse_forbidden(self) -> tuple[ast.ForbiddenMethod, ...]:
+        methods: list[ast.ForbiddenMethod] = []
+        while not self._section_boundary():
+            name_token = self._expect(TokenKind.IDENT, "a forbidden method name")
+            self._expect(TokenKind.LPAREN, "'('")
+            types: list[str] = []
+            if not self._check(TokenKind.RPAREN):
+                while True:
+                    type_token = self._advance()
+                    if type_token.kind not in (TokenKind.IDENT, TokenKind.QNAME):
+                        raise self._error("expected a parameter type", type_token)
+                    types.append(type_token.text)
+                    if not self._match(TokenKind.COMMA):
+                        break
+            self._expect(TokenKind.RPAREN, "')'")
+            alternative = None
+            if self._match(TokenKind.IMPLIES):
+                alternative = self._expect(TokenKind.IDENT, "an alternative label").text
+            self._expect(TokenKind.SEMI, "';'")
+            methods.append(
+                ast.ForbiddenMethod(
+                    name_token.text, tuple(types), alternative, name_token.location
+                )
+            )
+        return tuple(methods)
+
+    # ------------------------------------------------------------------
+    # CONSTRAINTS
+    # ------------------------------------------------------------------
+
+    def _parse_constraints(self) -> tuple[ast.ConstraintExpr, ...]:
+        constraints: list[ast.ConstraintExpr] = []
+        while not self._section_boundary():
+            constraints.append(self._parse_constraint())
+            self._expect(TokenKind.SEMI, "';'")
+        return tuple(constraints)
+
+    def _parse_constraint(self) -> ast.ConstraintExpr:
+        return self._parse_implication()
+
+    def _parse_implication(self) -> ast.ConstraintExpr:
+        left = self._parse_or()
+        if self._match(TokenKind.IMPLIES):
+            right = self._parse_implication()  # right-associative
+            return ast.Implication(left, right)
+        return left
+
+    def _parse_or(self) -> ast.ConstraintExpr:
+        operands = [self._parse_and()]
+        while self._match(TokenKind.OR):
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return ast.BoolOp("||", tuple(operands))
+
+    def _parse_and(self) -> ast.ConstraintExpr:
+        operands = [self._parse_unary()]
+        while self._match(TokenKind.AND):
+            operands.append(self._parse_unary())
+        if len(operands) == 1:
+            return operands[0]
+        return ast.BoolOp("&&", tuple(operands))
+
+    def _parse_unary(self) -> ast.ConstraintExpr:
+        if self._match(TokenKind.NOT):
+            return ast.Negation(self._parse_unary())
+        return self._parse_atom()
+
+    def _parse_atom(self) -> ast.ConstraintExpr:
+        token = self._peek()
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            inner = self._parse_constraint()
+            self._expect(TokenKind.RPAREN, "')'")
+            return inner
+        if token.kind is TokenKind.IDENT and token.text == "instanceof":
+            return self._parse_instanceof()
+        if token.kind is TokenKind.IDENT and token.text in ("callTo", "noCallTo"):
+            return self._parse_call_predicate(token.text)
+        return self._parse_relational()
+
+    def _parse_instanceof(self) -> ast.InstanceOf:
+        keyword = self._advance()
+        self._expect(TokenKind.LBRACKET, "'['")
+        operand = self._expect(TokenKind.IDENT, "an object name")
+        self._expect(TokenKind.COMMA, "','")
+        type_token = self._advance()
+        if type_token.kind not in (TokenKind.IDENT, TokenKind.QNAME):
+            raise self._error("expected a type name", type_token)
+        self._expect(TokenKind.RBRACKET, "']'")
+        return ast.InstanceOf(
+            ast.ObjectRef(operand.text, operand.location),
+            type_token.text,
+            keyword.location,
+        )
+
+    def _parse_call_predicate(self, which: str) -> ast.ConstraintExpr:
+        keyword = self._advance()
+        self._expect(TokenKind.LBRACKET, "'['")
+        label = self._expect(TokenKind.IDENT, "an event label")
+        self._expect(TokenKind.RBRACKET, "']'")
+        if which == "callTo":
+            return ast.CallTo(label.text, keyword.location)
+        return ast.NoCallTo(label.text, keyword.location)
+
+    def _parse_relational(self) -> ast.ConstraintExpr:
+        lhs = self._parse_value()
+        token = self._peek()
+        if token.kind is TokenKind.IDENT and token.text == "in":
+            self._advance()
+            return self._parse_inset_tail(lhs)
+        if token.kind in _COMPARISON_OPS:
+            op = _COMPARISON_OPS[self._advance().kind]
+            rhs = self._parse_value()
+            return ast.Comparison(op, lhs, rhs, token.location)
+        raise self._error(
+            "expected a comparison operator or 'in' after the value", token
+        )
+
+    def _parse_inset_tail(self, subject: ast.ValueExpr) -> ast.InSet:
+        brace = self._expect(TokenKind.LBRACE, "'{'")
+        values: list[ast.Literal] = []
+        while True:
+            values.append(self._parse_literal())
+            if not self._match(TokenKind.COMMA):
+                break
+        self._expect(TokenKind.RBRACE, "'}'")
+        return ast.InSet(subject, tuple(values), brace.location)
+
+    def _parse_literal(self) -> ast.Literal:
+        token = self._advance()
+        if token.kind is TokenKind.INT:
+            return ast.Literal(int(token.text), token.location)
+        if token.kind is TokenKind.STRING:
+            return ast.Literal(token.text, token.location)
+        if token.kind is TokenKind.IDENT and token.text in ("true", "false"):
+            return ast.Literal(token.text == "true", token.location)
+        raise self._error("expected a literal", token)
+
+    def _parse_value(self) -> ast.ValueExpr:
+        token = self._peek()
+        if token.kind is TokenKind.INT:
+            self._advance()
+            return ast.Literal(int(token.text), token.location)
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            return ast.Literal(token.text, token.location)
+        if token.kind is TokenKind.IDENT and token.text in ("true", "false"):
+            self._advance()
+            return ast.Literal(token.text == "true", token.location)
+        if token.kind is TokenKind.IDENT and token.text == "length":
+            self._advance()
+            self._expect(TokenKind.LBRACKET, "'['")
+            operand = self._expect(TokenKind.IDENT, "an object name")
+            self._expect(TokenKind.RBRACKET, "']'")
+            return ast.LengthOf(
+                ast.ObjectRef(operand.text, operand.location), token.location
+            )
+        if token.kind is TokenKind.IDENT and token.text == "part":
+            return self._parse_part()
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            return ast.ObjectRef(token.text, token.location)
+        raise self._error("expected a value expression", token)
+
+    def _parse_part(self) -> ast.PartOf:
+        keyword = self._advance()
+        self._expect(TokenKind.LPAREN, "'('")
+        index_token = self._expect(TokenKind.INT, "a part index")
+        self._expect(TokenKind.COMMA, "','")
+        separator = self._expect(TokenKind.STRING, "a separator string")
+        self._expect(TokenKind.COMMA, "','")
+        operand = self._expect(TokenKind.IDENT, "an object name")
+        self._expect(TokenKind.RPAREN, "')'")
+        return ast.PartOf(
+            int(index_token.text),
+            separator.text,
+            ast.ObjectRef(operand.text, operand.location),
+            keyword.location,
+        )
+
+    # ------------------------------------------------------------------
+    # REQUIRES / ENSURES / NEGATES
+    # ------------------------------------------------------------------
+
+    def _parse_requires(self) -> tuple[ast.RequiresGroup, ...]:
+        """REQUIRES lines: each is a ``||``-disjunction of predicates."""
+        groups: list[ast.RequiresGroup] = []
+        while not self._section_boundary():
+            first_location = self._peek().location
+            alternatives = [self._parse_one_predicate(allow_after=False)]
+            while self._match(TokenKind.OR):
+                alternatives.append(self._parse_one_predicate(allow_after=False))
+            self._expect(TokenKind.SEMI, "';'")
+            groups.append(ast.RequiresGroup(tuple(alternatives), first_location))
+        return tuple(groups)
+
+    def _parse_one_predicate(self, allow_after: bool) -> ast.PredicateUse:
+        name_token = self._expect(TokenKind.IDENT, "a predicate name")
+        self._expect(TokenKind.LBRACKET, "'['")
+        args: list[ast.PredArg] = []
+        while True:
+            arg_token = self._advance()
+            if arg_token.kind in (TokenKind.IDENT, TokenKind.QNAME):
+                args.append(ast.PredArg(arg_token.text, arg_token.location))
+            elif arg_token.kind is TokenKind.INT:
+                args.append(
+                    ast.PredArg(
+                        ast.Literal(int(arg_token.text), arg_token.location),
+                        arg_token.location,
+                    )
+                )
+            elif arg_token.kind is TokenKind.STRING:
+                args.append(
+                    ast.PredArg(
+                        ast.Literal(arg_token.text, arg_token.location),
+                        arg_token.location,
+                    )
+                )
+            else:
+                raise self._error("expected a predicate argument", arg_token)
+            if not self._match(TokenKind.COMMA):
+                break
+        self._expect(TokenKind.RBRACKET, "']'")
+        after = None
+        if self._check(TokenKind.IDENT, "after"):
+            after_token = self._advance()
+            if not allow_after:
+                raise self._error(
+                    "'after' anchors are only allowed in ENSURES", after_token
+                )
+            after = self._expect(TokenKind.IDENT, "an event label").text
+        return ast.PredicateUse(name_token.text, tuple(args), after, name_token.location)
+
+    def _parse_predicates(self, allow_after: bool) -> tuple[ast.PredicateUse, ...]:
+        predicates: list[ast.PredicateUse] = []
+        while not self._section_boundary():
+            name_token = self._expect(TokenKind.IDENT, "a predicate name")
+            self._expect(TokenKind.LBRACKET, "'['")
+            args: list[ast.PredArg] = []
+            while True:
+                arg_token = self._advance()
+                if arg_token.kind in (TokenKind.IDENT, TokenKind.QNAME):
+                    args.append(ast.PredArg(arg_token.text, arg_token.location))
+                elif arg_token.kind is TokenKind.INT:
+                    args.append(
+                        ast.PredArg(
+                            ast.Literal(int(arg_token.text), arg_token.location),
+                            arg_token.location,
+                        )
+                    )
+                elif arg_token.kind is TokenKind.STRING:
+                    args.append(
+                        ast.PredArg(
+                            ast.Literal(arg_token.text, arg_token.location),
+                            arg_token.location,
+                        )
+                    )
+                else:
+                    raise self._error("expected a predicate argument", arg_token)
+                if not self._match(TokenKind.COMMA):
+                    break
+            self._expect(TokenKind.RBRACKET, "']'")
+            after = None
+            if self._check(TokenKind.IDENT, "after"):
+                after_token = self._advance()
+                if not allow_after:
+                    raise self._error(
+                        "'after' anchors are only allowed in ENSURES", after_token
+                    )
+                after = self._expect(TokenKind.IDENT, "an event label").text
+            self._expect(TokenKind.SEMI, "';'")
+            predicates.append(
+                ast.PredicateUse(
+                    name_token.text, tuple(args), after, name_token.location
+                )
+            )
+        return tuple(predicates)
+
+
+def parse_rule(source: str, filename: str = "<rule>") -> ast.Rule:
+    """Parse one CrySL rule from source text."""
+    return Parser(source, filename).parse_rule()

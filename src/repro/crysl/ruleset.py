@@ -1,0 +1,116 @@
+"""Loading and indexing CrySL rule sets.
+
+A *rule set* is a directory of ``*.crysl`` files, one class per file —
+the same layout as the Crypto-API-Rules repository the paper reuses.
+The default rule set shipped with this package lives in
+:mod:`repro.rules` and covers the JCA-style provider.
+"""
+
+from __future__ import annotations
+
+import importlib.resources
+from pathlib import Path
+from typing import Iterator
+
+from .ast import Rule
+from .errors import RuleNotFoundError
+from .parser import parse_rule
+from .typecheck import check_rule
+
+
+class RuleSet:
+    """An indexed collection of checked CrySL rules.
+
+    Rules are addressable by qualified class name and by simple name
+    (when unambiguous) — templates use whichever reads better.
+    """
+
+    def __init__(self, rules: list[Rule] | tuple[Rule, ...] = ()):
+        self._by_qualified: dict[str, Rule] = {}
+        self._by_simple: dict[str, list[Rule]] = {}
+        for rule in rules:
+            self.add(rule)
+
+    def add(self, rule: Rule) -> None:
+        """Index one rule, replacing any prior rule for the same class."""
+        previous = self._by_qualified.get(rule.class_name)
+        if previous is not None:
+            self._by_simple[previous.simple_name].remove(previous)
+        self._by_qualified[rule.class_name] = rule
+        self._by_simple.setdefault(rule.simple_name, []).append(rule)
+
+    def get(self, class_name: str) -> Rule:
+        """Look up by qualified or (unambiguous) simple class name."""
+        rule = self._by_qualified.get(class_name)
+        if rule is not None:
+            return rule
+        candidates = self._by_simple.get(class_name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        if len(candidates) > 1:
+            qualified = ", ".join(sorted(r.class_name for r in candidates))
+            raise RuleNotFoundError(
+                f"{class_name} (ambiguous; qualify as one of: {qualified})"
+            )
+        raise RuleNotFoundError(class_name, tuple(self._by_qualified))
+
+    def __contains__(self, class_name: str) -> bool:
+        try:
+            self.get(class_name)
+        except RuleNotFoundError:
+            return False
+        return True
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._by_qualified.values())
+
+    def __len__(self) -> int:
+        return len(self._by_qualified)
+
+    @property
+    def class_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._by_qualified))
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_directory(cls, directory: str | Path) -> "RuleSet":
+        """Parse and check every ``*.crysl`` file under ``directory``."""
+        directory = Path(directory)
+        if not directory.is_dir():
+            raise FileNotFoundError(f"rule directory not found: {directory}")
+        rules = []
+        for path in sorted(directory.glob("*.crysl")):
+            rules.append(load_rule_file(path))
+        return cls(rules)
+
+    @classmethod
+    def bundled(cls) -> "RuleSet":
+        """The rule set shipped in :mod:`repro.rules` (the JCA provider rules)."""
+        package_dir = importlib.resources.files("repro.rules")
+        rules = []
+        for entry in sorted(package_dir.iterdir(), key=lambda e: e.name):
+            if entry.name.endswith(".crysl"):
+                source = entry.read_text(encoding="utf-8")
+                rules.append(check_rule(parse_rule(source, entry.name)))
+        return cls(rules)
+
+
+def load_rule_file(path: str | Path) -> Rule:
+    """Parse and semantically check a single rule file."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    return check_rule(parse_rule(source, path.name))
+
+
+_BUNDLED_CACHE: RuleSet | None = None
+
+
+def bundled_ruleset() -> RuleSet:
+    """A cached copy of the bundled rule set (parsing is pure)."""
+    global _BUNDLED_CACHE
+    if _BUNDLED_CACHE is None:
+        _BUNDLED_CACHE = RuleSet.bundled()
+    return _BUNDLED_CACHE

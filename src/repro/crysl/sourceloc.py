@@ -1,0 +1,34 @@
+"""Source locations and spans for CrySL diagnostics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Location:
+    """A point in a rule file: 1-based line, 1-based column."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+UNKNOWN = Location(0, 0)
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open source region [start, end)."""
+
+    start: Location
+    end: Location
+
+    def __str__(self) -> str:
+        return f"{self.start}-{self.end}"
+
+    @classmethod
+    def point(cls, location: Location) -> "Span":
+        return cls(location, location)

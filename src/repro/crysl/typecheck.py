@@ -1,0 +1,322 @@
+"""Semantic checks for parsed CrySL rules.
+
+The paper stresses that CogniCryptGEN generates code "from type- and
+syntax-checked specifications" — this module is the type/consistency
+half of that claim. It validates, for one rule at a time:
+
+* OBJECTS: unique names; no reserved names; known primitive types.
+* EVENTS: unique labels; parameters and results name declared objects
+  (or ``this``/``_``); aggregates reference defined labels acyclically.
+* ORDER: every label is defined.
+* CONSTRAINTS: every object reference is declared; ``length``/``part``
+  apply to sensible types; value sets are type-homogeneous and match
+  the subject's declared type.
+* REQUIRES/ENSURES/NEGATES: arguments are declared; ``after`` anchors
+  name real events.
+
+Cross-rule checks (does a REQUIRES have *any* producer?) belong to
+:mod:`repro.predicates`, which sees the whole rule set.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .errors import CrySLSemanticError
+from .sourceloc import Location
+
+#: Primitive type names the checker recognises in OBJECTS, beside
+#: qualified class names (anything containing a dot).
+PRIMITIVE_TYPES = frozenset(
+    {"int", "str", "bool", "bytes", "bytearray", "float"}
+)
+
+#: Types whose values have a length.
+SIZED_TYPES = frozenset({"str", "bytes", "bytearray"})
+
+_RESERVED = frozenset({"this", "_", "after", "in", "true", "false"})
+
+
+class RuleChecker:
+    """Validate one rule; collects all errors before raising."""
+
+    def __init__(self, rule: ast.Rule):
+        self._rule = rule
+        self._errors: list[CrySLSemanticError] = []
+        self._object_types = {decl.name: decl.type_name for decl in rule.objects}
+        self._event_labels = {event.label for event in rule.events}
+        self._aggregate_labels = {agg.label for agg in rule.aggregates}
+
+    def _error(self, message: str, location: Location) -> None:
+        self._errors.append(
+            CrySLSemanticError(message, location, self._rule.filename)
+        )
+
+    # ------------------------------------------------------------------
+
+    def check(self) -> None:
+        """Run all checks; raises the first error if any were found."""
+        self._check_objects()
+        self._check_events()
+        self._check_aggregates()
+        self._check_order()
+        self._check_constraints()
+        self._check_predicates()
+        if self._errors:
+            raise self._errors[0]
+
+    # ------------------------------------------------------------------
+
+    def _check_objects(self) -> None:
+        seen: set[str] = set()
+        for decl in self._rule.objects:
+            if decl.name in _RESERVED:
+                self._error(
+                    f"object name {decl.name!r} is reserved", decl.location
+                )
+            if decl.name in seen:
+                self._error(
+                    f"duplicate object {decl.name!r} in OBJECTS", decl.location
+                )
+            seen.add(decl.name)
+            if "." not in decl.type_name and decl.type_name not in PRIMITIVE_TYPES:
+                self._error(
+                    f"unknown type {decl.type_name!r} for object {decl.name!r} "
+                    f"(primitives: {', '.join(sorted(PRIMITIVE_TYPES))}; "
+                    "class types must be qualified)",
+                    decl.location,
+                )
+
+    def _check_events(self) -> None:
+        seen: set[str] = set()
+        for event in self._rule.events:
+            if event.label in seen or event.label in self._aggregate_labels:
+                self._error(
+                    f"duplicate event label {event.label!r}", event.location
+                )
+            seen.add(event.label)
+            for param in event.params:
+                if param.is_wildcard or param.is_this:
+                    continue
+                if param.name not in self._object_types:
+                    self._error(
+                        f"event {event.label!r} references undeclared object "
+                        f"{param.name!r}",
+                        param.location,
+                    )
+            if event.result is not None and event.result != "this":
+                if event.result not in self._object_types:
+                    self._error(
+                        f"event {event.label!r} assigns its result to undeclared "
+                        f"object {event.result!r}",
+                        event.location,
+                    )
+
+    def _check_aggregates(self) -> None:
+        # Referenced labels must exist; aggregate graphs must be acyclic.
+        for aggregate in self._rule.aggregates:
+            for member in aggregate.members:
+                if (
+                    member not in self._event_labels
+                    and member not in self._aggregate_labels
+                ):
+                    self._error(
+                        f"aggregate {aggregate.label!r} references unknown label "
+                        f"{member!r}",
+                        aggregate.location,
+                    )
+        state: dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(label: str, origin: ast.Aggregate) -> None:
+            if state.get(label) == 1:
+                return
+            if state.get(label) == 0:
+                self._error(
+                    f"aggregate cycle involving {label!r}", origin.location
+                )
+                state[label] = 1
+                return
+            aggregate = self._rule.aggregate_labelled(label)
+            if aggregate is None:
+                return
+            state[label] = 0
+            for member in aggregate.members:
+                visit(member, aggregate)
+            state[label] = 1
+
+        for aggregate in self._rule.aggregates:
+            visit(aggregate.label, aggregate)
+
+    def _check_order(self) -> None:
+        if self._rule.order is None:
+            return
+
+        def walk(node: ast.OrderExpr) -> None:
+            if isinstance(node, ast.LabelRef):
+                if (
+                    node.label not in self._event_labels
+                    and node.label not in self._aggregate_labels
+                ):
+                    self._error(
+                        f"ORDER references unknown label {node.label!r}",
+                        node.location,
+                    )
+            elif isinstance(node, ast.Seq):
+                for part in node.parts:
+                    walk(part)
+            elif isinstance(node, ast.Alt):
+                for option in node.options:
+                    walk(option)
+            elif isinstance(node, (ast.Star, ast.Plus, ast.Opt)):
+                walk(node.inner)
+
+        walk(self._rule.order)
+
+    # ------------------------------------------------------------------
+
+    def _value_type(self, expr: ast.ValueExpr) -> str | None:
+        """Infer the type of a value expression; None when unknown."""
+        if isinstance(expr, ast.Literal):
+            if isinstance(expr.value, bool):
+                return "bool"
+            if isinstance(expr.value, int):
+                return "int"
+            return "str"
+        if isinstance(expr, ast.ObjectRef):
+            return self._object_types.get(expr.name)
+        if isinstance(expr, (ast.LengthOf, ast.PartOf)):
+            operand_type = self._object_types.get(expr.operand.name)
+            if operand_type is None:
+                self._error(
+                    f"{type(expr).__name__.lower()} applied to undeclared object "
+                    f"{expr.operand.name!r}",
+                    expr.location,
+                )
+                return None
+            if isinstance(expr, ast.LengthOf):
+                if operand_type not in SIZED_TYPES:
+                    self._error(
+                        f"length[] applied to non-sized object "
+                        f"{expr.operand.name!r} of type {operand_type}",
+                        expr.location,
+                    )
+                return "int"
+            if operand_type != "str":
+                self._error(
+                    f"part() applied to non-string object {expr.operand.name!r} "
+                    f"of type {operand_type}",
+                    expr.location,
+                )
+            return "str"
+        return None
+
+    def _check_value_refs(self, expr: ast.ValueExpr) -> None:
+        if isinstance(expr, ast.ObjectRef) and expr.name not in self._object_types:
+            self._error(
+                f"constraint references undeclared object {expr.name!r}",
+                expr.location,
+            )
+
+    def _check_constraint(self, expr: ast.ConstraintExpr) -> None:
+        if isinstance(expr, ast.Comparison):
+            self._check_value_refs(expr.lhs)
+            self._check_value_refs(expr.rhs)
+            lhs_type = self._value_type(expr.lhs)
+            rhs_type = self._value_type(expr.rhs)
+            if lhs_type and rhs_type and lhs_type != rhs_type:
+                # Class-typed objects compare only with == / != against
+                # strings (algorithm names); flag numeric mismatches.
+                if {lhs_type, rhs_type} <= (PRIMITIVE_TYPES - {"str"}) and lhs_type != rhs_type:
+                    self._error(
+                        f"type mismatch in comparison: {lhs_type} {expr.op} {rhs_type}",
+                        expr.location,
+                    )
+        elif isinstance(expr, ast.InSet):
+            self._check_value_refs(expr.subject)
+            value_types = {self._value_type(v) for v in expr.values}
+            if len(value_types) > 1:
+                self._error(
+                    "value set mixes literal types", expr.location
+                )
+            subject_type = self._value_type(expr.subject)
+            set_type = next(iter(value_types)) if len(value_types) == 1 else None
+            if (
+                subject_type in PRIMITIVE_TYPES
+                and set_type is not None
+                and subject_type != set_type
+            ):
+                self._error(
+                    f"value set of type {set_type} constrains object of type "
+                    f"{subject_type}",
+                    expr.location,
+                )
+        elif isinstance(expr, ast.Implication):
+            self._check_constraint(expr.antecedent)
+            self._check_constraint(expr.consequent)
+        elif isinstance(expr, ast.BoolOp):
+            for operand in expr.operands:
+                self._check_constraint(operand)
+        elif isinstance(expr, ast.Negation):
+            self._check_constraint(expr.operand)
+        elif isinstance(expr, ast.InstanceOf):
+            if expr.operand.name not in self._object_types:
+                self._error(
+                    f"instanceof references undeclared object {expr.operand.name!r}",
+                    expr.location,
+                )
+        elif isinstance(expr, (ast.CallTo, ast.NoCallTo)):
+            if (
+                expr.label not in self._event_labels
+                and expr.label not in self._aggregate_labels
+            ):
+                self._error(
+                    f"{'callTo' if isinstance(expr, ast.CallTo) else 'noCallTo'} "
+                    f"references unknown label {expr.label!r}",
+                    expr.location,
+                )
+
+    def _check_constraints(self) -> None:
+        for constraint in self._rule.constraints:
+            self._check_constraint(constraint)
+
+    # ------------------------------------------------------------------
+
+    def _check_predicates(self) -> None:
+        flattened_requires: list[ast.PredicateUse] = []
+        for group in self._rule.requires:
+            flattened_requires.extend(group.alternatives)
+        sections = (
+            ("REQUIRES", tuple(flattened_requires)),
+            ("ENSURES", self._rule.ensures),
+            ("NEGATES", self._rule.negates),
+        )
+        for section_name, predicates in sections:
+            for predicate in predicates:
+                for arg in predicate.args:
+                    if isinstance(arg.value, ast.Literal):
+                        continue
+                    if arg.is_wildcard or arg.is_this:
+                        continue
+                    name = arg.value
+                    if "." in name:
+                        continue  # a type name, e.g. in instanceof-style args
+                    if name not in self._object_types:
+                        self._error(
+                            f"{section_name} predicate {predicate.name!r} references "
+                            f"undeclared object {name!r}",
+                            arg.location,
+                        )
+                if predicate.after is not None:
+                    if predicate.after not in self._event_labels and (
+                        predicate.after not in self._aggregate_labels
+                    ):
+                        self._error(
+                            f"'after' anchor references unknown event "
+                            f"{predicate.after!r}",
+                            predicate.location,
+                        )
+
+
+def check_rule(rule: ast.Rule) -> ast.Rule:
+    """Validate ``rule``; returns it unchanged for chaining."""
+    RuleChecker(rule).check()
+    return rule

@@ -1,0 +1,26 @@
+"""Evaluation drivers: regenerate every table and headline number of §5.
+
+``table1`` (RQ1–RQ3), ``table2`` (RQ4), ``rq5`` (§5.4). Each module has
+a ``run_*`` (measure), ``render_*`` (print next to the paper's numbers)
+and ``shape_holds`` (the paper's qualitative claims as a predicate).
+"""
+
+from .report import render_table
+from .rq5 import render_rq5, run_rq5
+from .table1 import Table1Row, measure_use_case, render_table1, run_table1
+from .table2 import PAPER_TABLE2, Table2Row, count_loc, render_table2, run_table2
+
+__all__ = [
+    "PAPER_TABLE2",
+    "Table1Row",
+    "Table2Row",
+    "count_loc",
+    "measure_use_case",
+    "render_rq5",
+    "render_table",
+    "render_table1",
+    "render_table2",
+    "run_rq5",
+    "run_table1",
+    "run_table2",
+]

@@ -1,0 +1,23 @@
+"""Finite-state machinery for CrySL ORDER patterns.
+
+NFA/DFA construction (Thompson + subset construction) and the paper's
+repetition-free accepting-path enumeration (§3.3, step 3 of Figure 6).
+"""
+
+from .automaton import DFA, NFA, DfaWalker, determinize
+from .build import build_dfa, build_nfa, rule_dfa
+from .paths import MAX_PATHS, PathExplosionError, enumerate_paths, path_parameter_count
+
+__all__ = [
+    "DFA",
+    "NFA",
+    "DfaWalker",
+    "MAX_PATHS",
+    "PathExplosionError",
+    "build_dfa",
+    "build_nfa",
+    "determinize",
+    "enumerate_paths",
+    "path_parameter_count",
+    "rule_dfa",
+]

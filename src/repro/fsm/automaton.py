@@ -1,0 +1,218 @@
+"""Finite automata over event labels.
+
+The ORDER section of a CrySL rule is a regular expression over event
+labels; CogniCryptGEN "translates a rule's pattern into a finite state
+machine [and] classifies any path of method calls that leads to an
+acceptable state as correct" (§3.3). These NFA/DFA classes are that
+machinery; they are also reused verbatim by the typestate analysis in
+:mod:`repro.sast`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass
+class NFA:
+    """A nondeterministic finite automaton with epsilon moves.
+
+    States are integers allocated by :meth:`new_state`; ``None`` as a
+    symbol denotes an epsilon transition.
+    """
+
+    start: int = 0
+    accepting: set[int] = field(default_factory=set)
+    _transitions: dict[int, dict[str | None, set[int]]] = field(default_factory=dict)
+    _state_count: int = 0
+
+    def new_state(self) -> int:
+        state = self._state_count
+        self._state_count += 1
+        self._transitions.setdefault(state, {})
+        return state
+
+    def add_transition(self, source: int, symbol: str | None, target: int) -> None:
+        self._transitions.setdefault(source, {}).setdefault(symbol, set()).add(target)
+
+    def transitions_from(self, state: int) -> dict[str | None, set[int]]:
+        return self._transitions.get(state, {})
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        symbols: set[str] = set()
+        for moves in self._transitions.values():
+            symbols.update(s for s in moves if s is not None)
+        return frozenset(symbols)
+
+    def epsilon_closure(self, states: Iterable[int]) -> frozenset[int]:
+        """All states reachable from ``states`` via epsilon moves."""
+        closure = set(states)
+        stack = list(closure)
+        while stack:
+            state = stack.pop()
+            for target in self.transitions_from(state).get(None, ()):
+                if target not in closure:
+                    closure.add(target)
+                    stack.append(target)
+        return frozenset(closure)
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        """Simulate the NFA on a label sequence."""
+        current = self.epsilon_closure({self.start})
+        for symbol in word:
+            next_states: set[int] = set()
+            for state in current:
+                next_states.update(self.transitions_from(state).get(symbol, ()))
+            if not next_states:
+                return False
+            current = self.epsilon_closure(next_states)
+        return bool(current & self.accepting)
+
+
+@dataclass(frozen=True)
+class DFA:
+    """A deterministic automaton produced by subset construction.
+
+    ``transitions[state][symbol]`` is the unique successor; missing
+    entries are the implicit dead state (rejection).
+    """
+
+    start: int
+    accepting: frozenset[int]
+    transitions: tuple[dict[str, int], ...]  # indexed by state
+
+    @property
+    def state_count(self) -> int:
+        return len(self.transitions)
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        symbols: set[str] = set()
+        for moves in self.transitions:
+            symbols.update(moves)
+        return frozenset(symbols)
+
+    def step(self, state: int | None, symbol: str) -> int | None:
+        """One transition; ``None`` is the dead state."""
+        if state is None:
+            return None
+        return self.transitions[state].get(symbol)
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        state: int | None = self.start
+        for symbol in word:
+            state = self.step(state, symbol)
+            if state is None:
+                return False
+        return state in self.accepting
+
+    def is_prefix_viable(self, word: Iterable[str]) -> bool:
+        """True when ``word`` can still be extended to an accepted word."""
+        state: int | None = self.start
+        for symbol in word:
+            state = self.step(state, symbol)
+            if state is None:
+                return False
+        return self._can_reach_accepting(state)
+
+    def _can_reach_accepting(self, state: int) -> bool:
+        seen = {state}
+        stack = [state]
+        while stack:
+            current = stack.pop()
+            if current in self.accepting:
+                return True
+            for target in self.transitions[current].values():
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return False
+
+    def shortest_accepting_words(self, limit: int = 10) -> list[tuple[str, ...]]:
+        """Breadth-first enumeration of up to ``limit`` accepted words.
+
+        Used by diagnostics ("expected one of: ...") and by tests.
+        """
+        results: list[tuple[str, ...]] = []
+        queue: list[tuple[int, tuple[str, ...]]] = [(self.start, ())]
+        seen_words: set[tuple[str, ...]] = set()
+        while queue and len(results) < limit:
+            state, word = queue.pop(0)
+            if state in self.accepting and word not in seen_words:
+                results.append(word)
+                seen_words.add(word)
+            if len(word) >= self.state_count:
+                continue  # avoid unrolling loops forever
+            for symbol in sorted(self.transitions[state]):
+                queue.append((self.transitions[state][symbol], word + (symbol,)))
+        return results
+
+    def walk(self) -> "DfaWalker":
+        """A stateful cursor for incremental typestate tracking."""
+        return DfaWalker(self)
+
+
+class DfaWalker:
+    """Incremental DFA simulation with error reporting for the analyzer."""
+
+    def __init__(self, dfa: DFA):
+        self._dfa = dfa
+        self._state: int | None = dfa.start
+        self.history: list[str] = []
+
+    @property
+    def in_dead_state(self) -> bool:
+        return self._state is None
+
+    @property
+    def in_accepting_state(self) -> bool:
+        return self._state is not None and self._state in self._dfa.accepting
+
+    @property
+    def can_still_accept(self) -> bool:
+        if self._state is None:
+            return False
+        return self._dfa._can_reach_accepting(self._state)
+
+    def expected_symbols(self) -> frozenset[str]:
+        if self._state is None:
+            return frozenset()
+        return frozenset(self._dfa.transitions[self._state])
+
+    def feed(self, symbol: str) -> bool:
+        """Consume one event; returns False on a typestate violation."""
+        self._state = self._dfa.step(self._state, symbol)
+        self.history.append(symbol)
+        return self._state is not None
+
+
+def determinize(nfa: NFA) -> DFA:
+    """Subset construction."""
+    start_set = nfa.epsilon_closure({nfa.start})
+    index: dict[frozenset[int], int] = {start_set: 0}
+    worklist = [start_set]
+    transitions: list[dict[str, int]] = [{}]
+    accepting: set[int] = set()
+    if start_set & nfa.accepting:
+        accepting.add(0)
+    while worklist:
+        current = worklist.pop()
+        current_index = index[current]
+        moves: dict[str, set[int]] = {}
+        for state in current:
+            for symbol, targets in nfa.transitions_from(state).items():
+                if symbol is None:
+                    continue
+                moves.setdefault(symbol, set()).update(targets)
+        for symbol, targets in moves.items():
+            closure = nfa.epsilon_closure(targets)
+            if closure not in index:
+                index[closure] = len(transitions)
+                transitions.append({})
+                worklist.append(closure)
+                if closure & nfa.accepting:
+                    accepting.add(index[closure])
+            transitions[index[current]][symbol] = index[closure]
+    return DFA(0, frozenset(accepting), tuple(transitions))

@@ -1,0 +1,96 @@
+"""Accepting-path enumeration with the paper's expansion policy.
+
+Section 3.3: "CogniCryptGEN has to deal with methods that [...] may be
+called multiple times. CogniCryptGEN translates such methods into two
+different paths: one where the method is not called and one where it
+is. CogniCryptGEN does not currently support repeated calls."
+
+Concretely: ``x?`` and ``x*`` each contribute the empty path and one
+occurrence of ``x``; ``x+`` contributes exactly one occurrence. Every
+enumerated path is validated against the rule's DFA (repetition-free
+expansions of a pattern are always in its language, so this is an
+internal consistency check, not a filter).
+"""
+
+from __future__ import annotations
+
+from ..crysl import ast
+from .build import rule_dfa
+
+#: Safety valve against pathological ORDER expressions: alternation
+#: inside nested optionals multiplies path counts.
+MAX_PATHS = 4096
+
+
+class PathExplosionError(Exception):
+    """An ORDER expression expands to more than :data:`MAX_PATHS` paths."""
+
+
+def _expand(node: ast.OrderExpr, rule: ast.Rule) -> list[tuple[str, ...]]:
+    if isinstance(node, ast.LabelRef):
+        return [(label,) for label in rule.expand_label(node.label)]
+    if isinstance(node, ast.Seq):
+        paths: list[tuple[str, ...]] = [()]
+        for part in node.parts:
+            part_paths = _expand(part, rule)
+            paths = [p + q for p in paths for q in part_paths]
+            if len(paths) > MAX_PATHS:
+                raise PathExplosionError(
+                    f"{rule.class_name}: ORDER expands past {MAX_PATHS} paths"
+                )
+        return paths
+    if isinstance(node, ast.Alt):
+        paths = []
+        for option in node.options:
+            paths.extend(_expand(option, rule))
+        return paths
+    if isinstance(node, (ast.Opt, ast.Star)):
+        return [()] + _expand(node.inner, rule)
+    if isinstance(node, ast.Plus):
+        return _expand(node.inner, rule)
+    raise TypeError(f"unknown ORDER node: {type(node).__name__}")
+
+
+def enumerate_paths(rule: ast.Rule) -> list[tuple[ast.Event, ...]]:
+    """All repetition-free accepting call paths of ``rule``, as events.
+
+    Paths are deduplicated preserving first-seen order, which mirrors
+    the deterministic traversal the generator relies on. Each label
+    sequence is checked against the rule's DFA.
+    """
+    if rule.order is None:
+        # No ORDER: any single event is a valid (degenerate) path.
+        return [(event,) for event in rule.events]
+    label_paths = _expand(rule.order, rule)
+    dfa = rule_dfa(rule)
+    seen: set[tuple[str, ...]] = set()
+    result: list[tuple[ast.Event, ...]] = []
+    for labels in label_paths:
+        if labels in seen:
+            continue
+        seen.add(labels)
+        if not dfa.accepts(labels):
+            raise AssertionError(
+                f"{rule.class_name}: enumerated path {labels} not accepted by "
+                "the rule's own DFA — expansion and construction disagree"
+            )
+        events = []
+        for label in labels:
+            event = rule.event_labelled(label)
+            if event is None:
+                raise AssertionError(
+                    f"{rule.class_name}: path references unknown event {label!r}"
+                )
+            events.append(event)
+        result.append(tuple(events))
+    return result
+
+
+def path_parameter_count(path: tuple[ast.Event, ...]) -> int:
+    """Total number of parameter positions across a path's events.
+
+    The selector breaks length ties with this count: the paper picks
+    "the method path with the fewest method calls as well as the
+    smallest number of parameters".
+    """
+    return sum(event.arity for event in path)

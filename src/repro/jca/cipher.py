@@ -1,0 +1,342 @@
+"""``Cipher``: the provider's encryption service.
+
+Models ``javax.crypto.Cipher`` including its mode constants, the
+init/update/do_final typestate, IV handling, and key wrapping (used by
+the hybrid-encryption use cases). Symmetric transformations run on the
+pure-Python AES modes; ``RSA/ECB/OAEP...`` runs on the RSA primitives.
+"""
+
+from __future__ import annotations
+
+from ..primitives import errors as prim_errors
+from ..primitives.modes import (
+    cbc_decrypt,
+    cbc_encrypt,
+    ctr_transform,
+    gcm_decrypt,
+    gcm_encrypt,
+)
+from ..primitives.padding import pad, unpad
+from ..primitives.rsa import oaep_decrypt, oaep_encrypt
+from .exceptions import (
+    BadPaddingError,
+    IllegalBlockSizeError,
+    IllegalStateError,
+    InvalidAlgorithmParameterError,
+    InvalidKeyError,
+)
+from .keys import PrivateKey, PublicKey, SecretKey, SecretKeySpec
+from .registry import Transformation, parse_transformation
+from .secure_random import SecureRandom
+from .spec import GCMParameterSpec, IvParameterSpec
+
+_OAEP_DIGESTS = {
+    "OAEPWithSHA-256AndMGF1Padding": "SHA-256",
+    "OAEPWithSHA-512AndMGF1Padding": "SHA-512",
+}
+
+
+class Cipher:
+    """An encryption/decryption engine for one transformation.
+
+    Mode constants match the JCA's numeric values:
+
+    >>> cipher = Cipher.get_instance("AES/GCM/NoPadding")
+    >>> from repro.jca.key_generator import KeyGenerator
+    >>> generator = KeyGenerator.get_instance("AES"); generator.init(128)
+    >>> key = generator.generate_key()
+    >>> cipher.init(Cipher.ENCRYPT_MODE, key)
+    >>> ciphertext = cipher.do_final(b"attack at dawn")
+    >>> decryptor = Cipher.get_instance("AES/GCM/NoPadding")
+    >>> decryptor.init(Cipher.DECRYPT_MODE, key, GCMParameterSpec(128, cipher.get_iv()))
+    >>> decryptor.do_final(ciphertext)
+    b'attack at dawn'
+    """
+
+    ENCRYPT_MODE = 1
+    DECRYPT_MODE = 2
+    WRAP_MODE = 3
+    UNWRAP_MODE = 4
+
+    #: Expected IV/nonce lengths in bytes per mode.
+    _IV_LENGTHS = {"CBC": 16, "CTR": 16, "GCM": 12}
+
+    def __init__(self, transformation: str):
+        self._transformation: Transformation = parse_transformation(transformation)
+        self._op_mode: int | None = None
+        self._key: SecretKey | PublicKey | PrivateKey | None = None
+        self._iv: bytes | None = None
+        self._buffer = bytearray()
+        self._aad = bytearray()
+        self._finished = False
+
+    @classmethod
+    def get_instance(cls, transformation: str) -> "Cipher":
+        """Create a Cipher for a transformation string (JCA: ``getInstance``)."""
+        return cls(transformation)
+
+    @property
+    def transformation(self) -> Transformation:
+        return self._transformation
+
+    def get_algorithm(self) -> str:
+        return self._transformation.canonical
+
+    # ------------------------------------------------------------------
+    # init
+    # ------------------------------------------------------------------
+
+    def init(
+        self,
+        op_mode: int,
+        key: SecretKey | PublicKey | PrivateKey,
+        params: IvParameterSpec | GCMParameterSpec | SecureRandom | None = None,
+    ) -> None:
+        """Initialise for encryption, decryption, wrapping or unwrapping.
+
+        On encryption without an explicit parameter spec, a fresh random
+        IV/nonce is drawn — the JCA behaviour the rules rely on.
+        Decryption requires the caller to supply the IV via a spec.
+        """
+        if op_mode not in (
+            self.ENCRYPT_MODE,
+            self.DECRYPT_MODE,
+            self.WRAP_MODE,
+            self.UNWRAP_MODE,
+        ):
+            raise InvalidAlgorithmParameterError(f"unknown cipher mode: {op_mode}")
+        self._check_key_type(op_mode, key)
+        self._op_mode = op_mode
+        self._key = key
+        self._buffer.clear()
+        self._aad.clear()
+        self._finished = False
+        self._iv = None
+        if self._transformation.is_asymmetric:
+            if isinstance(params, (IvParameterSpec, GCMParameterSpec)):
+                raise InvalidAlgorithmParameterError("RSA transformations take no IV")
+            return
+        if self._transformation.needs_iv:
+            self._setup_iv(op_mode, params)
+
+    def _check_key_type(self, op_mode: int, key) -> None:
+        if self._transformation.is_asymmetric:
+            encrypting = op_mode in (self.ENCRYPT_MODE, self.WRAP_MODE)
+            if encrypting and not isinstance(key, PublicKey):
+                raise InvalidKeyError(
+                    "asymmetric encryption/wrapping requires a PublicKey; "
+                    f"got {type(key).__name__}"
+                )
+            if not encrypting and not isinstance(key, PrivateKey):
+                raise InvalidKeyError(
+                    "asymmetric decryption/unwrapping requires a PrivateKey; "
+                    f"got {type(key).__name__}"
+                )
+        else:
+            if not isinstance(key, SecretKey):
+                raise InvalidKeyError(
+                    f"symmetric ciphers require a SecretKey, got {type(key).__name__}"
+                )
+            if len(key.get_encoded()) not in (16, 24, 32):
+                raise InvalidKeyError(
+                    f"AES keys must be 128/192/256 bits, got {8 * len(key.get_encoded())}"
+                )
+
+    def _setup_iv(self, op_mode: int, params) -> None:
+        iv_length = self._IV_LENGTHS[self._transformation.mode]
+        if op_mode in (self.ENCRYPT_MODE, self.WRAP_MODE):
+            if params is None or isinstance(params, SecureRandom):
+                random = params or SecureRandom.get_instance("NativePRNG")
+                self._iv = random.random_bytes(iv_length)
+            elif isinstance(params, (IvParameterSpec, GCMParameterSpec)):
+                self._validate_spec_kind(params)
+                self._iv = params.get_iv()
+            else:
+                raise InvalidAlgorithmParameterError(
+                    f"unsupported parameter spec: {type(params).__name__}"
+                )
+        else:
+            if not isinstance(params, (IvParameterSpec, GCMParameterSpec)):
+                raise InvalidAlgorithmParameterError(
+                    f"{self._transformation.mode} decryption requires the IV via a "
+                    "parameter spec"
+                )
+            self._validate_spec_kind(params)
+            self._iv = params.get_iv()
+        expected = self._IV_LENGTHS[self._transformation.mode]
+        if self._transformation.mode != "GCM" and len(self._iv) != expected:
+            raise InvalidAlgorithmParameterError(
+                f"{self._transformation.mode} IV must be {expected} bytes, "
+                f"got {len(self._iv)}"
+            )
+
+    def _validate_spec_kind(self, params) -> None:
+        if self._transformation.mode == "GCM" and not isinstance(
+            params, GCMParameterSpec
+        ):
+            raise InvalidAlgorithmParameterError("GCM requires a GCMParameterSpec")
+        if self._transformation.mode in ("CBC", "CTR") and not isinstance(
+            params, IvParameterSpec
+        ):
+            raise InvalidAlgorithmParameterError(
+                f"{self._transformation.mode} requires an IvParameterSpec"
+            )
+
+    def get_iv(self) -> bytes:
+        """The IV/nonce in use (available after init on IV-bearing modes)."""
+        if self._iv is None:
+            raise IllegalStateError("no IV: cipher not initialized or mode has no IV")
+        return self._iv
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+
+    def update_aad(self, aad: bytes | bytearray) -> None:
+        """Supply additional authenticated data (GCM only, before data)."""
+        self._require_initialized()
+        if not self._transformation.is_authenticated:
+            raise IllegalStateError("AAD is only supported by authenticated modes")
+        if self._buffer:
+            raise IllegalStateError("AAD must be supplied before any data")
+        self._aad.extend(bytes(aad))
+
+    def update(self, data: bytes | bytearray) -> bytes:
+        """Buffer more data. Returns ``b""``; output is produced by do_final.
+
+        (A buffering implementation is JCA-legal and keeps the mode
+        primitives one-shot.)
+        """
+        self._require_initialized()
+        if self._finished:
+            raise IllegalStateError("cipher already finished; re-init before reuse")
+        self._buffer.extend(bytes(data))
+        return b""
+
+    def do_final(self, data: bytes | bytearray | None = None) -> bytes:
+        """Finish the operation and return the full output."""
+        self._require_initialized()
+        if self._finished:
+            raise IllegalStateError("cipher already finished; re-init before reuse")
+        if data is not None:
+            self._buffer.extend(bytes(data))
+        self._finished = True
+        payload = bytes(self._buffer)
+        if self._transformation.is_asymmetric:
+            return self._do_final_rsa(payload)
+        return self._do_final_aes(payload)
+
+    def _do_final_aes(self, payload: bytes) -> bytes:
+        assert isinstance(self._key, SecretKey)
+        key = self._key.get_encoded()
+        mode = self._transformation.mode
+        encrypting = self._op_mode in (self.ENCRYPT_MODE, self.WRAP_MODE)
+        try:
+            if mode == "GCM":
+                if encrypting:
+                    return gcm_encrypt(key, self._iv, payload, bytes(self._aad))
+                return gcm_decrypt(key, self._iv, payload, bytes(self._aad))
+            if mode == "CBC":
+                if encrypting:
+                    return cbc_encrypt(key, self._iv, payload)
+                return cbc_decrypt(key, self._iv, payload)
+            if mode == "CTR":
+                nonce = self._iv + bytes(16 - len(self._iv))
+                return ctr_transform(key, nonce, payload)
+            if mode == "ECB":
+                return self._do_final_ecb(key, payload, encrypting)
+        except prim_errors.InvalidTag as exc:
+            raise BadPaddingError(str(exc)) from exc
+        except prim_errors.InvalidPadding as exc:
+            raise BadPaddingError(str(exc)) from exc
+        except prim_errors.InvalidBlockSize as exc:
+            raise IllegalBlockSizeError(str(exc)) from exc
+        raise IllegalStateError(f"unsupported mode {mode}")
+
+    def _do_final_ecb(self, key: bytes, payload: bytes, encrypting: bool) -> bytes:
+        # ECB exists purely as SAST test material; implemented to keep
+        # the provider honest (insecure != non-functional).
+        from ..primitives.aes import AES, BLOCK_SIZE
+
+        block_cipher = AES(key)
+        if encrypting:
+            padded = pad(payload, BLOCK_SIZE)
+            return b"".join(
+                block_cipher.encrypt_block(padded[i : i + BLOCK_SIZE])
+                for i in range(0, len(padded), BLOCK_SIZE)
+            )
+        if len(payload) % BLOCK_SIZE:
+            raise IllegalBlockSizeError("ECB ciphertext not block-aligned")
+        try:
+            plain = b"".join(
+                block_cipher.decrypt_block(payload[i : i + BLOCK_SIZE])
+                for i in range(0, len(payload), BLOCK_SIZE)
+            )
+            return unpad(plain, BLOCK_SIZE)
+        except prim_errors.InvalidPadding as exc:
+            raise BadPaddingError(str(exc)) from exc
+
+    def _do_final_rsa(self, payload: bytes) -> bytes:
+        digest = _OAEP_DIGESTS[self._transformation.padding]
+        try:
+            if self._op_mode in (self.ENCRYPT_MODE, self.WRAP_MODE):
+                assert isinstance(self._key, PublicKey)
+                random = SecureRandom.get_instance("NativePRNG")
+                return oaep_encrypt(
+                    self._key.rsa, payload, random.generate_seed, digest
+                )
+            assert isinstance(self._key, PrivateKey)
+            return oaep_decrypt(self._key.rsa, payload, digest)
+        except prim_errors.MessageTooLong as exc:
+            raise IllegalBlockSizeError(str(exc)) from exc
+        except prim_errors.InvalidPadding as exc:
+            raise BadPaddingError(str(exc)) from exc
+
+    # ------------------------------------------------------------------
+    # key wrapping (hybrid encryption)
+    # ------------------------------------------------------------------
+
+    def wrap(self, key: SecretKey) -> bytes:
+        """Wrap a symmetric key under this cipher (JCA: ``wrap``)."""
+        self._require_initialized()
+        if self._op_mode != self.WRAP_MODE:
+            raise IllegalStateError("cipher not initialized for wrapping")
+        if self._finished:
+            raise IllegalStateError("cipher already finished; re-init before reuse")
+        self._finished = True
+        if self._transformation.is_asymmetric:
+            digest = _OAEP_DIGESTS[self._transformation.padding]
+            assert isinstance(self._key, PublicKey)
+            random = SecureRandom.get_instance("NativePRNG")
+            return oaep_encrypt(self._key.rsa, key.get_encoded(), random.generate_seed, digest)
+        assert isinstance(self._key, SecretKey)
+        return gcm_encrypt(self._key.get_encoded(), self._iv, key.get_encoded())
+
+    def unwrap(self, wrapped: bytes, algorithm: str, key_type: int) -> SecretKey:
+        """Unwrap key material wrapped by :meth:`wrap` (JCA: ``unwrap``)."""
+        self._require_initialized()
+        if self._op_mode != self.UNWRAP_MODE:
+            raise IllegalStateError("cipher not initialized for unwrapping")
+        if self._finished:
+            raise IllegalStateError("cipher already finished; re-init before reuse")
+        self._finished = True
+        try:
+            if self._transformation.is_asymmetric:
+                digest = _OAEP_DIGESTS[self._transformation.padding]
+                assert isinstance(self._key, PrivateKey)
+                material = oaep_decrypt(self._key.rsa, wrapped, digest)
+            else:
+                assert isinstance(self._key, SecretKey)
+                material = gcm_decrypt(self._key.get_encoded(), self._iv, wrapped)
+        except prim_errors.InvalidPadding as exc:
+            raise BadPaddingError(str(exc)) from exc
+        except prim_errors.InvalidTag as exc:
+            raise BadPaddingError(str(exc)) from exc
+        return SecretKeySpec(material, algorithm)
+
+    #: JCA constant for unwrap(): the wrapped key is a secret key.
+    SECRET_KEY = 3
+
+    def _require_initialized(self) -> None:
+        if self._op_mode is None or self._key is None:
+            raise IllegalStateError("Cipher not initialized; call init(mode, key)")

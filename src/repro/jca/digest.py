@@ -1,0 +1,49 @@
+"""``MessageDigest``: the provider's hashing service."""
+
+from __future__ import annotations
+
+from ..primitives.ct import constant_time_equals
+from ..primitives.hashes import new_hash
+from .exceptions import NoSuchAlgorithmError
+from .registry import DIGEST_ALGORITHMS
+
+
+class MessageDigest:
+    """Incremental message digest (JCA: ``java.security.MessageDigest``).
+
+    >>> md = MessageDigest.get_instance("SHA-256")
+    >>> md.update(b"abc")
+    >>> md.digest().hex()[:8]
+    'ba7816bf'
+    """
+
+    def __init__(self, algorithm: str):
+        if algorithm not in DIGEST_ALGORITHMS:
+            raise NoSuchAlgorithmError(algorithm, DIGEST_ALGORITHMS)
+        self.algorithm = algorithm
+        self._hash = new_hash(algorithm)
+
+    @classmethod
+    def get_instance(cls, algorithm: str) -> "MessageDigest":
+        return cls(algorithm)
+
+    def update(self, data: bytes | bytearray) -> None:
+        """Absorb more input."""
+        self._hash.update(bytes(data))
+
+    def digest(self, data: bytes | bytearray | None = None) -> bytes:
+        """Finish the digest (optionally absorbing a final chunk) and reset."""
+        if data is not None:
+            self.update(data)
+        out = self._hash.digest()
+        self.reset()
+        return out
+
+    def reset(self) -> None:
+        """Discard all absorbed input."""
+        self._hash = new_hash(self.algorithm)
+
+    @staticmethod
+    def is_equal(a: bytes, b: bytes) -> bool:
+        """Timing-safe digest comparison (JCA: ``MessageDigest.isEqual``)."""
+        return constant_time_equals(a, b)

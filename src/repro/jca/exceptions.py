@@ -1,0 +1,62 @@
+"""Provider-level exceptions mirroring the JCA exception hierarchy.
+
+The names follow ``java.security`` / ``javax.crypto`` so the CrySL rules
+and the paper's prose translate directly. Primitive-level errors from
+:mod:`repro.primitives` never escape the provider; they are re-raised as
+one of these.
+"""
+
+from __future__ import annotations
+
+
+class GeneralSecurityError(Exception):
+    """Root of the provider exception hierarchy (``GeneralSecurityException``)."""
+
+
+class NoSuchAlgorithmError(GeneralSecurityError):
+    """An algorithm or transformation string is not supported."""
+
+    def __init__(self, algorithm: str, known: tuple[str, ...] = ()):
+        self.algorithm = algorithm
+        hint = f"; known: {', '.join(sorted(known))}" if known else ""
+        super().__init__(f"no such algorithm: {algorithm!r}{hint}")
+
+
+class NoSuchPaddingError(GeneralSecurityError):
+    """A transformation names an unknown padding scheme."""
+
+
+class InvalidKeyError(GeneralSecurityError):
+    """A key is unusable for the requested operation (type, length, state)."""
+
+
+class InvalidAlgorithmParameterError(GeneralSecurityError):
+    """An algorithm parameter spec is inappropriate."""
+
+
+class InvalidKeySpecError(GeneralSecurityError):
+    """A key specification cannot be processed by a factory."""
+
+
+class IllegalStateError(GeneralSecurityError):
+    """An object was used out of order (e.g. Cipher before init).
+
+    This is the runtime shadow of the ORDER section of a CrySL rule:
+    code the generator produces never triggers it.
+    """
+
+
+class IllegalBlockSizeError(GeneralSecurityError):
+    """Data length does not fit the cipher's block structure."""
+
+
+class BadPaddingError(GeneralSecurityError):
+    """Padding (or an AEAD tag) failed to verify on decryption."""
+
+
+class SignatureError(GeneralSecurityError):
+    """A Signature object was misused or signing failed internally."""
+
+
+class DestroyFailedError(GeneralSecurityError):
+    """Sensitive material could not be destroyed."""

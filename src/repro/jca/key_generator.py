@@ -1,0 +1,101 @@
+"""``KeyGenerator`` and ``KeyPairGenerator``: fresh-key services."""
+
+from __future__ import annotations
+
+from ..primitives.rsa import generate_keypair
+from .exceptions import (
+    IllegalStateError,
+    InvalidAlgorithmParameterError,
+    NoSuchAlgorithmError,
+)
+from .keys import KeyPair, PrivateKey, PublicKey, SecretKey
+from .registry import (
+    AES_KEY_SIZES,
+    KEYGEN_ALGORITHMS,
+    KEYPAIRGEN_ALGORITHMS,
+    RSA_KEY_SIZES,
+)
+from .secure_random import SecureRandom
+
+
+class KeyGenerator:
+    """Symmetric key generation (JCA: ``javax.crypto.KeyGenerator``).
+
+    >>> generator = KeyGenerator.get_instance("AES")
+    >>> generator.init(128)
+    >>> len(generator.generate_key().get_encoded())
+    16
+    """
+
+    #: Sizes accepted per algorithm (bits).
+    _SIZES = {
+        "AES": AES_KEY_SIZES + (64,),  # 64 kept as SAST test material
+        "HmacSHA256": (128, 192, 256, 384, 512),
+    }
+
+    def __init__(self, algorithm: str):
+        if algorithm not in KEYGEN_ALGORITHMS:
+            raise NoSuchAlgorithmError(algorithm, KEYGEN_ALGORITHMS)
+        self.algorithm = algorithm
+        self._key_size: int | None = None
+        self._random: SecureRandom | None = None
+
+    @classmethod
+    def get_instance(cls, algorithm: str) -> "KeyGenerator":
+        return cls(algorithm)
+
+    def init(self, key_size: int, random: SecureRandom | None = None) -> None:
+        """Configure the key size in bits (JCA: ``init(int)``)."""
+        if key_size not in self._SIZES[self.algorithm]:
+            raise InvalidAlgorithmParameterError(
+                f"{self.algorithm} does not support {key_size}-bit keys; "
+                f"supported: {self._SIZES[self.algorithm]}"
+            )
+        self._key_size = key_size
+        self._random = random
+
+    def generate_key(self) -> SecretKey:
+        """Generate a fresh random key."""
+        if self._key_size is None:
+            raise IllegalStateError("KeyGenerator not initialized; call init(key_size)")
+        random = self._random or SecureRandom.get_instance("NativePRNG")
+        return SecretKey(random.random_bytes(self._key_size // 8), self.algorithm)
+
+
+class KeyPairGenerator:
+    """Asymmetric key-pair generation (JCA: ``java.security.KeyPairGenerator``).
+
+    RSA only; 1024-bit keys are generated on request so the SAST checker
+    has a weak-key misuse to flag, but the CrySL rule constrains secure
+    use to 2048 bits and up.
+    """
+
+    _SIZES = {"RSA": RSA_KEY_SIZES + (1024,)}
+
+    def __init__(self, algorithm: str):
+        if algorithm not in KEYPAIRGEN_ALGORITHMS:
+            raise NoSuchAlgorithmError(algorithm, KEYPAIRGEN_ALGORITHMS)
+        self.algorithm = algorithm
+        self._key_size: int | None = None
+
+    @classmethod
+    def get_instance(cls, algorithm: str) -> "KeyPairGenerator":
+        return cls(algorithm)
+
+    def initialize(self, key_size: int, random: SecureRandom | None = None) -> None:
+        """Configure the modulus size in bits (JCA: ``initialize(int)``)."""
+        if key_size not in self._SIZES[self.algorithm]:
+            raise InvalidAlgorithmParameterError(
+                f"{self.algorithm} does not support {key_size}-bit keys; "
+                f"supported: {self._SIZES[self.algorithm]}"
+            )
+        self._key_size = key_size
+
+    def generate_key_pair(self) -> KeyPair:
+        """Generate a fresh key pair."""
+        if self._key_size is None:
+            raise IllegalStateError(
+                "KeyPairGenerator not initialized; call initialize(key_size)"
+            )
+        public, private = generate_keypair(self._key_size)
+        return KeyPair(PublicKey(public), PrivateKey(private))

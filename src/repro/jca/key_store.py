@@ -1,0 +1,211 @@
+"""``KeyStore``: password-protected persistence for secret keys.
+
+Models ``java.security.KeyStore``'s role in the CogniCrypt use-case
+catalogue: applications keep long-lived keys in a store sealed under a
+password. Entries are individually protected — PBKDF2 derives a
+key-encryption key from the password and a per-entry salt, AES-GCM
+seals the key material — so the on-disk format has no plaintext keys
+and tampering is detected on retrieval.
+
+File format (version 1)::
+
+    magic "CCKS" | version u8 | entry count u32
+    per entry: alias_len u16 | alias utf-8 | salt[16] | blob_len u32 | blob
+    blob = nonce[12] | GCM(kek, key material) with the alias as AAD
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..primitives import errors as prim_errors
+from ..primitives.kdf import pbkdf2
+from ..primitives.modes import gcm_decrypt, gcm_encrypt
+from .exceptions import (
+    BadPaddingError,
+    GeneralSecurityError,
+    IllegalStateError,
+    InvalidAlgorithmParameterError,
+    InvalidKeyError,
+    NoSuchAlgorithmError,
+)
+from .keys import SecretKey
+from .secure_random import SecureRandom
+
+_MAGIC = b"CCKS"
+_VERSION = 1
+_SALT_SIZE = 16
+_KDF_ITERATIONS = 10000
+
+#: Store types the provider offers.
+STORE_TYPES = ("CCKS",)
+
+
+class KeyStoreError(GeneralSecurityError):
+    """Corrupt store data or a wrong password."""
+
+
+class KeyStore:
+    """A password-sealed key store with the JCA's load/get/set typestate.
+
+    >>> store = KeyStore.get_instance("CCKS")
+    >>> store.create(bytearray(b"store password"))
+    >>> store.set_key_entry("master", SecretKey(bytes(16), "AES"),
+    ...                     bytearray(b"store password"))
+    >>> store.get_key("master", bytearray(b"store password")).get_algorithm()
+    'AES'
+    """
+
+    def __init__(self, store_type: str):
+        if store_type not in STORE_TYPES:
+            raise NoSuchAlgorithmError(store_type, STORE_TYPES)
+        self.store_type = store_type
+        self._entries: dict[str, tuple[bytes, bytes]] | None = None  # alias -> (salt, blob)
+
+    @classmethod
+    def get_instance(cls, store_type: str) -> "KeyStore":
+        return cls(store_type)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def create(self, password: bytearray) -> None:
+        """Initialise an empty store (JCA: ``load(null, password)``)."""
+        self._check_password(password)
+        self._entries = {}
+
+    def load(self, path: str, password: bytearray) -> None:
+        """Load a store from disk, verifying every entry is well-formed."""
+        self._check_password(password)
+        data = Path(path).read_bytes()
+        self._entries = _parse_store(data)
+
+    def store(self, path: str, password: bytearray) -> None:
+        """Persist the store (the password re-checks caller intent)."""
+        self._check_password(password)
+        entries = self._require_loaded()
+        Path(path).write_bytes(_serialize_store(entries))
+
+    # ------------------------------------------------------------------
+    # entries
+    # ------------------------------------------------------------------
+
+    def set_key_entry(self, alias: str, key: SecretKey, password: bytearray) -> None:
+        """Seal ``key`` under ``password`` as entry ``alias``."""
+        entries = self._require_loaded()
+        self._check_password(password)
+        if not isinstance(key, SecretKey):
+            raise InvalidKeyError(
+                f"KeyStore stores SecretKeys, got {type(key).__name__}"
+            )
+        if not alias:
+            raise InvalidAlgorithmParameterError("alias must not be empty")
+        salt = bytearray(_SALT_SIZE)
+        SecureRandom.get_instance("NativePRNG").next_bytes(salt)
+        kek = pbkdf2(bytes(password), bytes(salt), _KDF_ITERATIONS, 32)
+        nonce = SecureRandom.get_instance("NativePRNG").random_bytes(12)
+        blob = nonce + gcm_encrypt(
+            kek, nonce, key.get_encoded(), alias.encode("utf-8")
+        )
+        entries[alias] = (bytes(salt), blob)
+
+    def get_key(self, alias: str, password: bytearray) -> SecretKey:
+        """Unseal entry ``alias``; wrong passwords and tampering raise."""
+        entries = self._require_loaded()
+        self._check_password(password)
+        if alias not in entries:
+            raise KeyStoreError(f"no entry {alias!r} in the store")
+        salt, blob = entries[alias]
+        kek = pbkdf2(bytes(password), salt, _KDF_ITERATIONS, 32)
+        nonce, sealed = blob[:12], blob[12:]
+        try:
+            material = gcm_decrypt(kek, nonce, sealed, alias.encode("utf-8"))
+        except prim_errors.InvalidTag as exc:
+            raise BadPaddingError(
+                f"entry {alias!r}: wrong password or corrupted store"
+            ) from exc
+        return SecretKey(material, "AES")
+
+    def aliases(self) -> tuple[str, ...]:
+        return tuple(sorted(self._require_loaded()))
+
+    def contains_alias(self, alias: str) -> bool:
+        return alias in self._require_loaded()
+
+    def delete_entry(self, alias: str) -> None:
+        entries = self._require_loaded()
+        entries.pop(alias, None)
+
+    def size(self) -> int:
+        return len(self._require_loaded())
+
+    # ------------------------------------------------------------------
+
+    def _require_loaded(self) -> dict[str, tuple[bytes, bytes]]:
+        if self._entries is None:
+            raise IllegalStateError(
+                "KeyStore not initialized; call create() or load() first"
+            )
+        return self._entries
+
+    @staticmethod
+    def _check_password(password: bytearray) -> None:
+        if isinstance(password, (str, bytes)) or not isinstance(password, bytearray):
+            raise InvalidAlgorithmParameterError(
+                "store passwords must be bytearrays so they can be wiped"
+            )
+        if not password:
+            raise InvalidAlgorithmParameterError("store password must not be empty")
+
+
+# ---------------------------------------------------------------------------
+# wire format
+# ---------------------------------------------------------------------------
+
+
+def _serialize_store(entries: dict[str, tuple[bytes, bytes]]) -> bytes:
+    out = bytearray()
+    out += _MAGIC
+    out.append(_VERSION)
+    out += len(entries).to_bytes(4, "big")
+    for alias in sorted(entries):
+        salt, blob = entries[alias]
+        encoded = alias.encode("utf-8")
+        out += len(encoded).to_bytes(2, "big")
+        out += encoded
+        out += salt
+        out += len(blob).to_bytes(4, "big")
+        out += blob
+    return bytes(out)
+
+
+def _parse_store(data: bytes) -> dict[str, tuple[bytes, bytes]]:
+    view = memoryview(data)
+    if bytes(view[:4]) != _MAGIC:
+        raise KeyStoreError("not a CCKS key store (bad magic)")
+    if view[4] != _VERSION:
+        raise KeyStoreError(f"unsupported store version {view[4]}")
+    count = int.from_bytes(view[5:9], "big")
+    offset = 9
+    entries: dict[str, tuple[bytes, bytes]] = {}
+    try:
+        for _ in range(count):
+            alias_length = int.from_bytes(view[offset : offset + 2], "big")
+            offset += 2
+            alias = bytes(view[offset : offset + alias_length]).decode("utf-8")
+            offset += alias_length
+            salt = bytes(view[offset : offset + _SALT_SIZE])
+            offset += _SALT_SIZE
+            blob_length = int.from_bytes(view[offset : offset + 4], "big")
+            offset += 4
+            blob = bytes(view[offset : offset + blob_length])
+            if len(blob) != blob_length or len(salt) != _SALT_SIZE:
+                raise KeyStoreError("truncated key store")
+            offset += blob_length
+            entries[alias] = (salt, blob)
+    except (IndexError, UnicodeDecodeError) as exc:
+        raise KeyStoreError("corrupted key store") from exc
+    if offset != len(data):
+        raise KeyStoreError("trailing garbage after the last entry")
+    return entries

@@ -1,0 +1,148 @@
+"""Key objects: SecretKey/SecretKeySpec, RSA public/private keys, KeyPair.
+
+All key types are *destroyable*, matching ``javax.security.auth.Destroyable``:
+``destroy()`` wipes material and flips the object into a state where any
+further use raises :class:`~repro.jca.exceptions.InvalidKeyError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..primitives.rsa import RsaPrivateKey, RsaPublicKey
+from .exceptions import InvalidKeyError
+
+
+class Key:
+    """Common behaviour of all provider keys."""
+
+    algorithm: str
+
+    def __init__(self, algorithm: str):
+        self.algorithm = algorithm
+        self._destroyed = False
+
+    def destroy(self) -> None:
+        """Wipe the key material; the object becomes unusable."""
+        self._destroyed = True
+
+    def is_destroyed(self) -> bool:
+        return self._destroyed
+
+    def _check_usable(self) -> None:
+        if self._destroyed:
+            raise InvalidKeyError(f"{type(self).__name__} has been destroyed")
+
+
+class SecretKey(Key):
+    """A symmetric key holding raw material."""
+
+    def __init__(self, material: bytes, algorithm: str):
+        super().__init__(algorithm)
+        self._material = bytearray(material)
+
+    def get_encoded(self) -> bytes:
+        """Return the raw key bytes (JCA: ``getEncoded``)."""
+        self._check_usable()
+        return bytes(self._material)
+
+    def get_algorithm(self) -> str:
+        self._check_usable()
+        return self.algorithm
+
+    def destroy(self) -> None:
+        for i in range(len(self._material)):
+            self._material[i] = 0
+        self._material = bytearray()
+        super().destroy()
+
+    def __len__(self) -> int:
+        return len(self._material)
+
+    def __repr__(self) -> str:
+        state = "destroyed" if self._destroyed else f"{8 * len(self._material)} bits"
+        return f"<SecretKey {self.algorithm} ({state})>"
+
+
+class SecretKeySpec(SecretKey):
+    """A SecretKey built directly from raw material and an algorithm name.
+
+    Mirrors ``javax.crypto.spec.SecretKeySpec`` — the class the paper's
+    running example uses to re-type PBKDF2 output as an AES key.
+    """
+
+    def __init__(self, material: bytes, algorithm: str):
+        if not material:
+            raise InvalidKeyError("SecretKeySpec requires non-empty key material")
+        super().__init__(material, algorithm)
+
+
+class PublicKey(Key):
+    """An RSA public key handle."""
+
+    def __init__(self, rsa: RsaPublicKey, algorithm: str = "RSA"):
+        super().__init__(algorithm)
+        self._rsa = rsa
+
+    @property
+    def rsa(self) -> RsaPublicKey:
+        self._check_usable()
+        return self._rsa
+
+    def get_modulus_bits(self) -> int:
+        self._check_usable()
+        return self._rsa.bit_length
+
+    def get_encoded(self) -> bytes:
+        """A stable wire encoding (length-prefixed n, e) for persistence."""
+        self._check_usable()
+        n_bytes = self._rsa.n.to_bytes((self._rsa.n.bit_length() + 7) // 8, "big")
+        e_bytes = self._rsa.e.to_bytes((self._rsa.e.bit_length() + 7) // 8, "big")
+        return (
+            len(n_bytes).to_bytes(4, "big")
+            + n_bytes
+            + len(e_bytes).to_bytes(4, "big")
+            + e_bytes
+        )
+
+    def __repr__(self) -> str:
+        return f"<PublicKey RSA-{self._rsa.bit_length}>"
+
+
+class PrivateKey(Key):
+    """An RSA private key handle."""
+
+    def __init__(self, rsa: RsaPrivateKey, algorithm: str = "RSA"):
+        super().__init__(algorithm)
+        self._rsa = rsa
+
+    @property
+    def rsa(self) -> RsaPrivateKey:
+        self._check_usable()
+        return self._rsa
+
+    def get_modulus_bits(self) -> int:
+        self._check_usable()
+        return self._rsa.bit_length
+
+    def destroy(self) -> None:
+        self._rsa = None  # type: ignore[assignment]
+        super().destroy()
+
+    def __repr__(self) -> str:
+        state = "destroyed" if self._destroyed else f"RSA-{self._rsa.bit_length}"
+        return f"<PrivateKey {state}>"
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """An asymmetric key pair (JCA: ``java.security.KeyPair``)."""
+
+    public: PublicKey = field()
+    private: PrivateKey = field()
+
+    def get_public(self) -> PublicKey:
+        return self.public
+
+    def get_private(self) -> PrivateKey:
+        return self.private

@@ -1,0 +1,130 @@
+"""Mapping from this provider's JCA-style surface to pyca/`cryptography`.
+
+The reproduction hint for this paper calls for "a new rule parser and a
+mapping to pyca/cryptography". The generator itself targets
+:mod:`repro.jca` so its output is runnable and SAST-checkable offline;
+this table documents — and, where `cryptography` is installed, *tests*
+(see ``tests/jca/test_pyca_equivalence.py``) — how every provider
+operation corresponds to the pyca API a production port would emit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PycaMapping:
+    """One row of the provider → pyca correspondence table."""
+
+    jca_class: str
+    jca_operation: str
+    pyca_module: str
+    pyca_equivalent: str
+    notes: str = ""
+
+
+#: The full correspondence table. Kept as data (not code) so docs and
+#: tests consume the same source of truth.
+MAPPINGS: tuple[PycaMapping, ...] = (
+    PycaMapping(
+        "SecureRandom",
+        'get_instance("NativePRNG").next_bytes(salt)',
+        "os",
+        "os.urandom(len(salt))",
+        "pyca delegates randomness to the OS; no DRBG wrapper exists",
+    ),
+    PycaMapping(
+        "PBEKeySpec + SecretKeyFactory",
+        'get_instance("PBKDF2WithHmacSHA256").generate_secret(spec)',
+        "cryptography.hazmat.primitives.kdf.pbkdf2",
+        "PBKDF2HMAC(algorithm=hashes.SHA256(), length=keylen//8, salt=salt, "
+        "iterations=iters).derive(password)",
+        "pyca fuses the spec and the factory into one KDF object; "
+        "clear_password() maps to the caller wiping its own buffer",
+    ),
+    PycaMapping(
+        "SecretKeySpec",
+        'SecretKeySpec(material, "AES")',
+        "builtins",
+        "bytes(material)",
+        "pyca ciphers take raw bytes; the algorithm tag disappears",
+    ),
+    PycaMapping(
+        "KeyGenerator",
+        'get_instance("AES").init(128); generate_key()',
+        "os",
+        "os.urandom(16)",
+        "symmetric keys in pyca are plain random bytes",
+    ),
+    PycaMapping(
+        "Cipher (AES/GCM)",
+        'get_instance("AES/GCM/NoPadding")',
+        "cryptography.hazmat.primitives.ciphers.aead",
+        "AESGCM(key).encrypt(nonce, data, aad)",
+        "one-shot AEAD interface; nonce management stays with the caller",
+    ),
+    PycaMapping(
+        "Cipher (AES/CBC)",
+        'get_instance("AES/CBC/PKCS5Padding")',
+        "cryptography.hazmat.primitives.ciphers",
+        "Cipher(algorithms.AES(key), modes.CBC(iv)) + padding.PKCS7(128)",
+        "padding is explicit in pyca",
+    ),
+    PycaMapping(
+        "Cipher (RSA OAEP)",
+        'get_instance("RSA/ECB/OAEPWithSHA-256AndMGF1Padding")',
+        "cryptography.hazmat.primitives.asymmetric.padding",
+        "public_key.encrypt(data, OAEP(mgf=MGF1(SHA256()), algorithm=SHA256(), "
+        "label=None))",
+    ),
+    PycaMapping(
+        "Cipher.wrap/unwrap",
+        "wrap(secret_key) / unwrap(wrapped, alg, Cipher.SECRET_KEY)",
+        "cryptography.hazmat.primitives.asymmetric.padding",
+        "public_key.encrypt(key_bytes, OAEP(...)) / private_key.decrypt(...)",
+        "pyca has no wrap() distinct from encrypt() for RSA",
+    ),
+    PycaMapping(
+        "MessageDigest",
+        'get_instance("SHA-256").digest(data)',
+        "cryptography.hazmat.primitives.hashes",
+        "Hash(SHA256()); h.update(data); h.finalize()",
+    ),
+    PycaMapping(
+        "Mac",
+        'get_instance("HmacSHA256").init(key); do_final(data)',
+        "cryptography.hazmat.primitives.hmac",
+        "HMAC(key, SHA256()); h.update(data); h.finalize()",
+    ),
+    PycaMapping(
+        "KeyPairGenerator",
+        'get_instance("RSA").initialize(2048); generate_key_pair()',
+        "cryptography.hazmat.primitives.asymmetric.rsa",
+        "rsa.generate_private_key(public_exponent=65537, key_size=2048)",
+    ),
+    PycaMapping(
+        "Signature (PSS)",
+        'get_instance("SHA256withRSA/PSS")',
+        "cryptography.hazmat.primitives.asymmetric.padding",
+        "private_key.sign(data, PSS(mgf=MGF1(SHA256()), salt_length=32), SHA256())",
+        "pyca raises InvalidSignature; the provider returns a boolean "
+        "like JCA's Signature.verify",
+    ),
+)
+
+
+def mapping_for(jca_class: str) -> tuple[PycaMapping, ...]:
+    """All mapping rows whose provider class matches ``jca_class``."""
+    return tuple(m for m in MAPPINGS if m.jca_class.startswith(jca_class))
+
+
+def as_markdown_table() -> str:
+    """Render the table for documentation."""
+    lines = [
+        "| Provider (JCA-style) | Operation | pyca equivalent |",
+        "|---|---|---|",
+    ]
+    for m in MAPPINGS:
+        lines.append(f"| `{m.jca_class}` | `{m.jca_operation}` | `{m.pyca_equivalent}` |")
+    return "\n".join(lines)

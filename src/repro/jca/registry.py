@@ -1,0 +1,168 @@
+"""The provider's algorithm registry and transformation-string parser.
+
+The JCA identifies services by *standard names* — ``"AES"``,
+``"PBKDF2WithHmacSHA256"`` — and ciphers by *transformation strings* of
+the form ``"algorithm/mode/padding"``. This module owns the tables of
+names this provider understands; every service class resolves its
+``get_instance`` argument here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .exceptions import NoSuchAlgorithmError, NoSuchPaddingError
+
+#: Symmetric cipher transformations, in order of preference. CBC uses
+#: PKCS#7 padding ("PKCS5Padding" in JCA spelling); GCM and CTR take none.
+CIPHER_TRANSFORMATIONS = (
+    "AES/GCM/NoPadding",
+    "AES/CBC/PKCS5Padding",
+    "AES/CTR/NoPadding",
+)
+
+#: Asymmetric transformations.
+ASYMMETRIC_TRANSFORMATIONS = (
+    "RSA/ECB/OAEPWithSHA-256AndMGF1Padding",
+    "RSA/ECB/OAEPWithSHA-512AndMGF1Padding",
+)
+
+#: Insecure transformations the provider still executes so that the
+#: SAST checker has real misuses to detect. Never chosen by the
+#: generator (they are absent from the CrySL constraint sets).
+LEGACY_TRANSFORMATIONS = (
+    "AES/ECB/PKCS5Padding",
+    "DES/CBC/PKCS5Padding",
+)
+
+#: PBKDF2 variants accepted by SecretKeyFactory.
+KDF_ALGORITHMS = (
+    "PBKDF2WithHmacSHA256",
+    "PBKDF2WithHmacSHA384",
+    "PBKDF2WithHmacSHA512",
+    # Legacy variant kept for SAST test material.
+    "PBKDF2WithHmacSHA1",
+)
+
+#: Message digests.
+DIGEST_ALGORITHMS = ("SHA-256", "SHA-384", "SHA-512", "SHA-1", "MD5")
+
+#: MAC algorithms.
+MAC_ALGORITHMS = ("HmacSHA256", "HmacSHA384", "HmacSHA512")
+
+#: Signature algorithms. The "/PSS" spellings follow modern JCA naming.
+SIGNATURE_ALGORITHMS = (
+    "SHA256withRSA/PSS",
+    "SHA512withRSA/PSS",
+    "SHA256withRSA",
+    "SHA512withRSA",
+)
+
+#: Key generators (symmetric).
+KEYGEN_ALGORITHMS = ("AES", "HmacSHA256")
+
+#: Key-pair generators (asymmetric).
+KEYPAIRGEN_ALGORITHMS = ("RSA",)
+
+#: SecureRandom sources.
+RANDOM_ALGORITHMS = ("HMACDRBG", "NativePRNG", "SHA1PRNG")
+
+#: AES key sizes in bits, in rule preference order.
+AES_KEY_SIZES = (128, 192, 256)
+
+#: RSA modulus sizes in bits the rules accept.
+RSA_KEY_SIZES = (2048, 3072, 4096)
+
+
+@dataclass(frozen=True)
+class Transformation:
+    """A parsed ``algorithm/mode/padding`` cipher transformation."""
+
+    algorithm: str
+    mode: str
+    padding: str
+
+    @property
+    def canonical(self) -> str:
+        return f"{self.algorithm}/{self.mode}/{self.padding}"
+
+    @property
+    def is_authenticated(self) -> bool:
+        return self.mode == "GCM"
+
+    @property
+    def needs_iv(self) -> bool:
+        return self.mode in ("CBC", "CTR", "GCM")
+
+    @property
+    def is_asymmetric(self) -> bool:
+        return self.algorithm == "RSA"
+
+
+_KNOWN_MODES = ("GCM", "CBC", "CTR", "ECB")
+_KNOWN_PADDINGS = (
+    "NoPadding",
+    "PKCS5Padding",
+    "PKCS7Padding",
+    "OAEPWithSHA-256AndMGF1Padding",
+    "OAEPWithSHA-512AndMGF1Padding",
+)
+
+
+def parse_transformation(transformation: str) -> Transformation:
+    """Parse and validate a transformation string.
+
+    A bare algorithm name (``"AES"``) is *rejected*: the JCA would fall
+    back to provider defaults (ECB!) which is precisely the misuse class
+    the paper's rule set forbids, so this provider refuses to guess.
+    """
+    parts = transformation.split("/")
+    if len(parts) != 3:
+        raise NoSuchAlgorithmError(
+            transformation,
+            CIPHER_TRANSFORMATIONS + ASYMMETRIC_TRANSFORMATIONS,
+        )
+    algorithm, mode, padding = parts
+    if algorithm not in ("AES", "RSA", "DES"):
+        raise NoSuchAlgorithmError(transformation)
+    if mode not in _KNOWN_MODES:
+        raise NoSuchAlgorithmError(transformation)
+    if padding not in _KNOWN_PADDINGS:
+        raise NoSuchPaddingError(f"no such padding: {padding!r}")
+    parsed = Transformation(algorithm, mode, padding)
+    known = CIPHER_TRANSFORMATIONS + ASYMMETRIC_TRANSFORMATIONS + LEGACY_TRANSFORMATIONS
+    if parsed.canonical not in known:
+        raise NoSuchAlgorithmError(transformation, known)
+    return parsed
+
+
+def parse_kdf(algorithm: str) -> str:
+    """Return the digest behind a ``PBKDF2WithHmac<digest>`` name."""
+    if algorithm not in KDF_ALGORITHMS:
+        raise NoSuchAlgorithmError(algorithm, KDF_ALGORITHMS)
+    return algorithm.removeprefix("PBKDF2WithHmac").replace("SHA", "SHA-")
+
+
+def parse_mac(algorithm: str) -> str:
+    """Return the digest behind a ``Hmac<digest>`` name."""
+    if algorithm not in MAC_ALGORITHMS:
+        raise NoSuchAlgorithmError(algorithm, MAC_ALGORITHMS)
+    return algorithm.removeprefix("Hmac").replace("SHA", "SHA-")
+
+
+@dataclass(frozen=True)
+class SignatureScheme:
+    """A parsed signature algorithm name."""
+
+    digest: str
+    padding: str  # "PSS" or "PKCS1v15"
+
+
+def parse_signature(algorithm: str) -> SignatureScheme:
+    """Parse ``SHA256withRSA[/PSS]`` into digest + padding."""
+    if algorithm not in SIGNATURE_ALGORITHMS:
+        raise NoSuchAlgorithmError(algorithm, SIGNATURE_ALGORITHMS)
+    digest_part, _, rest = algorithm.partition("with")
+    digest = digest_part.replace("SHA", "SHA-")
+    padding = "PSS" if rest.endswith("/PSS") else "PKCS1v15"
+    return SignatureScheme(digest, padding)

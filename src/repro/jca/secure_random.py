@@ -1,0 +1,67 @@
+"""``SecureRandom``: the provider's randomness service.
+
+The CrySL rule set grants the ``randomized`` predicate on any byte array
+filled through :meth:`SecureRandom.next_bytes` — the exact mechanism the
+paper's PBE example uses to obtain a fresh salt.
+"""
+
+from __future__ import annotations
+
+from ..primitives.random import HmacDrbg, OsRandomSource
+from .exceptions import IllegalStateError, NoSuchAlgorithmError
+from .registry import RANDOM_ALGORITHMS
+
+
+class SecureRandom:
+    """A cryptographically secure random source.
+
+    Use :meth:`get_instance` rather than the constructor, mirroring the
+    JCA factory idiom:
+
+    >>> salt = bytearray(32)
+    >>> SecureRandom.get_instance("HMACDRBG").next_bytes(salt)
+    >>> any(salt)
+    True
+    """
+
+    def __init__(self, algorithm: str = "NativePRNG"):
+        if algorithm not in RANDOM_ALGORITHMS:
+            raise NoSuchAlgorithmError(algorithm, RANDOM_ALGORITHMS)
+        self.algorithm = algorithm
+        if algorithm == "HMACDRBG":
+            self._source = HmacDrbg(OsRandomSource().read(48))
+        else:
+            # "NativePRNG" and the legacy "SHA1PRNG" name both map to
+            # the OS source; SHA1PRNG's historic output construction is
+            # irrelevant here because we never model its weaknesses.
+            self._source = OsRandomSource()
+
+    @classmethod
+    def get_instance(cls, algorithm: str) -> "SecureRandom":
+        """Create a SecureRandom for a standard algorithm name."""
+        return cls(algorithm)
+
+    def next_bytes(self, out: bytearray) -> None:
+        """Fill ``out`` in place with random bytes (JCA: ``nextBytes``)."""
+        if not isinstance(out, bytearray):
+            raise IllegalStateError(
+                "next_bytes fills its argument in place and requires a bytearray"
+            )
+        out[:] = self._source.read(len(out))
+
+    def generate_seed(self, num_bytes: int) -> bytes:
+        """Return seed material suitable for seeding another PRNG."""
+        return OsRandomSource().read(num_bytes)
+
+    def set_seed(self, seed: bytes) -> None:
+        """Mix ``seed`` into the state (supplement, never replace)."""
+        if isinstance(self._source, HmacDrbg):
+            self._source.reseed(seed)
+        # For the OS source, mixing is a no-op: the kernel pool cannot
+        # be weakened by caller-supplied data, matching NativePRNG.
+
+    def random_bytes(self, num_bytes: int) -> bytes:
+        """Convenience accessor returning fresh bytes directly."""
+        out = bytearray(num_bytes)
+        self.next_bytes(out)
+        return bytes(out)

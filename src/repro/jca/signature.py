@@ -1,0 +1,99 @@
+"""``Signature``: digital signatures with the JCA's three-phase typestate
+(init_sign/init_verify → update* → sign/verify).
+
+The paper (section 4) notes it extended the Signature predicate with an
+extra parameter because ``verify`` returns a boolean rather than a
+cryptographic object — this class mirrors those semantics.
+"""
+
+from __future__ import annotations
+
+from ..primitives.rsa import pkcs1v15_sign, pkcs1v15_verify, pss_sign, pss_verify
+from .exceptions import IllegalStateError, InvalidKeyError, NoSuchAlgorithmError
+from .keys import PrivateKey, PublicKey
+from .registry import SIGNATURE_ALGORITHMS, SignatureScheme, parse_signature
+from .secure_random import SecureRandom
+
+
+class Signature:
+    """Sign/verify engine (JCA: ``java.security.Signature``).
+
+    >>> from repro.jca.key_generator import KeyPairGenerator
+    >>> kpg = KeyPairGenerator.get_instance("RSA"); kpg.initialize(1024)
+    >>> pair = kpg.generate_key_pair()
+    >>> signer = Signature.get_instance("SHA256withRSA/PSS")
+    >>> signer.init_sign(pair.get_private())
+    >>> signer.update(b"document")
+    >>> sig = signer.sign()
+    >>> verifier = Signature.get_instance("SHA256withRSA/PSS")
+    >>> verifier.init_verify(pair.get_public())
+    >>> verifier.update(b"document")
+    >>> verifier.verify(sig)
+    True
+    """
+
+    _UNINITIALIZED = 0
+    _SIGNING = 1
+    _VERIFYING = 2
+
+    def __init__(self, algorithm: str):
+        if algorithm not in SIGNATURE_ALGORITHMS:
+            raise NoSuchAlgorithmError(algorithm, SIGNATURE_ALGORITHMS)
+        self.algorithm = algorithm
+        self._scheme: SignatureScheme = parse_signature(algorithm)
+        self._state = self._UNINITIALIZED
+        self._key: PrivateKey | PublicKey | None = None
+        self._message = bytearray()
+
+    @classmethod
+    def get_instance(cls, algorithm: str) -> "Signature":
+        return cls(algorithm)
+
+    def init_sign(self, private_key: PrivateKey) -> None:
+        """Enter signing state (JCA: ``initSign``)."""
+        if not isinstance(private_key, PrivateKey):
+            raise InvalidKeyError(
+                f"init_sign requires a PrivateKey, got {type(private_key).__name__}"
+            )
+        self._state = self._SIGNING
+        self._key = private_key
+        self._message.clear()
+
+    def init_verify(self, public_key: PublicKey) -> None:
+        """Enter verification state (JCA: ``initVerify``)."""
+        if not isinstance(public_key, PublicKey):
+            raise InvalidKeyError(
+                f"init_verify requires a PublicKey, got {type(public_key).__name__}"
+            )
+        self._state = self._VERIFYING
+        self._key = public_key
+        self._message.clear()
+
+    def update(self, data: bytes | bytearray) -> None:
+        """Absorb message content."""
+        if self._state == self._UNINITIALIZED:
+            raise IllegalStateError("Signature not initialized")
+        self._message.extend(bytes(data))
+
+    def sign(self) -> bytes:
+        """Produce the signature and reset the message buffer."""
+        if self._state != self._SIGNING:
+            raise IllegalStateError("Signature not initialized for signing")
+        assert isinstance(self._key, PrivateKey)
+        message = bytes(self._message)
+        self._message.clear()
+        random = SecureRandom.get_instance("NativePRNG")
+        if self._scheme.padding == "PSS":
+            return pss_sign(self._key.rsa, message, random.generate_seed, self._scheme.digest)
+        return pkcs1v15_sign(self._key.rsa, message, self._scheme.digest)
+
+    def verify(self, signature: bytes) -> bool:
+        """Check ``signature`` over the absorbed message; resets the buffer."""
+        if self._state != self._VERIFYING:
+            raise IllegalStateError("Signature not initialized for verification")
+        assert isinstance(self._key, PublicKey)
+        message = bytes(self._message)
+        self._message.clear()
+        if self._scheme.padding == "PSS":
+            return pss_verify(self._key.rsa, message, signature, self._scheme.digest)
+        return pkcs1v15_verify(self._key.rsa, message, signature, self._scheme.digest)

@@ -1,0 +1,129 @@
+"""Parameter-spec classes: PBEKeySpec, IvParameterSpec, GCMParameterSpec.
+
+:class:`PBEKeySpec` is the star of the paper's running example
+(Figures 1, 2 and 5): it carries a password *as a mutable character
+array*, and its :meth:`~PBEKeySpec.clear_password` method is what the
+NEGATES section of the CrySL rule keys on.
+"""
+
+from __future__ import annotations
+
+from .exceptions import IllegalStateError, InvalidAlgorithmParameterError
+
+
+class PBEKeySpec:
+    """A password-based key specification.
+
+    ``password`` must be a ``bytearray`` (the Python stand-in for Java's
+    ``char[]``): immutable ``str``/``bytes`` passwords are rejected for
+    the same reason the JCA constructor takes ``char[]`` — the caller
+    must be able to wipe the secret after use.
+    """
+
+    def __init__(
+        self,
+        password: bytearray,
+        salt: bytes | bytearray,
+        iteration_count: int,
+        key_length: int,
+    ):
+        if isinstance(password, (str, bytes)):
+            raise InvalidAlgorithmParameterError(
+                "password must be a bytearray so it can be cleared after use; "
+                "str/bytes are immutable and would linger in memory"
+            )
+        if not isinstance(password, bytearray):
+            raise InvalidAlgorithmParameterError(
+                f"password must be a bytearray, got {type(password).__name__}"
+            )
+        if not salt:
+            raise InvalidAlgorithmParameterError("salt must not be empty")
+        if iteration_count <= 0:
+            raise InvalidAlgorithmParameterError("iteration count must be positive")
+        if key_length <= 0:
+            raise InvalidAlgorithmParameterError("key length must be positive")
+        # A private snapshot: clearing the spec must not be defeated by
+        # aliasing, and clearing the caller's array must not corrupt the
+        # spec mid-use. clear_password() wipes both.
+        self._caller_password = password
+        self._password = bytearray(password)
+        self._salt = bytes(salt)
+        self._iteration_count = iteration_count
+        self._key_length = key_length
+        self._cleared = False
+
+    def get_password(self) -> bytes:
+        if self._cleared:
+            raise IllegalStateError("password has been cleared")
+        return bytes(self._password)
+
+    def get_salt(self) -> bytes:
+        return self._salt
+
+    def get_iteration_count(self) -> int:
+        return self._iteration_count
+
+    def get_key_length(self) -> int:
+        return self._key_length
+
+    def clear_password(self) -> None:
+        """Zeroise the password (JCA: ``clearPassword``).
+
+        Wipes both the internal copy and the caller-supplied array, then
+        invalidates the spec — after this the ``specced_key`` predicate
+        no longer holds, per the NEGATES section of the rule.
+        """
+        for buf in (self._password, self._caller_password):
+            for i in range(len(buf)):
+                buf[i] = 0
+        self._password = bytearray()
+        self._cleared = True
+
+    @property
+    def is_cleared(self) -> bool:
+        return self._cleared
+
+    def __repr__(self) -> str:
+        state = "cleared" if self._cleared else "armed"
+        return (
+            f"<PBEKeySpec iters={self._iteration_count} "
+            f"keylen={self._key_length} ({state})>"
+        )
+
+
+class IvParameterSpec:
+    """An initialisation vector for CBC/CTR modes."""
+
+    def __init__(self, iv: bytes | bytearray):
+        if len(iv) == 0:
+            raise InvalidAlgorithmParameterError("IV must not be empty")
+        self._iv = bytes(iv)
+
+    def get_iv(self) -> bytes:
+        return self._iv
+
+    def __repr__(self) -> str:
+        return f"<IvParameterSpec {len(self._iv)} bytes>"
+
+
+class GCMParameterSpec:
+    """GCM parameters: tag length (bits) and nonce."""
+
+    def __init__(self, tag_length_bits: int, iv: bytes | bytearray):
+        if tag_length_bits not in (96, 104, 112, 120, 128):
+            raise InvalidAlgorithmParameterError(
+                f"GCM tag length must be one of 96..128 bits, got {tag_length_bits}"
+            )
+        if len(iv) == 0:
+            raise InvalidAlgorithmParameterError("GCM nonce must not be empty")
+        self._tag_length_bits = tag_length_bits
+        self._iv = bytes(iv)
+
+    def get_iv(self) -> bytes:
+        return self._iv
+
+    def get_tag_length(self) -> int:
+        return self._tag_length_bits
+
+    def __repr__(self) -> str:
+        return f"<GCMParameterSpec tag={self._tag_length_bits} iv={len(self._iv)}B>"

@@ -1,0 +1,24 @@
+"""CogniCrypt_old-gen: the XSL + Clafer baseline the paper compares to.
+
+A working reimplementation of the legacy pipeline (paper §4, §5.3,
+§5.4): Clafer-like algorithm models solved for the most secure
+configuration, spliced into XSL code templates. The artefacts in
+``repro/oldgen/artefacts`` are the LoC subject of Table 2.
+"""
+
+from .clafer import ClaferError, ClaferModel, ClaferSolver, Configuration
+from .generator import ARTEFACTS, OldGenError, OldGeneratedModule, OldGenerator
+from .xsl import XslError, XslTemplate
+
+__all__ = [
+    "ARTEFACTS",
+    "ClaferError",
+    "ClaferModel",
+    "ClaferSolver",
+    "Configuration",
+    "OldGenError",
+    "OldGeneratedModule",
+    "OldGenerator",
+    "XslError",
+    "XslTemplate",
+]

@@ -1,0 +1,369 @@
+"""A Clafer-like variability-modelling language (the old-gen backend).
+
+CogniCrypt_old-gen models the algorithm space in Clafer [18] and uses a
+constraint solver to pick secure algorithm configurations, which an XSL
+transformation then splices into code templates. This module implements
+the subset of Clafer those models need:
+
+* features, nested by indentation; ``abstract`` features; inheritance
+  (``pbkdf2 : KeyDerivation``);
+* attributes (``iterations -> integer``) and attribute constraints in
+  brackets (``[iterations >= 10000]``, ``[algorithm = "PBKDF2"]``);
+* ``xor`` groups (exactly one child selected) and ``opt`` features
+  (present or absent);
+* a numeric ``security`` attribute used as the optimisation objective.
+
+The file format is line- and indent-based like real Clafer (4-space
+indents). See ``repro/oldgen/artefacts/*.cfr`` for the shipped models.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+class ClaferError(Exception):
+    """Malformed model or unsatisfiable configuration."""
+
+
+@dataclass
+class Constraint:
+    """``[attr op value]`` — op in = != >= > <= < in."""
+
+    attribute: str
+    op: str
+    value: object  # int, str, or list for "in"
+
+    def check(self, actual: object) -> bool:
+        if actual is None:
+            return False
+        if self.op == "=":
+            return actual == self.value
+        if self.op == "!=":
+            return actual != self.value
+        if self.op == "in":
+            assert isinstance(self.value, list)
+            return actual in self.value
+        if not isinstance(actual, int) or not isinstance(self.value, int):
+            return False
+        return {
+            ">=": actual >= self.value,
+            ">": actual > self.value,
+            "<=": actual <= self.value,
+            "<": actual < self.value,
+        }[self.op]
+
+
+@dataclass
+class Feature:
+    """One clafer (feature) in the model tree."""
+
+    name: str
+    parent: "Feature | None" = None
+    superclass: str | None = None
+    is_abstract: bool = False
+    kind: str = "mandatory"  # mandatory | xor | opt
+    attributes: dict[str, str] = field(default_factory=dict)  # name -> type
+    assignments: dict[str, object] = field(default_factory=dict)
+    constraints: list[Constraint] = field(default_factory=list)
+    children: list["Feature"] = field(default_factory=list)
+
+    @property
+    def path(self) -> str:
+        parts = []
+        node: Feature | None = self
+        while node is not None and node.parent is not None:
+            parts.append(node.name)
+            node = node.parent
+        return ".".join(reversed(parts))
+
+    def find(self, name: str) -> "Feature | None":
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+
+_ATTR_DECL = re.compile(r"^(\w+)\s*->\s*(integer|string)$")
+_CONSTRAINT = re.compile(r"^\[\s*(\w+)\s*(>=|<=|!=|=|>|<|in)\s*(.+?)\s*\]$")
+_FEATURE = re.compile(r"^(abstract\s+|xor\s+|opt\s+)?(\w+)(\s*:\s*(\w+))?$")
+
+
+def _parse_value(text: str) -> object:
+    text = text.strip()
+    if text.startswith("{") and text.endswith("}"):
+        return [_parse_value(part) for part in text[1:-1].split(",")]
+    if text.startswith('"') and text.endswith('"'):
+        return text[1:-1]
+    try:
+        return int(text)
+    except ValueError:
+        raise ClaferError(f"cannot parse value: {text!r}")
+
+
+class ClaferModel:
+    """A parsed model: a virtual root feature plus abstract definitions."""
+
+    def __init__(self, root: Feature, abstracts: dict[str, Feature]):
+        self.root = root
+        self.abstracts = abstracts
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, source: str, filename: str = "<model>") -> "ClaferModel":
+        root = Feature("<root>")
+        abstracts: dict[str, Feature] = {}
+        #: (indent level, feature) stack; root at level -1
+        stack: list[tuple[int, Feature]] = [(-1, root)]
+        for line_number, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split("//")[0].rstrip()
+            if not line.strip():
+                continue
+            indent_spaces = len(line) - len(line.lstrip())
+            if indent_spaces % 4 != 0:
+                raise ClaferError(
+                    f"{filename}:{line_number}: indentation must be 4 spaces"
+                )
+            level = indent_spaces // 4
+            text = line.strip()
+            while stack and stack[-1][0] >= level:
+                stack.pop()
+            if not stack:
+                raise ClaferError(f"{filename}:{line_number}: bad indentation")
+            parent = stack[-1][1]
+            if text.startswith("["):
+                match = _CONSTRAINT.match(text)
+                if not match:
+                    raise ClaferError(
+                        f"{filename}:{line_number}: bad constraint {text!r}"
+                    )
+                attribute, op, value_text = match.groups()
+                value = _parse_value(value_text)
+                constraint = Constraint(attribute, op, value)
+                if op == "=" and not isinstance(value, list):
+                    parent.assignments[attribute] = value
+                parent.constraints.append(constraint)
+                continue
+            attr_match = _ATTR_DECL.match(text)
+            if attr_match:
+                parent.attributes[attr_match.group(1)] = attr_match.group(2)
+                continue
+            feature_match = _FEATURE.match(text)
+            if not feature_match:
+                raise ClaferError(f"{filename}:{line_number}: bad clafer {text!r}")
+            modifier, name, _, superclass = feature_match.groups()
+            modifier = (modifier or "").strip()
+            feature = Feature(
+                name=name,
+                parent=parent if modifier != "abstract" else None,
+                superclass=superclass,
+                is_abstract=modifier == "abstract",
+                kind={"xor": "xor", "opt": "opt"}.get(modifier, "mandatory"),
+            )
+            if feature.is_abstract:
+                abstracts[name] = feature
+            else:
+                parent.children.append(feature)
+            stack.append((level, feature))
+        model = cls(root, abstracts)
+        model._apply_inheritance()
+        return model
+
+    @classmethod
+    def parse_file(cls, path: str | Path) -> "ClaferModel":
+        path = Path(path)
+        return cls.parse(path.read_text(encoding="utf-8"), str(path))
+
+    def _apply_inheritance(self) -> None:
+        def visit(feature: Feature) -> None:
+            if feature.superclass:
+                base = self.abstracts.get(feature.superclass)
+                if base is None:
+                    raise ClaferError(
+                        f"unknown superclass {feature.superclass!r} "
+                        f"for {feature.name!r}"
+                    )
+                for attr, attr_type in base.attributes.items():
+                    feature.attributes.setdefault(attr, attr_type)
+                for attr, value in base.assignments.items():
+                    feature.assignments.setdefault(attr, value)
+                feature.constraints = list(base.constraints) + feature.constraints
+            for child in feature.children:
+                visit(child)
+
+        visit(self.root)
+
+
+@dataclass
+class Configuration:
+    """One solved configuration: selected features and their attributes."""
+
+    selected: dict[str, Feature] = field(default_factory=dict)  # path -> feature
+    values: dict[str, object] = field(default_factory=dict)     # "feature.attr" -> value
+    score: int = 0
+    #: secondary objective (summed `performance`), used as tie-break —
+    #: the original Clafer model optimises security, then performance.
+    performance: int = 0
+
+    def value(self, dotted: str, default: object = None) -> object:
+        return self.values.get(dotted, default)
+
+    def has(self, feature_name: str) -> bool:
+        return any(
+            feature.name == feature_name for feature in self.selected.values()
+        )
+
+    def as_document(self) -> dict:
+        """Nest the values into a tree for the XSL engine."""
+        tree: dict = {}
+        for dotted, value in self.values.items():
+            node = tree
+            *parents, leaf = dotted.split(".")
+            for part in parents:
+                node = node.setdefault(part, {})
+            node[leaf] = value
+        for path in self.selected:
+            node = tree
+            for part in path.split("."):
+                node = node.setdefault(part, {})
+        return tree
+
+
+class ClaferSolver:
+    """Enumerate valid configurations and pick the most secure one.
+
+    The objective is the sum of selected features' ``security``
+    attributes — the same "prefer the most secure algorithm" policy the
+    old generator's Clafer models encode.
+    """
+
+    def __init__(self, model: ClaferModel):
+        self._model = model
+
+    def solve(self) -> Configuration:
+        best: Configuration | None = None
+        for configuration in self.enumerate():
+            if best is None or (configuration.score, configuration.performance) > (
+                best.score,
+                best.performance,
+            ):
+                best = configuration
+        if best is None:
+            raise ClaferError("model has no valid configuration")
+        return best
+
+    def enumerate(self) -> list[Configuration]:
+        out: list[Configuration] = []
+        self._expand(self._model.root, Configuration(), out)
+        return out
+
+    def _expand(
+        self, feature: Feature, partial: Configuration, out: list[Configuration]
+    ) -> None:
+        # Depth-first over the children, branching at xor groups and
+        # optional features; leaf = a complete configuration.
+        frontier = self._choice_points(feature)
+        if not frontier:
+            finished = self._finish(partial)
+            if finished is not None:
+                out.append(finished)
+            return
+        choice = frontier[0]
+        if choice.kind == "xor":
+            for alternative in choice.children:
+                trial = self._select(partial, alternative)
+                if trial is not None:
+                    self._expand_after(feature, choice, trial, out)
+        else:  # opt
+            self._expand_after(feature, choice, partial, out)
+            trial = self._select(partial, choice)
+            if trial is not None:
+                self._expand_after(feature, choice, trial, out)
+
+    def _choice_points(self, feature: Feature) -> list[Feature]:
+        points: list[Feature] = []
+
+        def visit(node: Feature) -> None:
+            for child in node.children:
+                if child.kind in ("xor", "opt") and child.path not in getattr(
+                    self, "_decided", set()
+                ):
+                    points.append(child)
+                else:
+                    visit(child)
+
+        visit(feature)
+        return points
+
+    def _expand_after(
+        self,
+        root: Feature,
+        decided: Feature,
+        partial: Configuration,
+        out: list[Configuration],
+    ) -> None:
+        decided_paths = getattr(self, "_decided", set())
+        self._decided = decided_paths | {decided.path}
+        try:
+            self._expand(root, partial, out)
+        finally:
+            self._decided = decided_paths
+
+    def _select(
+        self, partial: Configuration, feature: Feature
+    ) -> Configuration | None:
+        trial = Configuration(
+            dict(partial.selected),
+            dict(partial.values),
+            partial.score,
+            partial.performance,
+        )
+        stack = [feature]
+        while stack:
+            node = stack.pop()
+            trial.selected[node.path] = node
+            for attr, value in node.assignments.items():
+                # xor alternatives publish their attributes under the
+                # group's name ("keySize.bits"), other features under
+                # their own ("kdf.iterations").
+                if node.parent is not None and node.parent.kind == "xor":
+                    owner = node.parent.name
+                else:
+                    owner = node.name
+                trial.values[f"{owner}.{attr}"] = value
+            security = node.assignments.get("security")
+            if isinstance(security, int):
+                trial.score += security
+            performance = node.assignments.get("performance")
+            if isinstance(performance, int):
+                trial.performance += performance
+            for constraint in node.constraints:
+                actual = node.assignments.get(constraint.attribute)
+                if actual is not None and not constraint.check(actual):
+                    return None
+            stack.extend(
+                child for child in node.children if child.kind == "mandatory"
+            )
+        return trial
+
+    def _finish(self, partial: Configuration) -> Configuration | None:
+        # Select all mandatory features not yet covered.
+        configuration = partial
+        stack = [self._model.root]
+        while stack:
+            node = stack.pop()
+            for child in node.children:
+                if child.kind == "mandatory":
+                    if child.path not in configuration.selected:
+                        updated = self._select(configuration, child)
+                        if updated is None:
+                            return None
+                        configuration = updated
+                    stack.append(child)
+        return configuration

@@ -1,0 +1,94 @@
+"""CogniCrypt_old-gen: the legacy XSL + Clafer generation pipeline.
+
+The baseline the paper compares against (RQ4, RQ5): use-case code lives
+hard-coded in XSL templates whose variability points an algorithm model
+in Clafer resolves. This module wires the two together and exposes the
+artefact inventory the Table 2 comparison counts.
+"""
+
+from __future__ import annotations
+
+import importlib.resources
+from dataclasses import dataclass
+from pathlib import Path
+
+from .clafer import ClaferModel, ClaferSolver, Configuration
+from .xsl import XslTemplate
+
+
+class OldGenError(Exception):
+    """A legacy use case is unknown or its artefacts are inconsistent."""
+
+
+#: use-case slug -> (clafer model file, xsl template file). The PBE and
+#: hybrid variants share one family model each, exactly as the original
+#: shares Clafer models across data-type variants (which is why Table 2
+#: repeats 117/90 in the Clafer column).
+ARTEFACTS: dict[str, tuple[str, str]] = {
+    "pbe_files": ("pbe.cfr", "pbe_files.xsl.xml"),
+    "pbe_strings": ("pbe.cfr", "pbe_strings.xsl.xml"),
+    "pbe_bytes": ("pbe.cfr", "pbe_bytes.xsl.xml"),
+    "hybrid_files": ("hybrid.cfr", "hybrid_files.xsl.xml"),
+    "hybrid_strings": ("hybrid.cfr", "hybrid_strings.xsl.xml"),
+    "hybrid_bytes": ("hybrid.cfr", "hybrid_bytes.xsl.xml"),
+    "password_storage": ("storage.cfr", "password_storage.xsl.xml"),
+    "digital_signing": ("signing.cfr", "digital_signing.xsl.xml"),
+}
+
+
+def _artefact_dir() -> Path:
+    return Path(str(importlib.resources.files("repro.oldgen") / "artefacts"))
+
+
+@dataclass
+class OldGeneratedModule:
+    """The legacy pipeline's output."""
+
+    source: str
+    slug: str
+    configuration: Configuration
+
+    def compile_check(self) -> None:
+        compile(self.source, f"<old-gen {self.slug}>", "exec")
+
+
+class OldGenerator:
+    """Generate a legacy use case (Clafer solve → XSL transform)."""
+
+    def __init__(self, artefact_dir: str | Path | None = None):
+        self._dir = Path(artefact_dir) if artefact_dir else _artefact_dir()
+
+    def artefact_paths(self, slug: str) -> tuple[Path, Path]:
+        """The (model, template) files backing a use case."""
+        if slug not in ARTEFACTS:
+            raise OldGenError(
+                f"old-gen does not support {slug!r}; "
+                f"legacy use cases: {', '.join(sorted(ARTEFACTS))}"
+            )
+        model_name, template_name = ARTEFACTS[slug]
+        return self._dir / model_name, self._dir / template_name
+
+    def generate(self, slug: str, user_input: dict | None = None) -> OldGeneratedModule:
+        """Run the legacy pipeline for one use case.
+
+        ``user_input`` plays the role of the wizard's answers: a flat
+        dict merged into the configuration document, overriding model
+        defaults (e.g. ``{"kdf": {"iterations": 100000}}``).
+        """
+        model_path, template_path = self.artefact_paths(slug)
+        model = ClaferModel.parse_file(model_path)
+        configuration = ClaferSolver(model).solve()
+        document = configuration.as_document()
+        for key, value in (user_input or {}).items():
+            if isinstance(value, dict) and isinstance(document.get(key), dict):
+                document[key].update(value)
+            else:
+                document[key] = value
+        template = XslTemplate.parse_file(template_path)
+        source = template.transform(document)
+        module = OldGeneratedModule(source, slug, configuration)
+        module.compile_check()
+        return module
+
+    def supported_slugs(self) -> tuple[str, ...]:
+        return tuple(sorted(ARTEFACTS))

@@ -1,0 +1,157 @@
+"""An XSLT-subset template engine (the old-gen code path).
+
+CogniCrypt_old-gen resolves "points of variability in XSL code
+templates ... through an XSL transformation" (paper §4). This engine
+implements the XSLT subset those templates use:
+
+* ``<xsl:template match="/">`` — the single root template;
+* ``<xsl:text>`` — literal output (the bulk of the template);
+* ``<xsl:value-of select="path/to/value"/>`` — splice a value from the
+  configuration document;
+* ``<xsl:if test="path = 'literal'">`` / ``!=`` / numeric comparisons;
+* ``<xsl:choose>/<xsl:when test=...>/<xsl:otherwise>``.
+
+The "document" is the nested dict produced by
+:meth:`repro.oldgen.clafer.Configuration.as_document`, merged with
+user-input values (the wizard's answers in the original tool).
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+_XSL_NS = "http://www.w3.org/1999/XSL/Transform"
+
+
+def _tag(name: str) -> str:
+    return f"{{{_XSL_NS}}}{name}"
+
+
+class XslError(Exception):
+    """Malformed template or select path."""
+
+
+class XslTemplate:
+    """One parsed XSL template."""
+
+    def __init__(self, source: str, filename: str = "<template>"):
+        self._filename = filename
+        try:
+            root = ET.fromstring(source)
+        except ET.ParseError as exc:
+            raise XslError(f"{filename}: XML parse error: {exc}") from exc
+        if root.tag != _tag("stylesheet"):
+            raise XslError(f"{filename}: root element must be xsl:stylesheet")
+        templates = [child for child in root if child.tag == _tag("template")]
+        if len(templates) != 1 or templates[0].get("match") != "/":
+            raise XslError(
+                f"{filename}: exactly one <xsl:template match=\"/\"> required"
+            )
+        self._template = templates[0]
+        self.source = source
+
+    @classmethod
+    def parse_file(cls, path: str | Path) -> "XslTemplate":
+        path = Path(path)
+        return cls(path.read_text(encoding="utf-8"), str(path))
+
+    # ------------------------------------------------------------------
+
+    def transform(self, document: dict) -> str:
+        """Apply the template to a configuration document."""
+        out: list[str] = []
+        self._apply_children(self._template, document, out)
+        return "".join(out)
+
+    def _apply_children(self, node: ET.Element, document: dict, out: list[str]) -> None:
+        if node.text:
+            # Whitespace directly inside structural elements is layout,
+            # not output; only xsl:text content is emitted verbatim.
+            pass
+        for child in node:
+            self._apply(child, document, out)
+
+    def _apply(self, node: ET.Element, document: dict, out: list[str]) -> None:
+        if node.tag == _tag("text"):
+            out.append(node.text or "")
+        elif node.tag == _tag("value-of"):
+            select = node.get("select")
+            if not select:
+                raise XslError(f"{self._filename}: value-of without select")
+            out.append(_render(self._lookup(document, select)))
+        elif node.tag == _tag("if"):
+            test = node.get("test")
+            if test is None:
+                raise XslError(f"{self._filename}: if without test")
+            if self._evaluate(document, test):
+                self._apply_children(node, document, out)
+        elif node.tag == _tag("choose"):
+            for branch in node:
+                if branch.tag == _tag("when"):
+                    test = branch.get("test")
+                    if test is None:
+                        raise XslError(f"{self._filename}: when without test")
+                    if self._evaluate(document, test):
+                        self._apply_children(branch, document, out)
+                        return
+                elif branch.tag == _tag("otherwise"):
+                    self._apply_children(branch, document, out)
+                    return
+        else:
+            raise XslError(
+                f"{self._filename}: unsupported element "
+                f"{node.tag.replace('{' + _XSL_NS + '}', 'xsl:')}"
+            )
+
+    # ------------------------------------------------------------------
+
+    def _lookup(self, document: dict, path: str) -> object:
+        node: object = document
+        for part in path.strip("/").split("/"):
+            if not isinstance(node, dict) or part not in node:
+                raise XslError(
+                    f"{self._filename}: select path {path!r} not found in the "
+                    "configuration document"
+                )
+            node = node[part]
+        return node
+
+    _TEST = re.compile(
+        r"^\s*([\w/]+)\s*(!=|>=|<=|=|>|<)\s*(?:'([^']*)'|(-?\d+))\s*$"
+    )
+
+    def _evaluate(self, document: dict, test: str) -> bool:
+        match = self._TEST.match(test)
+        if not match:
+            # Bare path: true when the feature exists.
+            try:
+                self._lookup(document, test.strip())
+                return True
+            except XslError:
+                return False
+        path, op, string_value, int_value = match.groups()
+        expected: object = string_value if string_value is not None else int(int_value)
+        try:
+            actual = self._lookup(document, path)
+        except XslError:
+            return False
+        if op == "=":
+            return actual == expected
+        if op == "!=":
+            return actual != expected
+        if not isinstance(actual, int) or not isinstance(expected, int):
+            return False
+        return {
+            ">=": actual >= expected,
+            ">": actual > expected,
+            "<=": actual <= expected,
+            "<": actual < expected,
+        }[op]
+
+
+def _render(value: object) -> str:
+    if isinstance(value, bool):
+        return "True" if value else "False"
+    return str(value)

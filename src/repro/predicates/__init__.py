@@ -1,0 +1,34 @@
+"""Predicate linking across rule instances (paper Figure 6, step 2).
+
+ENSURES/REQUIRES rely–guarantee reasoning: candidate links between the
+rules a template considers, the dataflow graph they induce, and the
+path-establishment/drop semantics of §3.3.
+"""
+
+from .instances import (
+    RuleInstance,
+    TemplateBinding,
+    granted_predicates,
+    invalidating_events,
+)
+from .linker import (
+    Link,
+    compute_links,
+    emission_order,
+    establishes_path,
+    link_graph,
+    unlinked_instances,
+)
+
+__all__ = [
+    "Link",
+    "RuleInstance",
+    "TemplateBinding",
+    "compute_links",
+    "emission_order",
+    "establishes_path",
+    "granted_predicates",
+    "invalidating_events",
+    "link_graph",
+    "unlinked_instances",
+]

@@ -1,0 +1,218 @@
+"""A pure-Python implementation of the AES block cipher (FIPS 197).
+
+Supports AES-128, AES-192 and AES-256. The implementation is a
+straightforward table-free rendition of the specification: the S-box is
+derived from the multiplicative inverse in GF(2^8) at import time, and
+rounds operate on a 16-byte state in column-major order, exactly as the
+standard describes.
+
+This module only provides the *block* operation; chaining modes live in
+:mod:`repro.primitives.modes`. Performance is adequate for tests and for
+the generated code the reproduction executes (a few thousand blocks per
+second), which mirrors the paper's setting where absolute crypto
+throughput is irrelevant to the evaluation.
+"""
+
+from __future__ import annotations
+
+from .errors import InvalidBlockSize, InvalidKeyLength
+
+BLOCK_SIZE = 16
+
+_KEY_SIZES = (16, 24, 32)
+_ROUNDS_BY_KEY_SIZE = {16: 10, 24: 12, 32: 14}
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x (i.e. {02}) in GF(2^8) modulo x^8+x^4+x^3+x+1."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[list[int], list[int]]:
+    """Derive the AES S-box and its inverse from first principles."""
+    # Multiplicative inverses via exhaustive search (256 elements only).
+    inverse = [0] * 256
+    for x in range(1, 256):
+        for y in range(1, 256):
+            if _gf_mul(x, y) == 1:
+                inverse[x] = y
+                break
+    sbox = [0] * 256
+    for x in range(256):
+        b = inverse[x]
+        # Affine transformation over GF(2).
+        s = 0
+        for bit in range(8):
+            v = (
+                (b >> bit)
+                ^ (b >> ((bit + 4) % 8))
+                ^ (b >> ((bit + 5) % 8))
+                ^ (b >> ((bit + 6) % 8))
+                ^ (b >> ((bit + 7) % 8))
+                ^ (0x63 >> bit)
+            ) & 1
+            s |= v << bit
+        sbox[x] = s
+    inv_sbox = [0] * 256
+    for x, v in enumerate(sbox):
+        inv_sbox[v] = x
+    return sbox, inv_sbox
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+_RCON = [0x01]
+while len(_RCON) < 14:
+    _RCON.append(_xtime(_RCON[-1]))
+
+
+def expand_key(key: bytes) -> list[list[int]]:
+    """Run the AES key schedule.
+
+    Returns a list of round keys, each a flat 16-integer list in
+    column-major state order.
+    """
+    if len(key) not in _KEY_SIZES:
+        raise InvalidKeyLength("AES", len(key), _KEY_SIZES)
+    nk = len(key) // 4
+    rounds = _ROUNDS_BY_KEY_SIZE[len(key)]
+    words = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+    for i in range(nk, 4 * (rounds + 1)):
+        temp = list(words[i - 1])
+        if i % nk == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [SBOX[b] for b in temp]
+            temp[0] ^= _RCON[i // nk - 1]
+        elif nk > 6 and i % nk == 4:
+            temp = [SBOX[b] for b in temp]
+        words.append([w ^ t for w, t in zip(words[i - nk], temp)])
+    round_keys = []
+    for r in range(rounds + 1):
+        flat: list[int] = []
+        for c in range(4):
+            flat.extend(words[4 * r + c])
+        round_keys.append(flat)
+    return round_keys
+
+
+def _sub_bytes(state: list[int]) -> None:
+    for i in range(16):
+        state[i] = SBOX[state[i]]
+
+
+def _inv_sub_bytes(state: list[int]) -> None:
+    for i in range(16):
+        state[i] = INV_SBOX[state[i]]
+
+
+# State layout: state[4*c + r] is row r, column c (column-major), matching
+# the byte order of the input block.
+
+_SHIFT_MAP = [0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11]
+_INV_SHIFT_MAP = [0] * 16
+for _i, _j in enumerate(_SHIFT_MAP):
+    _INV_SHIFT_MAP[_j] = _i
+
+
+def _shift_rows(state: list[int]) -> list[int]:
+    return [state[_SHIFT_MAP[i]] for i in range(16)]
+
+
+def _inv_shift_rows(state: list[int]) -> list[int]:
+    return [state[_INV_SHIFT_MAP[i]] for i in range(16)]
+
+
+def _mix_single_column(col: list[int]) -> list[int]:
+    a0, a1, a2, a3 = col
+    return [
+        _gf_mul(a0, 2) ^ _gf_mul(a1, 3) ^ a2 ^ a3,
+        a0 ^ _gf_mul(a1, 2) ^ _gf_mul(a2, 3) ^ a3,
+        a0 ^ a1 ^ _gf_mul(a2, 2) ^ _gf_mul(a3, 3),
+        _gf_mul(a0, 3) ^ a1 ^ a2 ^ _gf_mul(a3, 2),
+    ]
+
+
+def _inv_mix_single_column(col: list[int]) -> list[int]:
+    a0, a1, a2, a3 = col
+    return [
+        _gf_mul(a0, 14) ^ _gf_mul(a1, 11) ^ _gf_mul(a2, 13) ^ _gf_mul(a3, 9),
+        _gf_mul(a0, 9) ^ _gf_mul(a1, 14) ^ _gf_mul(a2, 11) ^ _gf_mul(a3, 13),
+        _gf_mul(a0, 13) ^ _gf_mul(a1, 9) ^ _gf_mul(a2, 14) ^ _gf_mul(a3, 11),
+        _gf_mul(a0, 11) ^ _gf_mul(a1, 13) ^ _gf_mul(a2, 9) ^ _gf_mul(a3, 14),
+    ]
+
+
+def _mix_columns(state: list[int]) -> list[int]:
+    out: list[int] = []
+    for c in range(4):
+        out.extend(_mix_single_column(state[4 * c : 4 * c + 4]))
+    return out
+
+
+def _inv_mix_columns(state: list[int]) -> list[int]:
+    out: list[int] = []
+    for c in range(4):
+        out.extend(_inv_mix_single_column(state[4 * c : 4 * c + 4]))
+    return out
+
+
+def _add_round_key(state: list[int], round_key: list[int]) -> list[int]:
+    return [s ^ k for s, k in zip(state, round_key)]
+
+
+class AES:
+    """The raw AES block cipher for a fixed key.
+
+    >>> cipher = AES(bytes(16))
+    >>> cipher.decrypt_block(cipher.encrypt_block(bytes(16))) == bytes(16)
+    True
+    """
+
+    def __init__(self, key: bytes):
+        self._round_keys = expand_key(bytes(key))
+        self.key_size = len(key)
+        self.rounds = _ROUNDS_BY_KEY_SIZE[len(key)]
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise InvalidBlockSize(f"AES block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        state = _add_round_key(state, self._round_keys[0])
+        for r in range(1, self.rounds):
+            _sub_bytes(state)
+            state = _shift_rows(state)
+            state = _mix_columns(state)
+            state = _add_round_key(state, self._round_keys[r])
+        _sub_bytes(state)
+        state = _shift_rows(state)
+        state = _add_round_key(state, self._round_keys[self.rounds])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise InvalidBlockSize(f"AES block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        state = _add_round_key(state, self._round_keys[self.rounds])
+        for r in range(self.rounds - 1, 0, -1):
+            state = _inv_shift_rows(state)
+            _inv_sub_bytes(state)
+            state = _add_round_key(state, self._round_keys[r])
+            state = _inv_mix_columns(state)
+        state = _inv_shift_rows(state)
+        _inv_sub_bytes(state)
+        state = _add_round_key(state, self._round_keys[0])
+        return bytes(state)

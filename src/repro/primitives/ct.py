@@ -1,0 +1,23 @@
+"""Constant-time(-shaped) comparison helpers.
+
+CPython cannot give hard constant-time guarantees, but the comparison
+below at least avoids early exits that depend on the position of the
+first mismatching byte, mirroring what `MessageDigest.isEqual` does in
+the JCA.
+"""
+
+from __future__ import annotations
+
+
+def constant_time_equals(a: bytes, b: bytes) -> bool:
+    """Compare two byte strings without short-circuiting on content.
+
+    Unequal lengths return ``False`` immediately — lengths are public
+    in every protocol this library models.
+    """
+    if len(a) != len(b):
+        return False
+    acc = 0
+    for x, y in zip(a, b):
+        acc |= x ^ y
+    return acc == 0

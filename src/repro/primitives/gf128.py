@@ -1,0 +1,72 @@
+"""Arithmetic in GF(2^128) as used by GHASH (NIST SP 800-38D).
+
+GCM's field uses the "reflected" bit order: the polynomial
+x^128 + x^7 + x^2 + x + 1 with the most significant bit of the first
+byte representing the coefficient of x^0.
+"""
+
+from __future__ import annotations
+
+# x^128 reduction constant in the reflected representation.
+_R = 0xE1000000000000000000000000000000
+
+
+def block_to_int(block: bytes) -> int:
+    """Interpret a 16-byte block as a field element (big-endian)."""
+    if len(block) != 16:
+        raise ValueError(f"GF(2^128) elements are 16 bytes, got {len(block)}")
+    return int.from_bytes(block, "big")
+
+
+def int_to_block(value: int) -> bytes:
+    """Serialise a field element back into a 16-byte block."""
+    return value.to_bytes(16, "big")
+
+
+def gf_mult(x: int, y: int) -> int:
+    """Multiply two field elements in GCM's bit order.
+
+    This is the algorithm of SP 800-38D section 6.3, operating on
+    Python integers: iterate over the bits of ``x`` from the most
+    significant downwards, conditionally accumulating ``y`` and halving
+    ``y`` (a multiplication by x in the reflected field) each step.
+    """
+    z = 0
+    v = y
+    for i in range(127, -1, -1):
+        if (x >> i) & 1:
+            z ^= v
+        if v & 1:
+            v = (v >> 1) ^ _R
+        else:
+            v >>= 1
+    return z
+
+
+class GHASH:
+    """Incremental GHASH over a fixed hash subkey ``h``.
+
+    >>> g = GHASH(bytes(range(16)))
+    >>> g.update(bytes(16)).digest() == g.digest()
+    True
+    """
+
+    def __init__(self, h: bytes):
+        self._h = block_to_int(h)
+        self._y = 0
+
+    def update(self, block: bytes) -> "GHASH":
+        """Absorb one 16-byte block; shorter blocks are zero-padded."""
+        if len(block) < 16:
+            block = block + bytes(16 - len(block))
+        self._y = gf_mult(self._y ^ block_to_int(block), self._h)
+        return self
+
+    def update_padded(self, data: bytes) -> "GHASH":
+        """Absorb arbitrary-length data, zero-padding the final block."""
+        for offset in range(0, len(data), 16):
+            self.update(data[offset : offset + 16])
+        return self
+
+    def digest(self) -> bytes:
+        return int_to_block(self._y)

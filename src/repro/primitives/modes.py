@@ -1,0 +1,135 @@
+"""Block-cipher modes of operation over the raw AES block: CBC, CTR, GCM.
+
+Every mode takes the key material directly and constructs the block
+cipher itself so callers (the :mod:`repro.jca` provider) deal only in
+``bytes``. CBC uses PKCS#7 padding; CTR and GCM are stream-like and
+unpadded. GCM follows NIST SP 800-38D with a 96-bit nonce fast path and
+the GHASH-based J0 derivation for other nonce lengths.
+"""
+
+from __future__ import annotations
+
+from .aes import AES, BLOCK_SIZE
+from .ct import constant_time_equals
+from .errors import InvalidBlockSize, InvalidTag, ParameterError
+from .gf128 import GHASH
+from .padding import pad, unpad
+
+GCM_TAG_SIZE = 16
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
+    """Encrypt with AES-CBC and PKCS#7 padding."""
+    if len(iv) != BLOCK_SIZE:
+        raise ParameterError(f"CBC IV must be {BLOCK_SIZE} bytes, got {len(iv)}")
+    cipher = AES(key)
+    padded = pad(plaintext, BLOCK_SIZE)
+    out = bytearray()
+    previous = iv
+    for offset in range(0, len(padded), BLOCK_SIZE):
+        block = cipher.encrypt_block(_xor(padded[offset : offset + BLOCK_SIZE], previous))
+        out.extend(block)
+        previous = block
+    return bytes(out)
+
+
+def cbc_decrypt(key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
+    """Decrypt AES-CBC and strip PKCS#7 padding."""
+    if len(iv) != BLOCK_SIZE:
+        raise ParameterError(f"CBC IV must be {BLOCK_SIZE} bytes, got {len(iv)}")
+    if len(ciphertext) == 0 or len(ciphertext) % BLOCK_SIZE != 0:
+        raise InvalidBlockSize("CBC ciphertext must be a non-empty multiple of 16 bytes")
+    cipher = AES(key)
+    out = bytearray()
+    previous = iv
+    for offset in range(0, len(ciphertext), BLOCK_SIZE):
+        block = ciphertext[offset : offset + BLOCK_SIZE]
+        out.extend(_xor(cipher.decrypt_block(block), previous))
+        previous = block
+    return unpad(bytes(out), BLOCK_SIZE)
+
+
+def _ctr_keystream(cipher: AES, counter_block: bytes, length: int) -> bytes:
+    counter = int.from_bytes(counter_block, "big")
+    stream = bytearray()
+    while len(stream) < length:
+        stream.extend(cipher.encrypt_block(counter.to_bytes(16, "big")))
+        # Whole-block wraparound increment, matching SP 800-38A example
+        # vectors (the standard permits incrementing any suffix; GCM uses
+        # the low 32 bits which we implement separately below).
+        counter = (counter + 1) % (1 << 128)
+    return bytes(stream[:length])
+
+
+def ctr_transform(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """Encrypt or decrypt (identical) with AES-CTR.
+
+    ``nonce`` is the full 16-byte initial counter block.
+    """
+    if len(nonce) != BLOCK_SIZE:
+        raise ParameterError(f"CTR nonce must be {BLOCK_SIZE} bytes, got {len(nonce)}")
+    return _xor(data, _ctr_keystream(AES(key), nonce, len(data)))
+
+
+def _gcm_inc32(block: bytes) -> bytes:
+    prefix, counter = block[:12], int.from_bytes(block[12:], "big")
+    return prefix + ((counter + 1) & 0xFFFFFFFF).to_bytes(4, "big")
+
+
+def _gcm_counter_mode(cipher: AES, j0: bytes, data: bytes) -> bytes:
+    out = bytearray()
+    counter_block = j0
+    for offset in range(0, len(data), BLOCK_SIZE):
+        counter_block = _gcm_inc32(counter_block)
+        keystream = cipher.encrypt_block(counter_block)
+        chunk = data[offset : offset + BLOCK_SIZE]
+        out.extend(_xor(chunk, keystream[: len(chunk)]))
+    return bytes(out)
+
+
+def _gcm_j0(cipher: AES, h: bytes, nonce: bytes) -> bytes:
+    if len(nonce) == 12:
+        return nonce + b"\x00\x00\x00\x01"
+    ghash = GHASH(h)
+    ghash.update_padded(nonce)
+    ghash.update(bytes(8) + (8 * len(nonce)).to_bytes(8, "big"))
+    return ghash.digest()
+
+
+def _gcm_tag(cipher: AES, h: bytes, j0: bytes, aad: bytes, ciphertext: bytes) -> bytes:
+    ghash = GHASH(h)
+    ghash.update_padded(aad)
+    ghash.update_padded(ciphertext)
+    lengths = (8 * len(aad)).to_bytes(8, "big") + (8 * len(ciphertext)).to_bytes(8, "big")
+    ghash.update(lengths)
+    return _xor(ghash.digest(), cipher.encrypt_block(j0))
+
+
+def gcm_encrypt(key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+    """AES-GCM encryption; returns ciphertext with the 16-byte tag appended."""
+    if len(nonce) == 0:
+        raise ParameterError("GCM nonce must not be empty")
+    cipher = AES(key)
+    h = cipher.encrypt_block(bytes(16))
+    j0 = _gcm_j0(cipher, h, nonce)
+    ciphertext = _gcm_counter_mode(cipher, j0, plaintext)
+    tag = _gcm_tag(cipher, h, j0, aad, ciphertext)
+    return ciphertext + tag
+
+
+def gcm_decrypt(key: bytes, nonce: bytes, data: bytes, aad: bytes = b"") -> bytes:
+    """AES-GCM decryption of ``ciphertext || tag``; verifies before returning."""
+    if len(data) < GCM_TAG_SIZE:
+        raise InvalidTag("GCM input shorter than the authentication tag")
+    ciphertext, tag = data[:-GCM_TAG_SIZE], data[-GCM_TAG_SIZE:]
+    cipher = AES(key)
+    h = cipher.encrypt_block(bytes(16))
+    j0 = _gcm_j0(cipher, h, nonce)
+    expected = _gcm_tag(cipher, h, j0, aad, ciphertext)
+    if not constant_time_equals(tag, expected):
+        raise InvalidTag("GCM tag verification failed")
+    return _gcm_counter_mode(cipher, j0, ciphertext)

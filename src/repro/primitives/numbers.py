@@ -1,0 +1,122 @@
+"""Number-theoretic utilities backing the RSA implementation.
+
+Everything here is deliberately dependency-free: Miller–Rabin
+probabilistic primality, safe prime generation from an injectable random
+source, extended GCD and modular inverses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .errors import ParameterError
+
+# Deterministic witnesses proving primality for n < 3.3 * 10^24
+# (Sorenson & Webster), used before falling back to random witnesses.
+_SMALL_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
+
+_SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]
+for _candidate in range(53, 1000, 2):
+    if all(_candidate % p for p in _SMALL_PRIMES):
+        _SMALL_PRIMES.append(_candidate)
+
+
+def egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclid: returns (g, x, y) with a*x + b*y = g = gcd(a, b)."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    return old_r, old_s, old_t
+
+
+def modinv(a: int, m: int) -> int:
+    """Modular inverse of ``a`` mod ``m``; raises if not coprime."""
+    g, x, _ = egcd(a % m, m)
+    if g != 1:
+        raise ParameterError(f"{a} has no inverse modulo {m}")
+    return x % m
+
+
+def _miller_rabin_round(n: int, a: int, d: int, r: int) -> bool:
+    """One MR round: True if ``a`` is *consistent with* n being prime."""
+    x = pow(a, d, n)
+    if x in (1, n - 1):
+        return True
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_probable_prime(n: int, rounds: int = 20, rand_bytes: Callable[[int], bytes] | None = None) -> bool:
+    """Miller–Rabin primality test.
+
+    Small fixed witnesses run first (deterministically correct for
+    64-bit inputs); larger inputs additionally get ``rounds`` random
+    witnesses drawn from ``rand_bytes`` (defaults to ``os.urandom``).
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _SMALL_WITNESSES:
+        if a >= n - 1:
+            continue
+        if not _miller_rabin_round(n, a, d, r):
+            return False
+    if n.bit_length() <= 64:
+        return True
+    if rand_bytes is None:
+        import os
+
+        rand_bytes = os.urandom
+    byte_length = (n.bit_length() + 7) // 8
+    for _ in range(rounds):
+        a = 2 + int.from_bytes(rand_bytes(byte_length), "big") % (n - 3)
+        if not _miller_rabin_round(n, a, d, r):
+            return False
+    return True
+
+
+def generate_prime(bits: int, rand_bytes: Callable[[int], bytes] | None = None) -> int:
+    """Generate a random probable prime of exactly ``bits`` bits."""
+    if bits < 8:
+        raise ParameterError(f"prime size too small: {bits} bits")
+    if rand_bytes is None:
+        import os
+
+        rand_bytes = os.urandom
+    byte_length = (bits + 7) // 8
+    while True:
+        candidate = int.from_bytes(rand_bytes(byte_length), "big")
+        # Force exact bit length and oddness.
+        candidate |= 1 << (bits - 1)
+        candidate |= 1
+        candidate &= (1 << bits) - 1
+        if is_probable_prime(candidate, rand_bytes=rand_bytes):
+            return candidate
+
+
+def i2osp(x: int, length: int) -> bytes:
+    """Integer-to-octet-string primitive (RFC 8017)."""
+    if x < 0 or x >= 1 << (8 * length):
+        raise ParameterError(f"integer too large for {length} octets")
+    return x.to_bytes(length, "big")
+
+
+def os2ip(octets: bytes) -> int:
+    """Octet-string-to-integer primitive (RFC 8017)."""
+    return int.from_bytes(octets, "big")

@@ -1,0 +1,40 @@
+"""PKCS#7 padding (RFC 5652 section 6.3)."""
+
+from __future__ import annotations
+
+from .errors import InvalidPadding
+
+
+def pad(data: bytes, block_size: int = 16) -> bytes:
+    """Append PKCS#7 padding so the result is a multiple of ``block_size``.
+
+    A full padding block is appended when ``data`` is already aligned,
+    as the standard requires; this keeps unpadding unambiguous.
+    """
+    if not 1 <= block_size <= 255:
+        raise ValueError(f"block size must be in [1, 255], got {block_size}")
+    pad_len = block_size - (len(data) % block_size)
+    return data + bytes([pad_len] * pad_len)
+
+
+def unpad(data: bytes, block_size: int = 16) -> bytes:
+    """Strip and verify PKCS#7 padding.
+
+    Raises :class:`InvalidPadding` on any malformed input. The check
+    inspects every padding byte (not just the count byte) so that a
+    corrupted tail cannot slip through.
+    """
+    if not 1 <= block_size <= 255:
+        raise ValueError(f"block size must be in [1, 255], got {block_size}")
+    if not data or len(data) % block_size != 0:
+        raise InvalidPadding("ciphertext length is not a multiple of the block size")
+    pad_len = data[-1]
+    if pad_len < 1 or pad_len > block_size:
+        raise InvalidPadding("invalid padding")
+    # Constant-shape verification of all padding bytes.
+    mismatch = 0
+    for byte in data[-pad_len:]:
+        mismatch |= byte ^ pad_len
+    if mismatch:
+        raise InvalidPadding("invalid padding")
+    return data[:-pad_len]

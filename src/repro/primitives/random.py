@@ -1,0 +1,72 @@
+"""Random sources: the OS CSPRNG and a deterministic HMAC-DRBG.
+
+The JCA's ``SecureRandom`` is modelled in :mod:`repro.jca.secure_random`
+on top of these. The HMAC-DRBG (NIST SP 800-90A) gives the test suite a
+reproducible-yet-realistic randomness source: seeded identically it
+replays identical streams, which the property tests exploit.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .errors import ParameterError
+from .mac import hmac_digest
+
+
+class OsRandomSource:
+    """Thin wrapper over ``os.urandom`` — the production entropy source."""
+
+    def read(self, n: int) -> bytes:
+        if n < 0:
+            raise ParameterError(f"cannot read {n} random bytes")
+        return os.urandom(n)
+
+
+class HmacDrbg:
+    """HMAC_DRBG from NIST SP 800-90A (no prediction-resistance requests).
+
+    >>> HmacDrbg(b"seed").read(4) == HmacDrbg(b"seed").read(4)
+    True
+    """
+
+    #: Reseed after this many generate calls, per SP 800-90A's limit
+    #: (the spec allows 2**48; we use a conservative figure).
+    RESEED_INTERVAL = 1 << 24
+
+    def __init__(self, seed: bytes, algorithm: str = "SHA-256"):
+        self._algorithm = algorithm
+        self._key = bytes(32)
+        self._value = b"\x01" * 32
+        self._calls = 0
+        self._update(seed)
+
+    def _update(self, provided_data: bytes | None) -> None:
+        self._key = hmac_digest(
+            self._key, self._value + b"\x00" + (provided_data or b""), self._algorithm
+        )
+        self._value = hmac_digest(self._key, self._value, self._algorithm)
+        if provided_data:
+            self._key = hmac_digest(
+                self._key, self._value + b"\x01" + provided_data, self._algorithm
+            )
+            self._value = hmac_digest(self._key, self._value, self._algorithm)
+
+    def reseed(self, entropy: bytes) -> None:
+        """Mix fresh entropy into the state."""
+        self._update(entropy)
+        self._calls = 0
+
+    def read(self, n: int) -> bytes:
+        """Generate ``n`` pseudo-random bytes."""
+        if n < 0:
+            raise ParameterError(f"cannot read {n} random bytes")
+        if self._calls >= self.RESEED_INTERVAL:
+            raise ParameterError("HMAC-DRBG reseed required")
+        self._calls += 1
+        out = bytearray()
+        while len(out) < n:
+            self._value = hmac_digest(self._key, self._value, self._algorithm)
+            out.extend(self._value)
+        self._update(None)
+        return bytes(out[:n])

@@ -1,0 +1,6 @@
+"""The bundled CrySL rule set for the JCA-style provider.
+
+One ``.crysl`` file per provider class, mirroring the layout of the
+Crypto-API-Rules repository the paper reuses. Load through
+:func:`repro.crysl.bundled_ruleset`.
+"""

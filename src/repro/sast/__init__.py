@@ -1,0 +1,23 @@
+"""A rule-driven static analyzer for generated (and hand-written) code.
+
+The reproduction's stand-in for CogniCrypt_SAST: it checks Python code
+against the same CrySL rules the generator consumes, reporting
+typestate violations, incomplete operations, constraint violations,
+forbidden methods and unsatisfied required predicates.
+"""
+
+from .analysis import CrySLAnalyzer
+from .ir import ArgFact, CallRecord, FunctionIR, ObjectTrace, lift_module
+from .report import AnalysisResult, Finding, FindingKind
+
+__all__ = [
+    "AnalysisResult",
+    "ArgFact",
+    "CallRecord",
+    "CrySLAnalyzer",
+    "Finding",
+    "FindingKind",
+    "FunctionIR",
+    "ObjectTrace",
+    "lift_module",
+]

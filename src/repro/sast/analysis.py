@@ -1,0 +1,484 @@
+"""The rule-driven static analyzer (CogniCrypt_SAST analogue).
+
+Checks a Python module against the same CrySL rules the generator
+consumes — the reproduction of the paper's RQ1 validity check ("we have
+further run the Java compiler and CogniCrypt_SAST on them").
+
+Semantics (matching Krüger et al., ECOOP 2018):
+
+* events from *all* tracked objects in a function are processed in
+  program order, so rely/guarantee predicates flow between objects
+  exactly as they would at runtime;
+* an object grants its ENSURES predicates at the anchoring event **only
+  while its own use is violation-free** ("an object ensures its
+  predicates if and only if the use follows the method sequence, does
+  not violate any parameter constraints, and avoids forbidden
+  methods");
+* NEGATES withdraws a predicate when an invalidating event runs;
+* REQUIRES is violated only when the supplied argument is *locally
+  deterministic* (a literal, a fresh zero buffer, or a tracked object
+  lacking the predicate); values of unknown provenance — function
+  parameters, slices of inputs — are waived, as an intraprocedural
+  analysis cannot judge them.
+"""
+
+from __future__ import annotations
+
+import ast as pyast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..constraints import Binding, BindingSource, ConstraintEvaluator, Environment
+from ..constraints.types import TypeRegistry, default_registry
+from ..crysl import ast as crysl_ast
+from ..crysl.ruleset import RuleSet, bundled_ruleset
+from ..fsm import DfaWalker, rule_dfa
+from .ir import ArgFact, CallRecord, FunctionIR, ObjectTrace, lift_module
+from .report import AnalysisResult, Finding, FindingKind
+
+
+@dataclass
+class _TraceState:
+    """Mutable per-object analysis state."""
+
+    trace: ObjectTrace
+    rule: crysl_ast.Rule
+    walker: DfaWalker
+    env: Environment
+    labels: list[str] = field(default_factory=list)
+    tainted: bool = False
+    reported_constraints: set[str] = field(default_factory=set)
+    saw_any_event: bool = False
+    receiver_checked: bool = False
+    #: predicate name -> variable it was granted on (for NEGATES whose
+    #: pattern does not mention the current event's objects)
+    granted: dict[str, str] = field(default_factory=dict)
+
+
+class CrySLAnalyzer:
+    """Analyze modules against a rule set."""
+
+    def __init__(
+        self,
+        ruleset: RuleSet | None = None,
+        registry: TypeRegistry | None = None,
+    ):
+        self._ruleset = ruleset or bundled_ruleset()
+        self._registry = registry or default_registry()
+        self._rules_by_simple = {rule.simple_name: rule for rule in self._ruleset}
+        self._dfas = {rule.simple_name: rule_dfa(rule) for rule in self._ruleset}
+        self._result_classes = self._compute_result_classes()
+        self._signatures = {
+            rule.simple_name: self._events_by_signature(rule)
+            for rule in self._ruleset
+        }
+
+    def _compute_result_classes(self) -> dict[tuple[str, str, int], str]:
+        """(class, method, arity) -> result class, for factory products."""
+        out: dict[tuple[str, str, int], str] = {}
+        for rule in self._ruleset:
+            for event in rule.events:
+                if event.result is None or event.result == "this":
+                    continue
+                declared = rule.object_named(event.result)
+                if declared is None:
+                    continue
+                simple = declared.type_name.rsplit(".", 1)[-1]
+                if simple in self._rules_by_simple:
+                    out[(rule.simple_name, event.method_name, event.arity)] = simple
+        return out
+
+    @staticmethod
+    def _events_by_signature(
+        rule: crysl_ast.Rule,
+    ) -> dict[tuple[str, int], crysl_ast.Event]:
+        out: dict[tuple[str, int], crysl_ast.Event] = {}
+        for event in rule.events:
+            out.setdefault((event.method_name, event.arity), event)
+        return out
+
+    # ------------------------------------------------------------------
+
+    def analyze_source(self, source: str, name: str = "<module>") -> AnalysisResult:
+        """Analyze Python source text; returns all findings."""
+        module = pyast.parse(source, filename=name)
+        result = AnalysisResult()
+        lifted = lift_module(
+            module, set(self._rules_by_simple), self._result_classes
+        )
+        for function_ir in lifted:
+            self._analyze_function(function_ir, result)
+        return result
+
+    def analyze_file(self, path: str | Path) -> AnalysisResult:
+        path = Path(path)
+        return self.analyze_source(path.read_text(encoding="utf-8"), str(path))
+
+    # ------------------------------------------------------------------
+
+    def _analyze_function(self, ir: FunctionIR, result: AnalysisResult) -> None:
+        states: dict[str, _TraceState] = {}
+        for trace in ir.traces.values():
+            result.tracked_objects += 1
+            rule = self._rules_by_simple[trace.class_name]
+            states[trace.variable] = _TraceState(
+                trace=trace,
+                rule=rule,
+                walker=DfaWalker(self._dfas[trace.class_name]),
+                env=Environment(),
+            )
+
+        #: predicate name -> set of variables currently holding it
+        held: dict[str, set[str]] = {}
+        deterministic = self._deterministic_vars(ir)
+
+        # Merge all records across traces into program order.
+        timeline: list[tuple[int, int, _TraceState, CallRecord]] = []
+        for state in states.values():
+            records = []
+            if state.trace.creation is not None:
+                records.append(state.trace.creation)
+            records.extend(state.trace.calls)
+            for record in records:
+                timeline.append((record.line, record.seq, state, record))
+        timeline.sort(key=lambda item: (item[0], item[1]))
+
+        for _, _, state, record in timeline:
+            self._process_record(ir, state, record, held, deterministic, result)
+
+        for state in states.values():
+            self._finalize_trace(ir, state, result)
+
+    @staticmethod
+    def _deterministic_vars(ir: FunctionIR) -> set[str]:
+        """Variables whose value is locally determined: literals and
+        fresh buffer allocations. A zero-filled ``bytearray(32)`` stays
+        deterministic until something rule-covered randomizes it — which
+        is exactly what the ``randomized`` predicate models."""
+        out = set(ir.constants)
+        out.update(ir.lengths)
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _process_record(
+        self,
+        ir: FunctionIR,
+        state: _TraceState,
+        record: CallRecord,
+        held: dict[str, set[str]],
+        deterministic: set[str],
+        result: AnalysisResult,
+    ) -> None:
+        rule = state.rule
+        trace = state.trace
+        self._check_forbidden(rule, trace, record, ir, result)
+        event = self._signatures[rule.simple_name].get(
+            (record.method, len(record.args))
+        )
+        if event is None:
+            state.tainted = True
+            result.findings.append(
+                Finding(
+                    FindingKind.TYPESTATE,
+                    f"call {record.method}/{len(record.args)} does not match any "
+                    "event of the rule",
+                    record.line,
+                    trace.variable,
+                    rule.class_name,
+                    ir.name,
+                )
+            )
+            return
+        state.saw_any_event = True
+        state.labels.append(event.label)
+        self._bind_arguments(state.env, event, record)
+
+        # Receiver-side REQUIRES (e.g. SecretKey: generated_key[this]).
+        if not state.receiver_checked:
+            state.receiver_checked = True
+            self._check_this_requirements(
+                state, record, held, deterministic, ir, result
+            )
+
+        if not state.walker.feed(event.label):
+            if trace.from_parameter:
+                # Parameters may arrive mid-protocol; restart silently.
+                state.walker = DfaWalker(self._dfas[rule.simple_name])
+            else:
+                state.tainted = True
+                result.findings.append(
+                    Finding(
+                        FindingKind.TYPESTATE,
+                        f"event {event.label} ({record.method}) violates the "
+                        "usage pattern",
+                        record.line,
+                        trace.variable,
+                        rule.class_name,
+                        ir.name,
+                    )
+                )
+
+        self._check_constraints_incremental(state, record, ir, result)
+        self._check_required_predicates(
+            state, event, record, held, deterministic, ir, result
+        )
+        if not state.tainted:
+            self._grant_predicates(state, event, record, held)
+        self._negate_predicates(state, event, record, held)
+
+    # ------------------------------------------------------------------
+
+    def _check_forbidden(
+        self,
+        rule: crysl_ast.Rule,
+        trace: ObjectTrace,
+        record: CallRecord,
+        ir: FunctionIR,
+        result: AnalysisResult,
+    ) -> None:
+        for forbidden in rule.forbidden:
+            if forbidden.method_name != record.method:
+                continue
+            if len(forbidden.param_types) != len(record.args):
+                continue
+            hint = (
+                f"; use {forbidden.alternative} instead"
+                if forbidden.alternative
+                else ""
+            )
+            result.findings.append(
+                Finding(
+                    FindingKind.FORBIDDEN_METHOD,
+                    f"call to forbidden method {record.method}/"
+                    f"{len(record.args)}{hint}",
+                    record.line,
+                    trace.variable,
+                    rule.class_name,
+                    ir.name,
+                )
+            )
+
+    @staticmethod
+    def _bind_arguments(
+        env: Environment, event: crysl_ast.Event, record: CallRecord
+    ) -> None:
+        for param, arg in zip(event.params, record.args):
+            if param.is_wildcard or param.is_this:
+                continue
+            binding = Binding(
+                param.name, BindingSource.TEMPLATE, template_expr=arg.expr
+            )
+            if arg.value is not None or arg.is_literal:
+                binding.value = arg.value
+            if arg.type_name is not None:
+                binding.type_name = arg.type_name
+            if arg.length is not None:
+                binding.length = arg.length
+            env.bind(binding)
+
+    def _check_constraints_incremental(
+        self,
+        state: _TraceState,
+        record: CallRecord,
+        ir: FunctionIR,
+        result: AnalysisResult,
+    ) -> None:
+        evaluator = ConstraintEvaluator(
+            state.env, state.rule, tuple(state.labels), self._registry
+        )
+        for constraint in state.rule.constraints:
+            text = str(constraint)
+            if text in state.reported_constraints:
+                continue
+            if evaluator.evaluate(constraint) is False:
+                state.reported_constraints.add(text)
+                state.tainted = True
+                result.findings.append(
+                    Finding(
+                        FindingKind.CONSTRAINT,
+                        f"constraint violated: {constraint}",
+                        record.line,
+                        state.trace.variable,
+                        state.rule.class_name,
+                        ir.name,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+
+    def _check_this_requirements(
+        self,
+        state: _TraceState,
+        record: CallRecord,
+        held: dict[str, set[str]],
+        deterministic: set[str],
+        ir: FunctionIR,
+        result: AnalysisResult,
+    ) -> None:
+        if state.trace.from_parameter:
+            return  # unknown provenance — waived
+        for group in state.rule.requires:
+            this_alternatives = [
+                alternative
+                for alternative in group.alternatives
+                if alternative.args and alternative.args[0].value == "this"
+            ]
+            if not this_alternatives:
+                continue
+            satisfied = any(
+                alternative.name in held.get(state.trace.variable, set())
+                for alternative in this_alternatives
+            )
+            if not satisfied:
+                state.tainted = True
+                wanted = " || ".join(str(a) for a in this_alternatives)
+                result.findings.append(
+                    Finding(
+                        FindingKind.REQUIRED_PREDICATE,
+                        f"required predicate not established on the object "
+                        f"itself: {wanted}",
+                        record.line,
+                        state.trace.variable,
+                        state.rule.class_name,
+                        ir.name,
+                    )
+                )
+
+    def _check_required_predicates(
+        self,
+        state: _TraceState,
+        event: crysl_ast.Event,
+        record: CallRecord,
+        held: dict[str, set[str]],
+        deterministic: set[str],
+        ir: FunctionIR,
+        result: AnalysisResult,
+    ) -> None:
+        event_params = {
+            param.name: arg
+            for param, arg in zip(event.params, record.args)
+            if not param.is_wildcard
+        }
+        for group in state.rule.requires:
+            relevant: list[tuple[crysl_ast.PredicateUse, ArgFact]] = []
+            for alternative in group.alternatives:
+                subject = alternative.args[0].value if alternative.args else None
+                if isinstance(subject, str) and subject in event_params:
+                    relevant.append((alternative, event_params[subject]))
+            if not relevant:
+                continue
+            satisfied = False
+            judgeable = False
+            for alternative, arg in relevant:
+                if arg.var is not None and alternative.name in held.get(arg.var, set()):
+                    satisfied = True
+                    break
+                if arg.is_literal:
+                    judgeable = True
+                elif arg.var is not None and arg.var in deterministic:
+                    judgeable = True
+                elif (
+                    arg.var is not None
+                    and arg.var in ir.traces
+                    and not ir.traces[arg.var].from_parameter
+                ):
+                    judgeable = True
+            if not satisfied and judgeable:
+                state.tainted = True
+                wanted = " || ".join(str(a) for a, _ in relevant)
+                arguments = ", ".join(arg.expr for _, arg in relevant)
+                result.findings.append(
+                    Finding(
+                        FindingKind.REQUIRED_PREDICATE,
+                        f"required predicate not established: {wanted} "
+                        f"(argument: {arguments})",
+                        record.line,
+                        state.trace.variable,
+                        state.rule.class_name,
+                        ir.name,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+
+    def _grant_predicates(
+        self,
+        state: _TraceState,
+        event: crysl_ast.Event,
+        record: CallRecord,
+        held: dict[str, set[str]],
+    ) -> None:
+        for ensured in state.rule.ensures:
+            if ensured.after is not None:
+                anchors = state.rule.expand_label(ensured.after)
+                if event.label not in anchors:
+                    continue
+            target = self._predicate_target(ensured, event, record, state.trace)
+            if target is not None:
+                held.setdefault(target, set()).add(ensured.name)
+                state.granted[ensured.name] = target
+
+    def _negate_predicates(
+        self,
+        state: _TraceState,
+        event: crysl_ast.Event,
+        record: CallRecord,
+        held: dict[str, set[str]],
+    ) -> None:
+        for negated in state.rule.negates:
+            anchored_here = any(
+                ensured.name == negated.name
+                and ensured.after is not None
+                and event.label in state.rule.expand_label(ensured.after)
+                for ensured in state.rule.ensures
+            )
+            if anchored_here:
+                continue  # the granting event itself never negates
+            target = self._predicate_target(negated, event, record, state.trace)
+            if target is None:
+                target = state.granted.get(negated.name)
+            if target is not None and target in held:
+                held[target].discard(negated.name)
+
+    @staticmethod
+    def _predicate_target(
+        predicate: crysl_ast.PredicateUse,
+        event: crysl_ast.Event,
+        record: CallRecord,
+        trace: ObjectTrace,
+    ) -> str | None:
+        if not predicate.args:
+            return None
+        subject = predicate.args[0].value
+        if not isinstance(subject, str):
+            return None
+        if subject == "this":
+            return trace.variable
+        if event.result == subject:
+            return record.result_var
+        for param, arg in zip(event.params, record.args):
+            if param.name == subject:
+                return arg.var
+        return None
+
+    # ------------------------------------------------------------------
+
+    def _finalize_trace(
+        self, ir: FunctionIR, state: _TraceState, result: AnalysisResult
+    ) -> None:
+        if state.trace.from_parameter or not state.saw_any_event:
+            return
+        if not state.walker.in_dead_state and not state.walker.in_accepting_state:
+            expected = ", ".join(sorted(state.walker.expected_symbols())) or "<none>"
+            result.findings.append(
+                Finding(
+                    FindingKind.INCOMPLETE_OPERATION,
+                    "object never reaches an accepting state; still expects one "
+                    f"of: {expected}",
+                    state.trace.created_line,
+                    state.trace.variable,
+                    state.rule.class_name,
+                    ir.name,
+                )
+            )

@@ -1,0 +1,307 @@
+"""A mini-IR for the analyzer: per-function object traces.
+
+The analyzer is intraprocedural, like the unit of reporting in
+CogniCrypt_SAST: within each function it tracks every object created
+through a rule-covered class (constructor or ``Class.factory(...)``
+call), follows simple aliases, and records the ordered method calls on
+each object together with statically-evident facts about the arguments.
+"""
+
+from __future__ import annotations
+
+import ast as pyast
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ArgFact:
+    """What is statically known about one call argument."""
+
+    expr: str
+    value: object | None = None
+    is_literal: bool = False
+    #: variable name when the argument is a plain name
+    var: str | None = None
+    #: inferred type ("bytes", "bytearray", a class simple name, ...)
+    type_name: str | None = None
+    #: inferred element count for buffers
+    length: int | None = None
+
+
+@dataclass
+class CallRecord:
+    """One method call observed on a tracked object."""
+
+    method: str
+    args: tuple[ArgFact, ...]
+    line: int
+    #: variable receiving the call's result, if any
+    result_var: str | None = None
+    #: global statement order within the function (for interleaving
+    #: traces correctly during analysis)
+    seq: int = 0
+
+
+@dataclass
+class ObjectTrace:
+    """The life of one tracked object inside a function."""
+
+    variable: str
+    class_name: str  # simple name, e.g. "Cipher"
+    created_line: int
+    #: constructor/factory arguments (the creation call's args)
+    creation: CallRecord | None = None
+    calls: list[CallRecord] = field(default_factory=list)
+    #: True when the object entered the function as a parameter — its
+    #: earlier history is unknown, so typestate starts mid-protocol.
+    from_parameter: bool = False
+
+
+@dataclass
+class FunctionIR:
+    """All traces plus local constant/type facts for one function."""
+
+    name: str
+    traces: dict[str, ObjectTrace] = field(default_factory=dict)
+    #: local name -> constant value (int/str/bytes literals)
+    constants: dict[str, object] = field(default_factory=dict)
+    #: local name -> inferred type name
+    types: dict[str, str] = field(default_factory=dict)
+    #: local name -> inferred buffer length
+    lengths: dict[str, int] = field(default_factory=dict)
+    #: result variable -> (producer variable, method) for dataflow
+    results: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+
+class _FunctionLifter:
+    """Build the IR for one function body.
+
+    ``result_classes`` maps ``(receiver class, method, arity)`` to the
+    class of the call's result when that result is itself rule-covered
+    (e.g. ``SecretKeyFactory.generate_secret`` yields a ``SecretKey``),
+    so factory products become tracked objects too.
+    """
+
+    def __init__(
+        self,
+        function: pyast.FunctionDef,
+        tracked_classes: set[str],
+        result_classes: dict[tuple[str, str, int], str] | None = None,
+    ):
+        self._function = function
+        self._tracked = tracked_classes
+        self._result_classes = result_classes or {}
+        self._ir = FunctionIR(function.name)
+        self._aliases: dict[str, str] = {}  # alias -> canonical variable
+        self._seq = 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def lift(self) -> FunctionIR:
+        for arg in self._function.args.args:
+            if arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is not None:
+                annotation = pyast.unparse(arg.annotation)
+                self._ir.types[arg.arg] = annotation
+                if annotation in self._tracked:
+                    self._ir.traces[arg.arg] = ObjectTrace(
+                        variable=arg.arg,
+                        class_name=annotation,
+                        created_line=self._function.lineno,
+                        from_parameter=True,
+                    )
+        for statement in self._function.body:
+            self._statement(statement)
+        return self._ir
+
+    # ------------------------------------------------------------------
+
+    def _canonical(self, name: str) -> str:
+        seen = set()
+        while name in self._aliases and name not in seen:
+            seen.add(name)
+            name = self._aliases[name]
+        return name
+
+    def _statement(self, statement: pyast.stmt) -> None:
+        if isinstance(statement, pyast.Assign) and len(statement.targets) == 1:
+            target = statement.targets[0]
+            if isinstance(target, pyast.Name):
+                self._assignment(target.id, statement.value, statement.lineno)
+                return
+        if isinstance(statement, pyast.Expr):
+            self._expression(statement.value, None, statement.lineno)
+            return
+        if isinstance(statement, pyast.Return) and statement.value is not None:
+            self._expression(statement.value, None, statement.lineno)
+            return
+        if isinstance(statement, (pyast.If, pyast.For, pyast.While, pyast.With, pyast.Try)):
+            # Conservative: analyze nested bodies in order. Branch
+            # sensitivity is out of scope (as it is for the paper's
+            # generated straight-line code).
+            for body_field in ("body", "orelse", "finalbody"):
+                for child in getattr(statement, body_field, []) or []:
+                    self._statement(child)
+
+    def _assignment(self, target: str, value: pyast.expr, line: int) -> None:
+        if isinstance(value, pyast.Name):
+            # Alias: y = x
+            self._aliases[target] = self._canonical(value.id)
+            return
+        fact = _infer_literal(value)
+        if fact is not None:
+            if fact.value is not None:
+                self._ir.constants[target] = fact.value
+            if fact.type_name is not None:
+                self._ir.types[target] = fact.type_name
+            if fact.length is not None:
+                self._ir.lengths[target] = fact.length
+        if isinstance(value, pyast.Call):
+            self._expression(value, target, line)
+
+    def _expression(
+        self, expr: pyast.expr, result_var: str | None, line: int
+    ) -> None:
+        if not isinstance(expr, pyast.Call):
+            return
+        func = expr.func
+        args = tuple(self._arg_fact(a) for a in expr.args)
+        # Class(args) — constructor of a tracked class.
+        if isinstance(func, pyast.Name) and func.id in self._tracked:
+            if result_var is not None:
+                record = CallRecord(func.id, args, line, result_var, self._next_seq())
+                self._ir.traces[result_var] = ObjectTrace(
+                    variable=result_var,
+                    class_name=func.id,
+                    created_line=line,
+                    creation=record,
+                )
+                self._ir.types[result_var] = func.id
+            return
+        if isinstance(func, pyast.Attribute):
+            base = func.value
+            # Class.factory(args)
+            if isinstance(base, pyast.Name) and base.id in self._tracked:
+                if result_var is not None:
+                    record = CallRecord(
+                        func.attr, args, line, result_var, self._next_seq()
+                    )
+                    self._ir.traces[result_var] = ObjectTrace(
+                        variable=result_var,
+                        class_name=base.id,
+                        created_line=line,
+                        creation=record,
+                    )
+                    self._ir.types[result_var] = base.id
+                return
+            # receiver.method(args)
+            if isinstance(base, pyast.Name):
+                receiver = self._canonical(base.id)
+                trace = self._ir.traces.get(receiver)
+                if trace is not None:
+                    record = CallRecord(
+                        func.attr, args, line, result_var, self._next_seq()
+                    )
+                    trace.calls.append(record)
+                    if result_var is not None:
+                        self._ir.results[result_var] = (receiver, func.attr)
+                        result_class = self._result_classes.get(
+                            (trace.class_name, func.attr, len(args))
+                        )
+                        if result_class is not None and result_var not in self._ir.traces:
+                            # A rule-covered factory product: track it
+                            # (with no creation event of its own).
+                            self._ir.traces[result_var] = ObjectTrace(
+                                variable=result_var,
+                                class_name=result_class,
+                                created_line=line,
+                            )
+                            self._ir.types[result_var] = result_class
+                return
+        # Nested calls in arguments (e.g. write_bytes(iv + ct)) are glue.
+
+    def _arg_fact(self, node: pyast.expr) -> ArgFact:
+        expr_text = pyast.unparse(node)
+        literal = _infer_literal(node)
+        if literal is not None and literal.is_literal:
+            return ArgFact(
+                expr=expr_text,
+                value=literal.value,
+                is_literal=True,
+                type_name=literal.type_name,
+                length=literal.length,
+            )
+        if isinstance(node, pyast.Name):
+            name = self._canonical(node.id)
+            return ArgFact(
+                expr=expr_text,
+                var=name,
+                value=self._ir.constants.get(name),
+                type_name=self._ir.types.get(name),
+                length=self._ir.lengths.get(name),
+            )
+        if isinstance(node, pyast.Attribute):
+            # Symbolic constants like Cipher.ENCRYPT_MODE.
+            from ..codegen.template import SYMBOLIC_CONSTANTS
+
+            if expr_text in SYMBOLIC_CONSTANTS:
+                return ArgFact(
+                    expr=expr_text,
+                    value=SYMBOLIC_CONSTANTS[expr_text],
+                    is_literal=True,
+                    type_name="int",
+                )
+        return ArgFact(expr=expr_text)
+
+
+@dataclass(frozen=True)
+class _LiteralFact:
+    value: object | None
+    type_name: str | None
+    length: int | None
+    is_literal: bool
+
+
+def _infer_literal(node: pyast.expr) -> _LiteralFact | None:
+    if isinstance(node, pyast.Constant):
+        value = node.value
+        type_name = type(value).__name__ if value is not None else None
+        length = len(value) if isinstance(value, (str, bytes)) else None
+        return _LiteralFact(value, type_name, length, True)
+    if isinstance(node, pyast.Call) and isinstance(node.func, pyast.Name):
+        if node.func.id in ("bytes", "bytearray"):
+            length = None
+            if node.args and isinstance(node.args[0], pyast.Constant) and isinstance(
+                node.args[0].value, int
+            ):
+                length = node.args[0].value
+            return _LiteralFact(None, node.func.id, length, False)
+    if isinstance(node, pyast.UnaryOp) and isinstance(node.op, pyast.USub):
+        inner = _infer_literal(node.operand)
+        if inner is not None and isinstance(inner.value, int):
+            return _LiteralFact(-inner.value, "int", None, True)
+    return None
+
+
+def lift_module(
+    module: pyast.Module,
+    tracked_classes: set[str],
+    result_classes: dict[tuple[str, str, int], str] | None = None,
+) -> list[FunctionIR]:
+    """Lift every function and method in a module into the IR."""
+    out: list[FunctionIR] = []
+
+    def visit_body(body: list[pyast.stmt]) -> None:
+        for node in body:
+            if isinstance(node, pyast.FunctionDef):
+                out.append(
+                    _FunctionLifter(node, tracked_classes, result_classes).lift()
+                )
+            elif isinstance(node, pyast.ClassDef):
+                visit_body(node.body)
+
+    visit_body(module.body)
+    return out

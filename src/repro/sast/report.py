@@ -1,0 +1,78 @@
+"""Finding types for the rule-driven static analyzer.
+
+The kinds mirror CogniCrypt_SAST's error classes (Krüger et al., ECOOP
+2018): typestate violations, incomplete operations, constraint
+violations, forbidden methods and unsatisfied required predicates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class FindingKind(enum.Enum):
+    TYPESTATE = "typestate-error"
+    INCOMPLETE_OPERATION = "incomplete-operation"
+    CONSTRAINT = "constraint-violation"
+    FORBIDDEN_METHOD = "forbidden-method"
+    REQUIRED_PREDICATE = "required-predicate"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One misuse the analyzer reports."""
+
+    kind: FindingKind
+    message: str
+    line: int
+    variable: str
+    rule: str
+    function: str = "<module>"
+
+    def __str__(self) -> str:
+        return (
+            f"line {self.line}, {self.function}: [{self.kind.value}] "
+            f"{self.variable} ({self.rule}): {self.message}"
+        )
+
+
+@dataclass
+class AnalysisResult:
+    """All findings for one analyzed module."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: objects the analyzer tracked (rule-covered receivers), for tests
+    tracked_objects: int = 0
+
+    @property
+    def is_secure(self) -> bool:
+        return not self.findings
+
+    def by_kind(self, kind: FindingKind) -> list[Finding]:
+        return [f for f in self.findings if f.kind is kind]
+
+    def render(self) -> str:
+        if self.is_secure:
+            return f"no misuses found ({self.tracked_objects} objects tracked)"
+        lines = [f"{len(self.findings)} misuse(s) found:"]
+        lines.extend(f"  {finding}" for finding in self.findings)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable form, for CI pipelines and tooling."""
+        return {
+            "secure": self.is_secure,
+            "tracked_objects": self.tracked_objects,
+            "findings": [
+                {
+                    "kind": finding.kind.value,
+                    "message": finding.message,
+                    "line": finding.line,
+                    "variable": finding.variable,
+                    "rule": finding.rule,
+                    "function": finding.function,
+                }
+                for finding in self.findings
+            ],
+        }

@@ -1,0 +1,47 @@
+"""The RQ5 user-study harness (simulated participants; see DESIGN.md).
+
+Latin-square assignment, SUS/NPS scoring, a calibrated participant
+simulator, and the Wilcoxon signed-rank analysis of §5.4.
+"""
+
+from .latin import TASKS, TOOLS, Assignment, latin_square, verify_balance
+from .participants import (
+    GEN_TIME_FACTOR,
+    ParticipantRecord,
+    ParticipantSimulator,
+    SessionRecord,
+)
+from .scales import (
+    NPS_EXCELLENT,
+    NPS_UNSATISFACTORY,
+    SUS_USABLE_THRESHOLD,
+    ScaleError,
+    nps_classify,
+    nps_score,
+    sus_mean,
+    sus_score,
+)
+from .study import StudyResults, analyze, run_study
+
+__all__ = [
+    "Assignment",
+    "GEN_TIME_FACTOR",
+    "NPS_EXCELLENT",
+    "NPS_UNSATISFACTORY",
+    "ParticipantRecord",
+    "ParticipantSimulator",
+    "SUS_USABLE_THRESHOLD",
+    "ScaleError",
+    "SessionRecord",
+    "StudyResults",
+    "TASKS",
+    "TOOLS",
+    "analyze",
+    "latin_square",
+    "nps_classify",
+    "nps_score",
+    "run_study",
+    "sus_mean",
+    "sus_score",
+    "verify_balance",
+]

@@ -1,0 +1,60 @@
+"""Latin-square assignment of tasks and tools to participants (§5.4).
+
+"To avoid learning and other carry-over effects, we follow a
+latin-square approach when randomly assigning tasks and code generators
+to participants." The design has two binary factors — which task comes
+first and which tool is used for the first task — so participants
+rotate through the four cells of a 2×2 square; each participant still
+solves both tasks, one with each tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import cycle
+
+TASKS = ("hashing", "encryption")
+TOOLS = ("gen", "old-gen")
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One participant's plan: two (task, tool) sessions in order."""
+
+    participant: int
+    sessions: tuple[tuple[str, str], tuple[str, str]]
+
+    @property
+    def tool_for(self) -> dict[str, str]:
+        return {task: tool for task, tool in self.sessions}
+
+
+def latin_square(participants: int) -> list[Assignment]:
+    """Assign ``participants`` people to the four counterbalanced cells.
+
+    Cell rotation: (task order) × (tool order), cycled so every cell is
+    filled evenly — with 16 participants, four per cell.
+    """
+    if participants < 4:
+        raise ValueError("a 2x2 latin square needs at least 4 participants")
+    cells = []
+    for task_first in (0, 1):
+        for tool_first in (0, 1):
+            first_task = TASKS[task_first]
+            second_task = TASKS[1 - task_first]
+            first_tool = TOOLS[tool_first]
+            second_tool = TOOLS[1 - tool_first]
+            cells.append(((first_task, first_tool), (second_task, second_tool)))
+    assignments = []
+    for participant, cell in zip(range(participants), cycle(cells)):
+        assignments.append(Assignment(participant, cell))
+    return assignments
+
+
+def verify_balance(assignments: list[Assignment]) -> bool:
+    """Every (task, tool) pair must occur equally often."""
+    counts: dict[tuple[str, str], int] = {}
+    for assignment in assignments:
+        for session in assignment.sessions:
+            counts[session] = counts.get(session, 0) + 1
+    return len(set(counts.values())) == 1 and len(counts) == 4

@@ -1,0 +1,72 @@
+"""Usability scales: the System Usability Scale and the Net Promoter
+Score, exactly as the paper applies them (§5.4).
+
+* SUS (Brooke 1996): ten 5-point Likert items, alternating positive and
+  negative; per-item contributions 0–4; the sum is scaled by 2.5 onto
+  0–100. Above 68 counts as usable.
+* NPS (Reichheld 2003): one 0–10 likelihood-to-recommend item;
+  promoters (9–10) minus detractors (0–6), in percent, range −100..100.
+  Below 0 is unsatisfactory, above 50 excellent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+
+SUS_ITEM_COUNT = 10
+
+#: Conventional thresholds, used in reports.
+SUS_USABLE_THRESHOLD = 68.0
+NPS_UNSATISFACTORY = 0.0
+NPS_EXCELLENT = 50.0
+
+
+class ScaleError(ValueError):
+    """Responses outside the scale's range."""
+
+
+def sus_score(responses: list[int]) -> float:
+    """Score one participant's SUS questionnaire.
+
+    ``responses`` are the ten raw Likert answers (1–5), item 1 first.
+    Odd items (1-based) are positively worded and contribute
+    ``answer - 1``; even items are negatively worded and contribute
+    ``5 - answer``.
+    """
+    if len(responses) != SUS_ITEM_COUNT:
+        raise ScaleError(f"SUS needs {SUS_ITEM_COUNT} answers, got {len(responses)}")
+    total = 0
+    for index, answer in enumerate(responses, start=1):
+        if not 1 <= answer <= 5:
+            raise ScaleError(f"SUS item {index}: answer {answer} outside 1..5")
+        total += (answer - 1) if index % 2 == 1 else (5 - answer)
+    return total * 2.5
+
+
+def sus_mean(all_responses: list[list[int]]) -> float:
+    """The average SUS score over participants."""
+    if not all_responses:
+        raise ScaleError("no SUS responses")
+    return mean(sus_score(r) for r in all_responses)
+
+
+def nps_classify(likelihood: int) -> str:
+    """promoter / passive / detractor for one 0–10 answer."""
+    if not 0 <= likelihood <= 10:
+        raise ScaleError(f"NPS answer {likelihood} outside 0..10")
+    if likelihood >= 9:
+        return "promoter"
+    if likelihood >= 7:
+        return "passive"
+    return "detractor"
+
+
+def nps_score(likelihoods: list[int]) -> float:
+    """The Net Promoter Score of a group of answers."""
+    if not likelihoods:
+        raise ScaleError("no NPS responses")
+    classes = [nps_classify(value) for value in likelihoods]
+    promoters = classes.count("promoter")
+    detractors = classes.count("detractor")
+    return 100.0 * (promoters - detractors) / len(classes)

@@ -1,0 +1,117 @@
+"""The RQ5 study pipeline: assignment → simulation → statistics.
+
+Runs the exact analysis of §5.4 on the simulated responses: per-tool
+task times (paired, by participant), SUS and NPS per tool, and Wilcoxon
+signed-rank tests for paired data — expecting the paper's pattern:
+*no* significant difference in completion times (p > 0.05) but a
+significant usability difference (p ≈ 0.005).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean, median
+
+from scipy import stats
+
+from .latin import Assignment, latin_square, verify_balance
+from .participants import ParticipantRecord, ParticipantSimulator
+from .scales import nps_score, sus_score
+
+
+@dataclass
+class StudyResults:
+    """Everything §5.4 reports, computed from one simulated study."""
+
+    participants: int
+    completion_all: bool
+    encryption_slowdown_percent: float
+    hashing_speedup_percent: float
+    time_wilcoxon_p: float
+    sus: dict[str, float]
+    nps: dict[str, float]
+    sus_wilcoxon_p: float
+    nps_wilcoxon_p: float
+    preferred_gen: int
+    mentioned_learning_curve: int
+    mean_experience: float
+    median_experience: float
+    experience_usability_correlation_p: float
+
+    @property
+    def times_significant(self) -> bool:
+        return self.time_wilcoxon_p <= 0.05
+
+    @property
+    def usability_significant(self) -> bool:
+        return self.sus_wilcoxon_p <= 0.05 and self.nps_wilcoxon_p <= 0.05
+
+
+def run_study(participants: int = 16, seed: int = 2026) -> StudyResults:
+    """Simulate and analyze one study instance."""
+    assignments = latin_square(participants)
+    assert verify_balance(assignments), "latin square must be balanced"
+    records = ParticipantSimulator(seed).simulate(assignments)
+    return analyze(records)
+
+
+def analyze(records: list[ParticipantRecord]) -> StudyResults:
+    """The statistics of §5.4 over a set of participant records."""
+    minutes: dict[tuple[str, str], list[float]] = {}
+    per_participant_tool_time: dict[str, dict[int, float]] = {"gen": {}, "old-gen": {}}
+    for record in records:
+        for session in record.sessions:
+            minutes.setdefault((session.task, session.tool), []).append(
+                session.minutes
+            )
+            per_participant_tool_time[session.tool][record.participant] = (
+                session.minutes
+            )
+
+    encryption_gen = mean(minutes[("encryption", "gen")])
+    encryption_old = mean(minutes[("encryption", "old-gen")])
+    hashing_gen = mean(minutes[("hashing", "gen")])
+    hashing_old = mean(minutes[("hashing", "old-gen")])
+
+    # Paired overall times: each participant's gen minutes vs old-gen
+    # minutes (one task each, the latin square balances which).
+    participants_sorted = sorted(per_participant_tool_time["gen"])
+    gen_times = [per_participant_tool_time["gen"][p] for p in participants_sorted]
+    old_times = [per_participant_tool_time["old-gen"][p] for p in participants_sorted]
+    time_p = float(stats.wilcoxon(gen_times, old_times).pvalue)
+
+    sus_values = {
+        tool: [sus_score(record.sus_responses[tool]) for record in records]
+        for tool in ("gen", "old-gen")
+    }
+    nps_values = {
+        tool: [record.nps_likelihood[tool] for record in records]
+        for tool in ("gen", "old-gen")
+    }
+    sus_p = float(stats.wilcoxon(sus_values["gen"], sus_values["old-gen"]).pvalue)
+    nps_p = float(stats.wilcoxon(nps_values["gen"], nps_values["old-gen"]).pvalue)
+
+    experience = [record.crypto_experience for record in records]
+    gen_sus = sus_values["gen"]
+    correlation = stats.spearmanr(experience, gen_sus)
+
+    return StudyResults(
+        participants=len(records),
+        completion_all=all(
+            session.completed for record in records for session in record.sessions
+        ),
+        encryption_slowdown_percent=100.0 * (encryption_gen / encryption_old - 1.0),
+        hashing_speedup_percent=100.0 * (1.0 - hashing_gen / hashing_old),
+        time_wilcoxon_p=time_p,
+        sus={tool: mean(values) for tool, values in sus_values.items()},
+        nps={tool: nps_score(values) for tool, values in nps_values.items()},
+        sus_wilcoxon_p=sus_p,
+        nps_wilcoxon_p=nps_p,
+        preferred_gen=sum(1 for record in records if record.prefers == "gen"),
+        mentioned_learning_curve=sum(
+            1 for record in records if record.mentioned_learning_curve
+        ),
+        mean_experience=mean(experience),
+        median_experience=float(median(experience)),
+        experience_usability_correlation_p=float(correlation.pvalue),
+    )

@@ -1,0 +1,38 @@
+"""The eleven cryptographic use cases of the paper's Table 1.
+
+``registry`` holds Table 1 as data; ``templates`` contains the code
+template behind each use case; :func:`generate_use_case` runs the
+generator on one of them.
+"""
+
+from pathlib import Path
+
+from ..codegen import CrySLBasedCodeGenerator, GeneratedModule
+from .registry import (
+    EXTENSION_USE_CASES,
+    USE_CASES,
+    UseCase,
+    old_gen_use_cases,
+    use_case,
+    use_case_by_slug,
+)
+
+
+def generate_use_case(
+    number: int, generator: CrySLBasedCodeGenerator | None = None
+) -> GeneratedModule:
+    """Generate the implementation of Table 1's use case ``number``."""
+    entry = use_case(number)
+    generator = generator or CrySLBasedCodeGenerator()
+    return generator.generate_from_file(entry.template_path())
+
+
+__all__ = [
+    "EXTENSION_USE_CASES",
+    "USE_CASES",
+    "UseCase",
+    "generate_use_case",
+    "old_gen_use_cases",
+    "use_case",
+    "use_case_by_slug",
+]

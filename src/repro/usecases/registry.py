@@ -1,0 +1,94 @@
+"""The use-case registry: Table 1 of the paper as data.
+
+Each entry records the use case's number and name, which template
+module implements it, where the paper sourced it from ([21] =
+CogniCrypt, [27] = CryptoExamples, [29] = Nadi et al.), and the
+runtime/memory the paper measured — the benchmark harness prints the
+paper's numbers next to ours.
+"""
+
+from __future__ import annotations
+
+import importlib.resources
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class UseCase:
+    """One row of Table 1."""
+
+    number: int
+    name: str
+    template_module: str
+    template_class: str
+    sources: tuple[str, ...]
+    paper_runtime_seconds: float
+    paper_memory_mb: float
+    #: Supported by the legacy generator (rows of Table 2)?
+    in_old_gen: bool = False
+
+    @property
+    def slug(self) -> str:
+        return self.template_module
+
+    def template_path(self) -> Path:
+        package = importlib.resources.files("repro.usecases.templates")
+        return Path(str(package / f"{self.template_module}.py"))
+
+
+USE_CASES: tuple[UseCase, ...] = (
+    UseCase(1, "PBE on Files", "pbe_files", "SecureEncryptor",
+            ("[21]",), 7.0, 14.1, in_old_gen=True),
+    UseCase(2, "PBE on Strings", "pbe_strings", "SecureStringEncryptor",
+            ("[21]", "[27]"), 6.7, 13.5, in_old_gen=True),
+    UseCase(3, "PBE on Byte-Arrays", "pbe_bytes", "SecureBytesEncryptor",
+            ("[21]",), 7.1, 66.6, in_old_gen=True),
+    UseCase(4, "Symmetric-Key Encryption", "symmetric_encryption", "SymmetricEncryptor",
+            ("[27]", "[29]"), 6.8, 6.0),
+    UseCase(5, "Hybrid File Encryption", "hybrid_files", "HybridFileEncryptor",
+            ("[21]",), 6.7, 2.5, in_old_gen=True),
+    UseCase(6, "Hybrid String Encryption", "hybrid_strings", "HybridStringEncryptor",
+            ("[21]",), 6.6, 4.2, in_old_gen=True),
+    UseCase(7, "Hybrid Byte-Array Encryption", "hybrid_bytes", "HybridBytesEncryptor",
+            ("[21]",), 6.9, 56.7, in_old_gen=True),
+    UseCase(8, "Asymmetric String Encryption", "asymmetric_strings", "AsymmetricStringEncryptor",
+            ("[27]",), 6.8, 34.1),
+    UseCase(9, "Secure User-Password Storage", "password_storage", "PasswordVault",
+            ("[21]", "[27]"), 8.1, 22.7, in_old_gen=True),
+    UseCase(10, "Digital Signing of Strings", "digital_signing", "DocumentSigner",
+            ("[21]", "[27]", "[29]"), 7.5, 7.1, in_old_gen=True),
+    UseCase(11, "Hashing of Strings", "string_hashing", "StringHasher",
+            ("[27]",), 6.7, 14.2),
+)
+
+
+#: Use cases beyond the paper's Table 1 — the §7 future-work direction
+#: ("we plan to implement more use cases"). Kept out of USE_CASES so
+#: the Table 1 reproduction stays faithful; paper columns are zero.
+EXTENSION_USE_CASES: tuple[UseCase, ...] = (
+    UseCase(12, "Message Authentication (HMAC)", "message_authentication",
+            "MessageAuthenticator", ("§7 extension",), 0.0, 0.0),
+    UseCase(13, "Long-Lived Key Storage", "key_storage",
+            "KeyVault", ("§7 extension",), 0.0, 0.0),
+)
+
+
+def use_case(number: int) -> UseCase:
+    """Look a use case up by number (Table 1 or an extension)."""
+    for candidate in USE_CASES + EXTENSION_USE_CASES:
+        if candidate.number == number:
+            return candidate
+    raise KeyError(f"no use case #{number}; Table 1 has 1..11, extensions 12+")
+
+
+def use_case_by_slug(slug: str) -> UseCase:
+    for candidate in USE_CASES:
+        if candidate.template_module == slug:
+            return candidate
+    raise KeyError(f"no use case with template module {slug!r}")
+
+
+def old_gen_use_cases() -> tuple[UseCase, ...]:
+    """The eight legacy use cases of Table 2."""
+    return tuple(u for u in USE_CASES if u.in_old_gen)

@@ -1,0 +1,6 @@
+"""The code templates for the eleven use cases of Table 1.
+
+Each module is a CogniCryptGEN template: a regular Python class with
+glue code plus fluent-API chains. They are parsed (never executed) by
+:mod:`repro.codegen.template`.
+"""

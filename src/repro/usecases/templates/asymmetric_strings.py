@@ -1,0 +1,39 @@
+"""Use case 8: asymmetric (RSA-OAEP) encryption of short strings."""
+from repro.codegen.fluent import CrySLCodeGenerator
+from repro.jca import Cipher, KeyPair
+
+
+class AsymmetricStringEncryptor:
+    def generate_key_pair(self):
+        key_pair = None
+        (CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.KeyPairGenerator")
+            .add_return_object(key_pair)
+            .generate())
+        return key_pair
+
+    def encrypt(self, key_pair: KeyPair, text: str):
+        plaintext = text.encode("utf-8")
+        ciphertext = None
+        (CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.KeyPair")
+            .add_parameter(key_pair, "this")
+            .consider_crysl_rule("repro.jca.Cipher")
+            .add_parameter(Cipher.ENCRYPT_MODE, "op_mode")
+            .add_parameter(plaintext, "input_data")
+            .add_return_object(ciphertext)
+            .generate())
+        return ciphertext.hex()
+
+    def decrypt(self, key_pair: KeyPair, message: str):
+        ciphertext = bytes.fromhex(message)
+        plaintext = None
+        (CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.KeyPair")
+            .add_parameter(key_pair, "this")
+            .consider_crysl_rule("repro.jca.Cipher")
+            .add_parameter(Cipher.DECRYPT_MODE, "op_mode")
+            .add_parameter(ciphertext, "input_data")
+            .add_return_object(plaintext)
+            .generate())
+        return plaintext.decode("utf-8")

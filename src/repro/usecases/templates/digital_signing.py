@@ -1,0 +1,39 @@
+"""Use case 10: digital signing of strings (RSA-PSS)."""
+from repro.codegen.fluent import CrySLCodeGenerator
+from repro.jca import KeyPair
+
+
+class DocumentSigner:
+    def generate_key_pair(self):
+        key_pair = None
+        (CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.KeyPairGenerator")
+            .add_return_object(key_pair)
+            .generate())
+        return key_pair
+
+    def sign(self, key_pair: KeyPair, text: str):
+        document = text.encode("utf-8")
+        signature = None
+        (CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.KeyPair")
+            .add_parameter(key_pair, "this")
+            .consider_crysl_rule("repro.jca.Signature")
+            .add_parameter(document, "document")
+            .add_return_object(signature)
+            .generate())
+        return signature.hex()
+
+    def verify(self, key_pair: KeyPair, text: str, signature_hex: str):
+        document = text.encode("utf-8")
+        signature = bytes.fromhex(signature_hex)
+        result = None
+        (CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.KeyPair")
+            .add_parameter(key_pair, "this")
+            .consider_crysl_rule("repro.jca.Signature")
+            .add_parameter(document, "document")
+            .add_parameter(signature, "signature")
+            .add_return_object(result)
+            .generate())
+        return result

@@ -1,0 +1,65 @@
+"""Use case 5: hybrid encryption of files.
+
+Same cryptographic core as the byte-array variant; the glue reads and
+writes files. Wire format: ``len(wrapped)[4] || wrapped || iv[12] ||
+ciphertext``.
+"""
+from pathlib import Path
+
+from repro.codegen.fluent import CrySLCodeGenerator
+from repro.jca import Cipher, KeyPair
+
+
+class HybridFileEncryptor:
+    def generate_key_pair(self):
+        key_pair = None
+        (CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.KeyPairGenerator")
+            .add_return_object(key_pair)
+            .generate())
+        return key_pair
+
+    def encrypt_file(self, key_pair: KeyPair, input_path: str, output_path: str):
+        plaintext = Path(input_path).read_bytes()
+        ciphertext = None
+        iv = None
+        wrapped = None
+        (CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.KeyGenerator")
+            .consider_crysl_rule("repro.jca.Cipher")
+            .add_parameter(Cipher.ENCRYPT_MODE, "op_mode")
+            .add_parameter(plaintext, "input_data")
+            .add_return_object(iv, "iv_out")
+            .add_return_object(ciphertext)
+            .consider_crysl_rule("repro.jca.KeyPair")
+            .add_parameter(key_pair, "this")
+            .consider_crysl_rule("repro.jca.Cipher")
+            .add_parameter(Cipher.WRAP_MODE, "op_mode")
+            .add_return_object(wrapped)
+            .generate())
+        blob = len(wrapped).to_bytes(4, "big") + wrapped + iv + ciphertext
+        Path(output_path).write_bytes(blob)
+        return output_path
+
+    def decrypt_file(self, key_pair: KeyPair, input_path: str, output_path: str):
+        blob = Path(input_path).read_bytes()
+        wrapped_length = int.from_bytes(blob[:4], "big")
+        wrapped = blob[4 : 4 + wrapped_length]
+        iv = blob[4 + wrapped_length : 16 + wrapped_length]
+        ciphertext = blob[16 + wrapped_length :]
+        plaintext = None
+        (CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.KeyPair")
+            .add_parameter(key_pair, "this")
+            .consider_crysl_rule("repro.jca.Cipher")
+            .add_parameter(Cipher.UNWRAP_MODE, "op_mode")
+            .add_parameter(wrapped, "wrapped")
+            .consider_crysl_rule("repro.jca.GCMParameterSpec")
+            .add_parameter(iv, "iv")
+            .consider_crysl_rule("repro.jca.Cipher")
+            .add_parameter(Cipher.DECRYPT_MODE, "op_mode")
+            .add_parameter(ciphertext, "input_data")
+            .add_return_object(plaintext)
+            .generate())
+        Path(output_path).write_bytes(plaintext)
+        return output_path

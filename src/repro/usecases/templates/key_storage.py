@@ -1,0 +1,34 @@
+"""Extension use case 13: long-lived key storage.
+
+Create a password-sealed key store holding a fresh master key, and
+reopen it later — the KeyStore scenario of CogniCrypt's catalogue,
+generated from the KeyStore rule added by this reproduction.
+"""
+from repro.codegen.fluent import CrySLCodeGenerator
+
+
+class KeyVault:
+    def create(self, store_password: bytearray, path: str):
+        alias = "master"
+        master_key = None
+        (CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.KeyGenerator")
+            .add_return_object(master_key)
+            .consider_crysl_rule("repro.jca.KeyStore")
+            .add_parameter(store_password, "password")
+            .add_parameter(alias, "alias")
+            .add_parameter(path, "path")
+            .generate())
+        return master_key
+
+    def open(self, store_password: bytearray, path: str):
+        alias = "master"
+        master_key = None
+        (CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.KeyStore")
+            .add_parameter(store_password, "password")
+            .add_parameter(alias, "alias")
+            .add_parameter(path, "path")
+            .add_return_object(master_key)
+            .generate())
+        return master_key

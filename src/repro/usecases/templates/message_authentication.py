@@ -1,0 +1,38 @@
+"""Extension use case 12: message authentication (HMAC).
+
+Not part of the paper's Table 1 — §7 plans "more use cases for other
+APIs", and this is the reproduction's first: authenticate messages with
+a fresh HMAC key and verify tags in constant time.
+"""
+from repro.codegen.fluent import CrySLCodeGenerator
+from repro.jca import MessageDigest, SecretKey
+
+
+class MessageAuthenticator:
+    def generate_key(self):
+        mac_key = None
+        (CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.KeyGenerator")
+            .add_return_object(mac_key)
+            .generate())
+        return mac_key
+
+    def authenticate(self, mac_key: SecretKey, message: bytes):
+        tag = None
+        (CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.Mac")
+            .add_parameter(mac_key, "key")
+            .add_parameter(message, "input_data")
+            .add_return_object(tag)
+            .generate())
+        return tag
+
+    def verify(self, mac_key: SecretKey, message: bytes, tag: bytes):
+        expected = None
+        (CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.Mac")
+            .add_parameter(mac_key, "key")
+            .add_parameter(message, "input_data")
+            .add_return_object(expected)
+            .generate())
+        return MessageDigest.is_equal(expected, tag)

@@ -1,0 +1,38 @@
+"""Use case 9: secure user-password storage.
+
+Passwords are hashed with PBKDF2 under a fresh random salt; the stored
+record is ``salt[32] || hash``. Verification re-derives and compares in
+constant time.
+"""
+from repro.codegen.fluent import CrySLCodeGenerator
+from repro.jca import MessageDigest
+
+
+class PasswordVault:
+    def hash_password(self, pwd: bytearray):
+        salt = bytearray(32)
+        hash_material = None
+        (CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.SecureRandom")
+            .add_parameter(salt, "out")
+            .consider_crysl_rule("repro.jca.PBEKeySpec")
+            .add_parameter(pwd, "password")
+            .consider_crysl_rule("repro.jca.SecretKeyFactory")
+            .consider_crysl_rule("repro.jca.SecretKey")
+            .add_return_object(hash_material)
+            .generate())
+        return bytes(salt) + hash_material
+
+    def verify_password(self, pwd: bytearray, stored: bytes):
+        salt = stored[:32]
+        expected = stored[32:]
+        hash_material = None
+        (CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.PBEKeySpec")
+            .add_parameter(pwd, "password")
+            .add_parameter(salt, "salt")
+            .consider_crysl_rule("repro.jca.SecretKeyFactory")
+            .consider_crysl_rule("repro.jca.SecretKey")
+            .add_return_object(hash_material)
+            .generate())
+        return MessageDigest.is_equal(hash_material, expected)

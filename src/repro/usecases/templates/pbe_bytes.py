@@ -1,0 +1,48 @@
+"""Use case 3: password-based encryption of byte arrays."""
+from repro.codegen.fluent import CrySLCodeGenerator
+from repro.jca import Cipher, SecretKey
+
+
+class SecureBytesEncryptor:
+    def generate_key(self, pwd: bytearray):
+        salt = bytearray(32)
+        encryption_key = None
+        (CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.SecureRandom")
+            .add_parameter(salt, "out")
+            .consider_crysl_rule("repro.jca.PBEKeySpec")
+            .add_parameter(pwd, "password")
+            .consider_crysl_rule("repro.jca.SecretKeyFactory")
+            .consider_crysl_rule("repro.jca.SecretKey")
+            .consider_crysl_rule("repro.jca.SecretKeySpec")
+            .add_return_object(encryption_key)
+            .generate())
+        return encryption_key
+
+    def encrypt(self, encryption_key: SecretKey, plaintext: bytes):
+        ciphertext = None
+        iv = None
+        (CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.Cipher")
+            .add_parameter(Cipher.ENCRYPT_MODE, "op_mode")
+            .add_parameter(encryption_key, "key")
+            .add_parameter(plaintext, "input_data")
+            .add_return_object(iv, "iv_out")
+            .add_return_object(ciphertext)
+            .generate())
+        return iv + ciphertext
+
+    def decrypt(self, encryption_key: SecretKey, blob: bytes):
+        iv = blob[:12]
+        ciphertext = blob[12:]
+        plaintext = None
+        (CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.GCMParameterSpec")
+            .add_parameter(iv, "iv")
+            .consider_crysl_rule("repro.jca.Cipher")
+            .add_parameter(Cipher.DECRYPT_MODE, "op_mode")
+            .add_parameter(encryption_key, "key")
+            .add_parameter(ciphertext, "input_data")
+            .add_return_object(plaintext)
+            .generate())
+        return plaintext

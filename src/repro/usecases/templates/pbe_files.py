@@ -1,0 +1,54 @@
+"""Use case 1: password-based encryption of files."""
+from pathlib import Path
+
+from repro.codegen.fluent import CrySLCodeGenerator
+from repro.jca import Cipher, SecretKey
+
+
+class SecureEncryptor:
+    def generate_key(self, pwd: bytearray):
+        salt = bytearray(32)
+        encryption_key = None
+        (CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.SecureRandom")
+            .add_parameter(salt, "out")
+            .consider_crysl_rule("repro.jca.PBEKeySpec")
+            .add_parameter(pwd, "password")
+            .consider_crysl_rule("repro.jca.SecretKeyFactory")
+            .consider_crysl_rule("repro.jca.SecretKey")
+            .consider_crysl_rule("repro.jca.SecretKeySpec")
+            .add_return_object(encryption_key)
+            .generate())
+        return encryption_key
+
+    def encrypt_file(self, encryption_key: SecretKey, input_path: str, output_path: str):
+        plaintext = Path(input_path).read_bytes()
+        ciphertext = None
+        iv = None
+        (CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.Cipher")
+            .add_parameter(Cipher.ENCRYPT_MODE, "op_mode")
+            .add_parameter(encryption_key, "key")
+            .add_parameter(plaintext, "input_data")
+            .add_return_object(iv, "iv_out")
+            .add_return_object(ciphertext)
+            .generate())
+        Path(output_path).write_bytes(iv + ciphertext)
+        return output_path
+
+    def decrypt_file(self, encryption_key: SecretKey, input_path: str, output_path: str):
+        blob = Path(input_path).read_bytes()
+        iv = blob[:12]
+        ciphertext = blob[12:]
+        plaintext = None
+        (CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.GCMParameterSpec")
+            .add_parameter(iv, "iv")
+            .consider_crysl_rule("repro.jca.Cipher")
+            .add_parameter(Cipher.DECRYPT_MODE, "op_mode")
+            .add_parameter(encryption_key, "key")
+            .add_parameter(ciphertext, "input_data")
+            .add_return_object(plaintext)
+            .generate())
+        Path(output_path).write_bytes(plaintext)
+        return output_path

@@ -1,0 +1,14 @@
+"""Use case 11: cryptographic hashing of strings."""
+from repro.codegen.fluent import CrySLCodeGenerator
+
+
+class StringHasher:
+    def hash_string(self, text: str):
+        input_data = text.encode("utf-8")
+        digest = None
+        (CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.MessageDigest")
+            .add_parameter(input_data, "input_data")
+            .add_return_object(digest)
+            .generate())
+        return digest.hex()

@@ -1,0 +1,41 @@
+"""Use case 4: symmetric-key encryption with a fresh key."""
+from repro.codegen.fluent import CrySLCodeGenerator
+from repro.jca import Cipher, SecretKey
+
+
+class SymmetricEncryptor:
+    def generate_key(self):
+        secret_key = None
+        (CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.KeyGenerator")
+            .add_return_object(secret_key)
+            .generate())
+        return secret_key
+
+    def encrypt(self, secret_key: SecretKey, plaintext: bytes):
+        ciphertext = None
+        iv = None
+        (CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.Cipher")
+            .add_parameter(Cipher.ENCRYPT_MODE, "op_mode")
+            .add_parameter(secret_key, "key")
+            .add_parameter(plaintext, "input_data")
+            .add_return_object(iv, "iv_out")
+            .add_return_object(ciphertext)
+            .generate())
+        return iv + ciphertext
+
+    def decrypt(self, secret_key: SecretKey, blob: bytes):
+        iv = blob[:12]
+        ciphertext = blob[12:]
+        plaintext = None
+        (CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.GCMParameterSpec")
+            .add_parameter(iv, "iv")
+            .consider_crysl_rule("repro.jca.Cipher")
+            .add_parameter(Cipher.DECRYPT_MODE, "op_mode")
+            .add_parameter(secret_key, "key")
+            .add_parameter(ciphertext, "input_data")
+            .add_return_object(plaintext)
+            .generate())
+        return plaintext

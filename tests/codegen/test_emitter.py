@@ -1,0 +1,157 @@
+"""The emitter: naming, argument rendering, deferral, push-up."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen.emitter import ChainEmitter
+from repro.codegen.fluent import ConsideredRule, GenerationRequest
+from repro.codegen.naming import NameAllocator
+from repro.codegen.selector import select
+from repro.predicates.instances import TemplateBinding
+
+
+def _emit(ruleset, *considered, reserved=None):
+    instances = GenerationRequest(considered=list(considered)).to_instances(ruleset)
+    plan = select(instances)
+    return ChainEmitter(plan, set(reserved or ())).emit()
+
+
+class TestNameAllocator:
+    def test_fresh_names(self):
+        names = NameAllocator()
+        assert names.fresh("cipher") == "cipher"
+        assert names.fresh("cipher") == "cipher_2"
+        assert names.fresh("cipher") == "cipher_3"
+
+    def test_reserved_names_respected(self):
+        names = NameAllocator({"salt"})
+        assert names.fresh("salt") == "salt_2"
+
+    def test_reserve_then_contains(self):
+        names = NameAllocator()
+        names.reserve("x")
+        assert "x" in names
+
+
+class TestEmission:
+    def test_pbe_statements(self, ruleset):
+        emitted = _emit(
+            ruleset,
+            ConsideredRule(
+                "repro.jca.SecureRandom",
+                [TemplateBinding("out", "salt", None, False, "bytearray")],
+            ),
+            ConsideredRule(
+                "repro.jca.PBEKeySpec",
+                [TemplateBinding("password", "pwd", None, False, "bytearray")],
+            ),
+            ConsideredRule("repro.jca.SecretKeyFactory"),
+            ConsideredRule("repro.jca.SecretKey"),
+            ConsideredRule("repro.jca.SecretKeySpec", [], "encryption_key"),
+            reserved={"salt", "pwd", "encryption_key"},
+        )
+        assert emitted.statements == [
+            "secure_random = SecureRandom.get_instance('HMACDRBG')",
+            "secure_random.next_bytes(salt)",
+            "pbe_key_spec = PBEKeySpec(pwd, salt, 10000, 128)",
+            "secret_key_factory = SecretKeyFactory.get_instance('PBKDF2WithHmacSHA256')",
+            "key = secret_key_factory.generate_secret(pbe_key_spec)",
+            "key_material = key.get_encoded()",
+            "encryption_key = SecretKeySpec(key_material, 'AES')",
+        ]
+        assert emitted.deferred_statements == ["pbe_key_spec.clear_password()"]
+
+    def test_imports_collected(self, ruleset):
+        emitted = _emit(
+            ruleset,
+            ConsideredRule("repro.jca.KeyGenerator", [], "key"),
+        )
+        assert ("repro.jca", "KeyGenerator") in emitted.imports
+
+    def test_receiver_only_instances_need_no_import(self, ruleset):
+        emitted = _emit(
+            ruleset,
+            ConsideredRule("repro.jca.SecretKeyFactory"),
+            ConsideredRule("repro.jca.SecretKey", [], "material"),
+        )
+        imported = {name for _, name in emitted.imports}
+        assert "SecretKey" not in imported  # never constructed directly
+
+    def test_return_target_claims_variable(self, ruleset):
+        emitted = _emit(
+            ruleset, ConsideredRule("repro.jca.KeyGenerator", [], "fresh_key")
+        )
+        assert emitted.statements[-1].startswith("fresh_key = ")
+        assert emitted.return_assignments == {"fresh_key": "fresh_key"}
+
+    def test_explicit_output_binding_claims_variable(self, ruleset):
+        emitted = _emit(
+            ruleset,
+            ConsideredRule("repro.jca.KeyGenerator"),
+            ConsideredRule(
+                "repro.jca.Cipher",
+                [
+                    TemplateBinding("op_mode", "1", 1, True, "int"),
+                    TemplateBinding("input_data", "data", None, False, "bytes"),
+                ],
+                "ciphertext",
+                {"iv_out": "iv"},
+            ),
+            reserved={"data", "iv", "ciphertext"},
+        )
+        assert any(s.startswith("iv = ") for s in emitted.statements)
+        assert any(s.startswith("ciphertext = ") for s in emitted.statements)
+
+    def test_result_types_recorded(self, ruleset):
+        emitted = _emit(
+            ruleset, ConsideredRule("repro.jca.KeyGenerator", [], "key")
+        )
+        assert emitted.result_types["key"] == "repro.jca.SecretKey"
+
+    def test_name_collision_with_glue_avoided(self, ruleset):
+        emitted = _emit(
+            ruleset,
+            ConsideredRule("repro.jca.KeyGenerator", [], "fresh"),
+            reserved={"key_generator"},  # glue already uses this name
+        )
+        assert emitted.statements[0].startswith("key_generator_2 = ")
+
+    def test_pushed_parameters_annotated(self, ruleset):
+        emitted = _emit(
+            ruleset,
+            ConsideredRule(
+                "repro.jca.Mac",
+                [TemplateBinding("input_data", "data", None, False, "bytes")],
+                "tag",
+            ),
+            reserved={"data"},
+        )
+        (pushed,) = emitted.pushed_parameters
+        assert pushed.name == "key"
+        assert pushed.rule_var == "key"
+
+    def test_repeated_rule_instances_get_distinct_receivers(self, ruleset):
+        emitted = _emit(
+            ruleset,
+            ConsideredRule("repro.jca.KeyGenerator"),
+            ConsideredRule(
+                "repro.jca.Cipher",
+                [
+                    TemplateBinding("op_mode", "1", 1, True, "int"),
+                    TemplateBinding("input_data", "data", None, False, "bytes"),
+                ],
+                "ciphertext",
+            ),
+            ConsideredRule("repro.jca.KeyPair", [TemplateBinding("this", "key_pair")]),
+            ConsideredRule(
+                "repro.jca.Cipher",
+                [TemplateBinding("op_mode", "3", 3, True, "int")],
+                "wrapped",
+            ),
+            reserved={"data", "key_pair", "ciphertext", "wrapped"},
+        )
+        text = "\n".join(emitted.statements)
+        assert "cipher = Cipher.get_instance" in text
+        assert "cipher_2 = Cipher.get_instance" in text
+        assert "cipher_2.wrap(key)" in text

@@ -1,0 +1,80 @@
+"""The fluent API in programmatic (runtime-recording) mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen.fluent import CrySLCodeGenerator, GenerationRequest
+
+
+def test_chain_records_rules():
+    request = (
+        CrySLCodeGenerator.get_instance()
+        .consider_crysl_rule("repro.jca.SecureRandom")
+        .consider_crysl_rule("repro.jca.PBEKeySpec")
+        .generate()
+    )
+    assert [c.rule_name for c in request.considered] == [
+        "repro.jca.SecureRandom",
+        "repro.jca.PBEKeySpec",
+    ]
+
+
+def test_parameters_attach_to_latest_rule():
+    request = (
+        CrySLCodeGenerator.get_instance()
+        .consider_crysl_rule("repro.jca.PBEKeySpec")
+        .add_parameter(10000, "iteration_count")
+        .generate()
+    )
+    (considered,) = request.considered
+    binding = considered.bindings[0]
+    assert binding.rule_var == "iteration_count"
+    assert binding.value == 10000
+    assert binding.is_literal
+
+
+def test_return_object_default_and_explicit():
+    request = (
+        CrySLCodeGenerator.get_instance()
+        .consider_crysl_rule("repro.jca.Cipher")
+        .add_return_object("ciphertext")
+        .add_return_object("iv", "iv_out")
+        .generate()
+    )
+    (considered,) = request.considered
+    assert considered.return_target == "ciphertext"
+    assert considered.output_bindings == {"iv_out": "iv"}
+
+
+def test_add_parameter_before_consider_rejected():
+    with pytest.raises(ValueError):
+        CrySLCodeGenerator.get_instance().add_parameter(1, "x")
+
+
+def test_empty_chain_rejected():
+    with pytest.raises(ValueError):
+        CrySLCodeGenerator.get_instance().generate()
+
+
+def test_bad_rule_name_rejected():
+    with pytest.raises(TypeError):
+        CrySLCodeGenerator.get_instance().consider_crysl_rule("")
+
+
+def test_programmatic_return_object_needs_identifier():
+    chain = CrySLCodeGenerator.get_instance().consider_crysl_rule("repro.jca.Cipher")
+    with pytest.raises(TypeError):
+        chain.add_return_object(42)
+
+
+def test_to_instances(ruleset):
+    request = (
+        CrySLCodeGenerator.get_instance()
+        .consider_crysl_rule("repro.jca.Cipher")
+        .consider_crysl_rule("repro.jca.Cipher")
+        .generate()
+    )
+    instances = request.to_instances(ruleset)
+    assert [i.index for i in instances] == [0, 1]
+    assert instances[1].index_within_rule == 1

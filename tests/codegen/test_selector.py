@@ -1,0 +1,248 @@
+"""Path selection and parameter resolution (Figure 6, steps 3–4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen.fluent import ConsideredRule, GenerationRequest
+from repro.codegen.selector import (
+    GenerationError,
+    candidate_paths,
+    select,
+)
+from repro.constraints.model import BindingSource
+from repro.predicates.instances import RuleInstance, TemplateBinding
+
+
+def _instances(ruleset, *considered):
+    return GenerationRequest(considered=list(considered)).to_instances(ruleset)
+
+
+def _binding(rule_var, expr="x", value=None, type_name=None):
+    return TemplateBinding(
+        rule_var=rule_var,
+        expr=expr,
+        value=value,
+        is_literal=value is not None,
+        type_name=type_name,
+    )
+
+
+class TestCandidateFilters:
+    def test_template_objects_must_appear(self, ruleset):
+        """Filter 1 of §3.3: SecureRandom bound on `out` keeps only
+        paths containing next_bytes."""
+        instance = RuleInstance(
+            ruleset.get("SecureRandom"), 0, bindings={"out": _binding("out", "salt")}
+        )
+        paths = candidate_paths(instance)
+        assert paths
+        for path in paths:
+            assert any(e.label == "n1" for e in path)
+
+    def test_receiver_binding_excludes_creation(self, ruleset):
+        instance = RuleInstance(
+            ruleset.get("KeyPair"), 0, bindings={"this": _binding("this", "key_pair")}
+        )
+        for path in candidate_paths(instance):
+            assert not any(e.result == "this" or e.is_constructor for e in path)
+
+    def test_output_binding_requires_producing_event(self, ruleset):
+        instance = RuleInstance(
+            ruleset.get("Cipher"), 0, output_bindings={"iv_out": "iv"}
+        )
+        for path in candidate_paths(instance):
+            assert any(e.result == "iv_out" for e in path)
+
+    def test_return_target_requires_output(self, ruleset):
+        instance = RuleInstance(
+            ruleset.get("MessageDigest"), 0, return_target="digest"
+        )
+        assert candidate_paths(instance)
+
+
+class TestPbeSelection:
+    """The paper's running example selects exactly Figure 5's plan."""
+
+    @pytest.fixture(scope="class")
+    def plan(self, ruleset):
+        instances = _instances(
+            ruleset,
+            ConsideredRule(
+                "repro.jca.SecureRandom",
+                [_binding("out", "salt", type_name="bytearray")],
+            ),
+            ConsideredRule(
+                "repro.jca.PBEKeySpec",
+                [_binding("password", "pwd", type_name="bytearray")],
+            ),
+            ConsideredRule("repro.jca.SecretKeyFactory"),
+            ConsideredRule("repro.jca.SecretKey"),
+            ConsideredRule("repro.jca.SecretKeySpec", [], "encryption_key"),
+        )
+        return select(instances)
+
+    def test_paths(self, plan):
+        assert [p.labels for p in plan.instances] == [
+            ("g1", "n1"),
+            ("c1", "cP"),
+            ("g1", "gs1"),
+            ("g1",),
+            ("c1",),
+        ]
+
+    def test_clear_password_deferred(self, plan):
+        assert plan.instances[1].deferred == ("cP",)
+
+    def test_derived_values_match_paper(self, plan):
+        pbe_env = plan.instances[1].env
+        assert pbe_env.value_of("iteration_count") == 10000
+        assert pbe_env.value_of("key_length") == 128
+        skf_env = plan.instances[2].env
+        assert skf_env.value_of("algorithm") == "PBKDF2WithHmacSHA256"
+
+    def test_nothing_pushed_up(self, plan):
+        assert plan.score[0] == 0
+        assert all(not p.pushed_up and not p.receiver_pushed for p in plan.instances)
+
+    def test_all_links_active(self, plan):
+        assert len(plan.active_links) == 4
+
+    def test_no_drops(self, plan):
+        assert plan.dropped == ()
+
+
+class TestCipherModeSelection:
+    def test_wrap_mode_selects_wrap_path(self, ruleset):
+        instances = _instances(
+            ruleset,
+            ConsideredRule("repro.jca.KeyGenerator"),
+            ConsideredRule(
+                "repro.jca.KeyPair", [_binding("this", "key_pair")]
+            ),
+            ConsideredRule(
+                "repro.jca.Cipher",
+                [TemplateBinding("op_mode", "Cipher.WRAP_MODE", 3, True, "int")],
+                "wrapped",
+            ),
+        )
+        plan = select(instances)
+        assert plan.instances[2].labels == ("g1", "i1", "w1")
+        assert plan.instances[1].labels == ("gpub",)
+
+    def test_unwrap_mode_selects_private_key(self, ruleset):
+        instances = _instances(
+            ruleset,
+            ConsideredRule("repro.jca.KeyPair", [_binding("this", "key_pair")]),
+            ConsideredRule(
+                "repro.jca.Cipher",
+                [
+                    TemplateBinding("op_mode", "Cipher.UNWRAP_MODE", 4, True, "int"),
+                    _binding("wrapped", "wrapped", type_name="bytes"),
+                ],
+            ),
+        )
+        plan = select(instances)
+        assert plan.instances[0].labels == ("gpriv",)
+        assert plan.instances[1].labels == ("g1", "i1", "uw1")
+        env = plan.instances[1].env
+        assert env.value_of("transformation").startswith("RSA/ECB/OAEP")
+        assert env.value_of("wrap_algorithm") == "AES"
+        assert env.value_of("wrapped_key_type") == 3
+
+    def test_gcm_decrypt_uses_parameter_spec(self, ruleset):
+        instances = _instances(
+            ruleset,
+            ConsideredRule(
+                "repro.jca.GCMParameterSpec", [_binding("iv", "iv", type_name="bytes")]
+            ),
+            ConsideredRule(
+                "repro.jca.Cipher",
+                [
+                    TemplateBinding("op_mode", "Cipher.DECRYPT_MODE", 2, True, "int"),
+                    _binding("key", "key", type_name="SecretKey"),
+                    _binding("input_data", "ciphertext", type_name="bytes"),
+                ],
+                "plaintext",
+            ),
+        )
+        plan = select(instances)
+        assert plan.instances[1].labels == ("g1", "i2", "f1")
+        assert plan.dropped == ()
+
+
+class TestSignatureSelection:
+    def test_sign_chain(self, ruleset):
+        instances = _instances(
+            ruleset,
+            ConsideredRule("repro.jca.KeyPair", [_binding("this", "key_pair")]),
+            ConsideredRule(
+                "repro.jca.Signature",
+                [_binding("document", "document", type_name="bytes")],
+                "signature",
+            ),
+        )
+        plan = select(instances)
+        assert plan.instances[0].labels == ("gpriv",)
+        assert plan.instances[1].labels == ("g1", "is1", "u1", "s1")
+
+    def test_verify_chain(self, ruleset):
+        instances = _instances(
+            ruleset,
+            ConsideredRule("repro.jca.KeyPair", [_binding("this", "key_pair")]),
+            ConsideredRule(
+                "repro.jca.Signature",
+                [
+                    _binding("document", "document", type_name="bytes"),
+                    _binding("signature", "signature", type_name="bytes"),
+                ],
+                "result",
+            ),
+        )
+        plan = select(instances)
+        assert plan.instances[0].labels == ("gpub",)
+        assert plan.instances[1].labels == ("g1", "iv1", "u1", "v1")
+
+
+class TestShortestPathPreference:
+    def test_message_digest_prefers_one_shot(self, ruleset):
+        """d2 (2 calls) beats u1+, d1 (3 calls) — §3.3's shortest rule."""
+        instances = _instances(
+            ruleset,
+            ConsideredRule(
+                "repro.jca.MessageDigest",
+                [_binding("input_data", "data", type_name="bytes")],
+                "digest",
+            ),
+        )
+        plan = select(instances)
+        assert plan.instances[0].labels == ("g1", "d2")
+
+
+class TestPushUpFallback:
+    def test_unresolvable_parameter_pushed(self, ruleset):
+        """A Mac chain without a key in scope pushes `key` up (§3.3's
+        compilability-over-completeness fallback)."""
+        instances = _instances(
+            ruleset,
+            ConsideredRule(
+                "repro.jca.Mac",
+                [_binding("input_data", "data", type_name="bytes")],
+                "tag",
+            ),
+        )
+        plan = select(instances)
+        assert "key" in plan.instances[0].pushed_up
+        assert plan.score[0] >= 1
+
+
+class TestErrors:
+    def test_bad_rule_var_reported(self, ruleset):
+        instances = _instances(
+            ruleset,
+            ConsideredRule(
+                "repro.jca.SecureRandom", [_binding("no_such_var", "salt")]
+            ),
+        )
+        with pytest.raises(GenerationError, match="no_such_var"):
+            select(instances)

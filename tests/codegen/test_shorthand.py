@@ -1,0 +1,100 @@
+"""The §7 future-work features: JCA enumeration + short fluent names."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen import JCA, CrySLCodeGenerator
+from repro.codegen.shorthand import FLUENT_ALIASES, RULE_CONSTANTS
+
+SHORT_TEMPLATE = '''
+"""A template using the short fluent form and the rule enumeration."""
+from repro.codegen.fluent import CrySLCodeGenerator
+from repro.codegen.shorthand import JCA
+
+
+class Hasher:
+    def hash_bytes(self, input_data: bytes):
+        digest = None
+        (CrySLCodeGenerator.get_instance()
+            .rule(JCA.MESSAGE_DIGEST)
+            .param(input_data, "input_data")
+            .returns(digest)
+            .generate())
+        return digest
+'''
+
+
+class TestEnumeration:
+    def test_every_bundled_rule_enumerated(self, ruleset):
+        assert {member.value for member in JCA} == set(ruleset.class_names)
+
+    def test_members_are_strings(self):
+        assert JCA.CIPHER == "repro.jca.Cipher"
+        assert str(JCA.SECURE_RANDOM) == "repro.jca.SecureRandom"
+
+    def test_constant_table_matches_enum(self):
+        assert RULE_CONSTANTS["JCA.MAC"] == "repro.jca.Mac"
+        assert len(RULE_CONSTANTS) == len(JCA)
+
+
+class TestProgrammaticShortForm:
+    def test_aliases_record_identically(self):
+        long_form = (
+            CrySLCodeGenerator.get_instance()
+            .consider_crysl_rule("repro.jca.MessageDigest")
+            .add_parameter(b"x", "input_data")
+            .add_return_object("digest")
+            .generate()
+        )
+        short_form = (
+            CrySLCodeGenerator.get_instance()
+            .rule(JCA.MESSAGE_DIGEST)
+            .param(b"x", "input_data")
+            .returns("digest")
+            .generate()
+        )
+        assert [c.rule_name for c in short_form.considered] == [
+            c.rule_name for c in long_form.considered
+        ]
+        assert (
+            short_form.considered[0].return_target
+            == long_form.considered[0].return_target
+        )
+
+    def test_alias_table_is_consistent(self):
+        for short, canonical in FLUENT_ALIASES.items():
+            assert getattr(CrySLCodeGenerator, short) is getattr(
+                CrySLCodeGenerator, canonical
+            )
+
+
+class TestTemplateShortForm:
+    def test_short_template_generates(self, generator):
+        module = generator.generate_from_source(SHORT_TEMPLATE, "short.py")
+        assert "MessageDigest.get_instance('SHA-256')" in module.source
+        module.compile_check()
+
+    def test_short_and_long_templates_equivalent(self, generator):
+        long_template = (
+            SHORT_TEMPLATE.replace(".rule(JCA.MESSAGE_DIGEST)",
+                                   '.consider_crysl_rule("repro.jca.MessageDigest")')
+            .replace(".param(", ".add_parameter(")
+            .replace(".returns(", ".add_return_object(")
+        )
+        short = generator.generate_from_source(SHORT_TEMPLATE, "s.py")
+        long = generator.generate_from_source(long_template, "s.py")
+        assert short.source == long.source
+
+    def test_unknown_enum_attribute_rejected(self, generator):
+        broken = SHORT_TEMPLATE.replace("JCA.MESSAGE_DIGEST", "JCA.NO_SUCH_RULE")
+        with pytest.raises(Exception, match="string literal or a JCA"):
+            generator.generate_from_source(broken, "broken.py")
+
+    def test_short_generated_code_runs(self, generator, project):
+        import hashlib
+
+        module = generator.generate_from_source(SHORT_TEMPLATE, "short.py")
+        loaded = project.write_and_load(module, "short_hasher")
+        digest = loaded.Hasher().hash_bytes(b"abc")
+        assert digest == hashlib.sha256(b"abc").digest()

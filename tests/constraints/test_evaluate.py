@@ -1,0 +1,204 @@
+"""Three-valued constraint evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import (
+    Binding,
+    BindingSource,
+    ConstraintEvaluator,
+    Environment,
+    tri_and,
+    tri_implies,
+    tri_not,
+    tri_or,
+)
+from repro.crysl import parse_rule
+
+
+def _rule():
+    return parse_rule(
+        """
+SPEC repro.jca.Cipher
+OBJECTS
+    str transformation;
+    int op_mode;
+    repro.jca.Key key;
+    bytes salt;
+EVENTS
+    g: this = get_instance(transformation);
+    i: init(op_mode, key);
+    n: use(salt);
+ORDER
+    g, i, n?
+CONSTRAINTS
+    op_mode in {1, 2};
+"""
+    )
+
+
+def _env(**values):
+    env = Environment()
+    for name, value in values.items():
+        env.bind(Binding(name, BindingSource.TEMPLATE, value=value))
+    return env
+
+
+def _evaluate(text, env, labels=("g", "i")):
+    rule = parse_rule(
+        f"""
+SPEC repro.jca.Cipher
+OBJECTS
+    str transformation;
+    int op_mode;
+    repro.jca.Key key;
+    bytes salt;
+EVENTS
+    g: this = get_instance(transformation);
+    i: init(op_mode, key);
+    n: use(salt);
+ORDER
+    g, i, n?
+CONSTRAINTS
+    {text};
+"""
+    )
+    evaluator = ConstraintEvaluator(env, rule, labels)
+    return evaluator.evaluate(rule.constraints[0])
+
+
+class TestKleeneHelpers:
+    def test_not(self):
+        assert tri_not(True) is False
+        assert tri_not(False) is True
+        assert tri_not(None) is None
+
+    def test_and(self):
+        assert tri_and([True, True]) is True
+        assert tri_and([True, False]) is False
+        assert tri_and([None, False]) is False  # False dominates unknown
+        assert tri_and([None, True]) is None
+
+    def test_or(self):
+        assert tri_or([False, True]) is True
+        assert tri_or([None, True]) is True  # True dominates unknown
+        assert tri_or([None, False]) is None
+        assert tri_or([False, False]) is False
+
+    def test_implies(self):
+        assert tri_implies(False, None) is True  # vacuous
+        assert tri_implies(True, False) is False
+        assert tri_implies(True, None) is None
+        assert tri_implies(None, True) is True
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "expr,value,expected",
+        [
+            ("op_mode >= 1", 1, True),
+            ("op_mode >= 1", 0, False),
+            ("op_mode > 1", 1, False),
+            ("op_mode <= 5", 5, True),
+            ("op_mode < 5", 5, False),
+            ("op_mode == 3", 3, True),
+            ("op_mode != 3", 3, False),
+        ],
+    )
+    def test_operators(self, expr, value, expected):
+        assert _evaluate(expr, _env(op_mode=value)) is expected
+
+    def test_unknown_operand(self):
+        assert _evaluate("op_mode >= 1", Environment()) is None
+
+    def test_incomparable_types(self):
+        assert _evaluate("op_mode >= 1", _env(op_mode="not a number")) is None
+
+
+class TestInSet:
+    def test_member(self):
+        assert _evaluate('transformation in {"A", "B"}', _env(transformation="B")) is True
+
+    def test_non_member(self):
+        assert _evaluate('transformation in {"A"}', _env(transformation="Z")) is False
+
+    def test_unknown(self):
+        assert _evaluate('transformation in {"A"}', Environment()) is None
+
+
+class TestStructured:
+    def test_implication_vacuous(self):
+        assert _evaluate("op_mode == 1 => transformation in {\"A\"}", _env(op_mode=2)) is True
+
+    def test_implication_fires(self):
+        env = _env(op_mode=1, transformation="Z")
+        assert _evaluate('op_mode == 1 => transformation in {"A"}', env) is False
+
+    def test_negation(self):
+        assert _evaluate("!(op_mode == 1)", _env(op_mode=2)) is True
+
+    def test_bool_ops(self):
+        env = _env(op_mode=1)
+        assert _evaluate("op_mode >= 1 && op_mode <= 2", env) is True
+        assert _evaluate("op_mode == 9 || op_mode == 1", env) is True
+
+
+class TestBuiltins:
+    def test_length_known(self):
+        env = Environment()
+        env.bind(Binding("salt", BindingSource.TEMPLATE, value=b"\x00" * 32))
+        assert _evaluate("length[salt] >= 16", env) is True
+
+    def test_length_from_fact(self):
+        env = Environment()
+        env.bind(Binding("salt", BindingSource.TEMPLATE, length=8))
+        assert _evaluate("length[salt] >= 16", env) is False
+
+    def test_length_unknown(self):
+        env = Environment()
+        env.bind(Binding("salt", BindingSource.TEMPLATE))
+        assert _evaluate("length[salt] >= 16", env) is None
+
+    def test_part(self):
+        env = _env(transformation="AES/GCM/NoPadding")
+        assert _evaluate('part(1, "/", transformation) == "GCM"', env) is True
+        assert _evaluate('part(0, "/", transformation) == "RSA"', env) is False
+
+    def test_part_out_of_range(self):
+        env = _env(transformation="AES")
+        assert _evaluate('part(2, "/", transformation) == "X"', env) is None
+
+    def test_instanceof_by_type_name(self):
+        env = Environment()
+        env.bind(
+            Binding("key", BindingSource.PREDICATE, type_name="repro.jca.SecretKeySpec")
+        )
+        assert _evaluate("instanceof[key, repro.jca.SecretKey]", env) is True
+        assert _evaluate("instanceof[key, repro.jca.PublicKey]", env) is False
+
+    def test_instanceof_by_value(self):
+        from repro.jca import SecretKeySpec
+
+        env = Environment()
+        env.bind(
+            Binding("key", BindingSource.TEMPLATE, value=SecretKeySpec(b"\x01" * 16, "AES"))
+        )
+        assert _evaluate("instanceof[key, repro.jca.SecretKey]", env) is True
+
+    def test_instanceof_unknown(self):
+        env = Environment()
+        env.bind(Binding("key", BindingSource.TEMPLATE))
+        assert _evaluate("instanceof[key, repro.jca.SecretKey]", env) is None
+
+    def test_call_to(self):
+        assert _evaluate("callTo[i]", _env(), labels=("g", "i")) is True
+        assert _evaluate("callTo[n]", _env(), labels=("g", "i")) is False
+        assert _evaluate("noCallTo[n]", _env(), labels=("g", "i")) is True
+
+    def test_call_to_without_path(self):
+        rule = _rule()
+        evaluator = ConstraintEvaluator(Environment(), rule, None)
+        from repro.crysl import ast
+
+        assert evaluator.evaluate(ast.CallTo("i")) is None

@@ -1,0 +1,121 @@
+"""The CrySL tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crysl.errors import CrySLSyntaxError
+from repro.crysl.lexer import TokenKind, tokenize
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)][:-1]  # drop EOF
+
+
+def texts(source):
+    return [token.text for token in tokenize(source)][:-1]
+
+
+def test_identifiers_and_qnames():
+    tokens = tokenize("SPEC repro.jca.PBEKeySpec password")
+    assert tokens[0].kind is TokenKind.IDENT
+    assert tokens[1].kind is TokenKind.QNAME
+    assert tokens[1].text == "repro.jca.PBEKeySpec"
+    assert tokens[2].kind is TokenKind.IDENT
+
+
+def test_integers_including_negative():
+    tokens = tokenize("10000 -35")
+    assert [t.text for t in tokens[:-1]] == ["10000", "-35"]
+    assert all(t.kind is TokenKind.INT for t in tokens[:-1])
+
+
+def test_string_literal():
+    (token, _eof) = tokenize('"AES/GCM/NoPadding"')
+    assert token.kind is TokenKind.STRING
+    assert token.text == "AES/GCM/NoPadding"
+
+
+def test_string_escapes():
+    (token, _eof) = tokenize(r'"line\nbreak \"quoted\""')
+    assert token.text == 'line\nbreak "quoted"'
+
+
+def test_unterminated_string():
+    with pytest.raises(CrySLSyntaxError):
+        tokenize('"never closed')
+
+
+def test_unknown_escape():
+    with pytest.raises(CrySLSyntaxError):
+        tokenize(r'"\q"')
+
+
+def test_comments_skipped():
+    assert kinds("a // comment\nb /* block\ncomment */ c") == [
+        TokenKind.IDENT,
+        TokenKind.IDENT,
+        TokenKind.IDENT,
+    ]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(CrySLSyntaxError):
+        tokenize("/* never closed")
+
+
+def test_operators_distinguished():
+    assert kinds(":= : => = == != <= < >= > && || ! | * + ?") == [
+        TokenKind.ASSIGN_AGG,
+        TokenKind.COLON,
+        TokenKind.IMPLIES,
+        TokenKind.ASSIGN,
+        TokenKind.EQ,
+        TokenKind.NEQ,
+        TokenKind.LE,
+        TokenKind.LT,
+        TokenKind.GE,
+        TokenKind.GT,
+        TokenKind.AND,
+        TokenKind.OR,
+        TokenKind.NOT,
+        TokenKind.PIPE,
+        TokenKind.STAR,
+        TokenKind.PLUS,
+        TokenKind.QUESTION,
+    ]
+
+
+def test_punctuation():
+    assert kinds("( ) { } [ ] ; ,") == [
+        TokenKind.LPAREN,
+        TokenKind.RPAREN,
+        TokenKind.LBRACE,
+        TokenKind.RBRACE,
+        TokenKind.LBRACKET,
+        TokenKind.RBRACKET,
+        TokenKind.SEMI,
+        TokenKind.COMMA,
+    ]
+
+
+def test_positions_are_tracked():
+    tokens = tokenize("a\n  b")
+    assert tokens[0].location.line == 1 and tokens[0].location.column == 1
+    assert tokens[1].location.line == 2 and tokens[1].location.column == 3
+
+
+def test_unexpected_character():
+    with pytest.raises(CrySLSyntaxError) as excinfo:
+        tokenize("a @ b")
+    assert "@" in str(excinfo.value)
+
+
+def test_eof_always_present():
+    assert tokenize("")[-1].kind is TokenKind.EOF
+    assert tokenize("x")[-1].kind is TokenKind.EOF
+
+
+def test_newline_in_string_rejected():
+    with pytest.raises(CrySLSyntaxError):
+        tokenize('"spans\nlines"')

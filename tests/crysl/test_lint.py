@@ -1,0 +1,118 @@
+"""Cross-rule consistency lint."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crysl import RuleSet, check_rule, lint_ruleset, parse_rule, render_findings
+from repro.crysl.lint import LintKind
+
+
+def _rules(*sources):
+    return RuleSet([check_rule(parse_rule(s)) for s in sources])
+
+
+PRODUCER = """
+SPEC a.Producer
+OBJECTS
+    bytes out;
+EVENTS
+    p: out = produce();
+ORDER
+    p
+ENSURES
+    made[out];
+"""
+
+CONSUMER = """
+SPEC a.Consumer
+OBJECTS
+    bytes item;
+EVENTS
+    c: consume(item);
+ORDER
+    c
+REQUIRES
+    made[item];
+"""
+
+
+def _kinds(findings):
+    return [f.kind for f in findings]
+
+
+def test_matched_pair_is_clean():
+    assert lint_ruleset(_rules(PRODUCER, CONSUMER)) == []
+
+
+def test_orphaned_requires():
+    findings = lint_ruleset(_rules(CONSUMER))
+    assert LintKind.ORPHANED_REQUIRES in _kinds(findings)
+    assert "made" in findings[0].message
+
+
+def test_dead_ensures():
+    findings = lint_ruleset(_rules(PRODUCER))
+    assert LintKind.DEAD_ENSURES in _kinds(findings)
+
+
+def test_disjunction_with_one_producer_is_satisfied():
+    consumer = CONSUMER.replace("made[item];", "made[item] || other[item];")
+    assert not any(
+        f.kind is LintKind.ORPHANED_REQUIRES
+        for f in lint_ruleset(_rules(PRODUCER, consumer))
+    )
+
+
+def test_arity_drift():
+    consumer = CONSUMER.replace("made[item];", "made[item, _, _];")
+    findings = lint_ruleset(_rules(PRODUCER, consumer))
+    assert LintKind.ARITY_DRIFT in _kinds(findings)
+
+
+def test_lenient_shorter_requires_is_fine():
+    producer = PRODUCER.replace("made[out];", "made[out, 128];")
+    assert not any(
+        f.kind is LintKind.ARITY_DRIFT
+        for f in lint_ruleset(_rules(producer, CONSUMER))
+    )
+
+
+def test_unreachable_event():
+    producer = PRODUCER.replace(
+        "EVENTS\n    p: out = produce();",
+        "EVENTS\n    p: out = produce();\n    ghost: never();",
+    )
+    findings = lint_ruleset(_rules(producer, CONSUMER))
+    unreachable = [f for f in findings if f.kind is LintKind.UNREACHABLE_EVENT]
+    assert unreachable and "ghost" in unreachable[0].message
+
+
+def test_unknown_class_reference():
+    producer = PRODUCER.replace("bytes out;", "no.such.Class out;")
+    findings = lint_ruleset(_rules(producer, CONSUMER))
+    assert LintKind.UNKNOWN_CLASS in _kinds(findings)
+
+
+def test_bundled_ruleset_only_terminal_warnings(ruleset):
+    """The shipped rule set's only warnings are dead-ensures on the
+    operation-output predicates applications consume."""
+    findings = lint_ruleset(ruleset)
+    assert all(f.kind is LintKind.DEAD_ENSURES for f in findings)
+    terminal = {"encrypted", "wrapped_key", "maced", "hashed", "signed", "verified"}
+    mentioned = {f.message.split("'")[1] for f in findings}
+    assert mentioned == terminal
+
+
+def test_render():
+    assert "consistent" in render_findings([])
+    findings = lint_ruleset(_rules(CONSUMER))
+    rendered = render_findings(findings)
+    assert "warning" in rendered and "orphaned-requires" in rendered
+
+
+def test_cli_lint(capsys):
+    from repro.cli import main
+
+    assert main(["lint-rules"]) == 0
+    assert "dead-ensures" in capsys.readouterr().out

@@ -1,0 +1,251 @@
+"""The CrySL parser: section by section, plus the paper's Figure 2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crysl import ast, parse_rule
+from repro.crysl.errors import CrySLSyntaxError
+
+FIGURE_2 = """
+SPEC repro.jca.PBEKeySpec
+OBJECTS
+    bytearray password;
+    bytes salt;
+    int iteration_count;
+    int key_length;
+EVENTS
+    c1: PBEKeySpec(password, salt, iteration_count, key_length);
+    cP: clear_password();
+ORDER
+    c1, cP
+CONSTRAINTS
+    iteration_count >= 10000;
+REQUIRES
+    randomized[salt];
+ENSURES
+    specced_key[this, key_length] after c1;
+NEGATES
+    specced_key[this, _];
+"""
+
+
+class TestFigure2:
+    """The rule of the paper's Figure 2 parses structurally intact."""
+
+    @pytest.fixture(scope="class")
+    def rule(self):
+        return parse_rule(FIGURE_2, "figure2.crysl")
+
+    def test_spec(self, rule):
+        assert rule.class_name == "repro.jca.PBEKeySpec"
+        assert rule.simple_name == "PBEKeySpec"
+        assert rule.module_name == "repro.jca"
+
+    def test_objects(self, rule):
+        assert [o.name for o in rule.objects] == [
+            "password",
+            "salt",
+            "iteration_count",
+            "key_length",
+        ]
+        assert rule.object_named("password").type_name == "bytearray"
+
+    def test_events(self, rule):
+        constructor = rule.event_labelled("c1")
+        assert constructor.is_constructor
+        assert constructor.arity == 4
+        clear = rule.event_labelled("cP")
+        assert not clear.is_constructor
+        assert clear.arity == 0
+
+    def test_order(self, rule):
+        assert isinstance(rule.order, ast.Seq)
+        assert [part.label for part in rule.order.parts] == ["c1", "cP"]
+
+    def test_constraints(self, rule):
+        (constraint,) = rule.constraints
+        assert isinstance(constraint, ast.Comparison)
+        assert constraint.op == ">="
+        assert constraint.rhs.value == 10000
+
+    def test_requires(self, rule):
+        (group,) = rule.requires
+        (alternative,) = group.alternatives
+        assert alternative.name == "randomized"
+        assert alternative.args[0].value == "salt"
+
+    def test_ensures_with_after(self, rule):
+        (ensured,) = rule.ensures
+        assert ensured.name == "specced_key"
+        assert ensured.after == "c1"
+        assert ensured.args[0].is_this
+
+    def test_negates_with_wildcard(self, rule):
+        (negated,) = rule.negates
+        assert negated.args[1].is_wildcard
+
+
+class TestEvents:
+    def test_result_binding(self):
+        rule = parse_rule(
+            "SPEC a.B\nOBJECTS\n bytes out;\nEVENTS\n g: out = run();\nORDER\n g"
+        )
+        assert rule.event_labelled("g").result == "out"
+
+    def test_this_result(self):
+        rule = parse_rule(
+            "SPEC a.B\nOBJECTS\n str alg;\nEVENTS\n g: this = get_instance(alg);\nORDER\n g"
+        )
+        assert rule.event_labelled("g").result == "this"
+
+    def test_aggregates(self):
+        rule = parse_rule(
+            "SPEC a.B\nEVENTS\n a1: m();\n a2: n();\n Both := a1 | a2;\nORDER\n Both"
+        )
+        assert rule.aggregate_labelled("Both").members == ("a1", "a2")
+        assert rule.expand_label("Both") == ("a1", "a2")
+
+    def test_nested_aggregates(self):
+        rule = parse_rule(
+            "SPEC a.B\nEVENTS\n a1: m();\n a2: n();\n a3: o();\n"
+            " Inner := a1 | a2;\n Outer := Inner | a3;\nORDER\n Outer"
+        )
+        assert rule.expand_label("Outer") == ("a1", "a2", "a3")
+
+
+class TestOrder:
+    def _order(self, text, events="a1: m();\n a2: n();\n a3: o();"):
+        return parse_rule(f"SPEC a.B\nEVENTS\n {events}\nORDER\n {text}").order
+
+    def test_alternative_binds_looser_than_sequence(self):
+        order = self._order("a1, a2 | a3")
+        assert isinstance(order, ast.Alt)
+        assert isinstance(order.options[0], ast.Seq)
+
+    def test_parentheses(self):
+        order = self._order("a1, (a2 | a3)")
+        assert isinstance(order, ast.Seq)
+        assert isinstance(order.parts[1], ast.Alt)
+
+    def test_postfix_operators(self):
+        order = self._order("a1?, a2*, a3+")
+        assert isinstance(order.parts[0], ast.Opt)
+        assert isinstance(order.parts[1], ast.Star)
+        assert isinstance(order.parts[2], ast.Plus)
+
+    def test_stacked_postfix(self):
+        order = self._order("(a1+)?")
+        assert isinstance(order, ast.Opt)
+        assert isinstance(order.inner, ast.Plus)
+
+    def test_str_rendering_roundtrips(self):
+        original = self._order("a1, (a2 | a3)+, a1?")
+        rendered = str(original)
+        reparsed = parse_rule(
+            f"SPEC a.B\nEVENTS\n a1: m();\n a2: n();\n a3: o();\nORDER\n {rendered}"
+        ).order
+        assert str(reparsed) == rendered
+
+
+class TestConstraints:
+    def _constraints(self, text, objects="int x;\n str s;\n bytes b;"):
+        return parse_rule(
+            f"SPEC a.B\nOBJECTS\n {objects}\nEVENTS\n e: m(x, s, b);\nCONSTRAINTS\n {text}"
+        ).constraints
+
+    def test_in_set(self):
+        (constraint,) = self._constraints('x in {1, 2, 3};')
+        assert isinstance(constraint, ast.InSet)
+        assert [v.value for v in constraint.values] == [1, 2, 3]
+
+    def test_string_set(self):
+        (constraint,) = self._constraints('s in {"A", "B"};')
+        assert [v.value for v in constraint.values] == ["A", "B"]
+
+    def test_implication_right_associative(self):
+        (constraint,) = self._constraints("x >= 1 => x >= 2 => x >= 3;")
+        assert isinstance(constraint, ast.Implication)
+        assert isinstance(constraint.consequent, ast.Implication)
+
+    def test_boolean_operators(self):
+        (constraint,) = self._constraints("x >= 1 && x <= 5 || x == 9;")
+        assert isinstance(constraint, ast.BoolOp)
+        assert constraint.op == "||"
+
+    def test_negation(self):
+        (constraint,) = self._constraints("!(x == 0);")
+        assert isinstance(constraint, ast.Negation)
+
+    def test_length(self):
+        (constraint,) = self._constraints("length[b] >= 16;")
+        assert isinstance(constraint.lhs, ast.LengthOf)
+
+    def test_part(self):
+        (constraint,) = self._constraints('part(0, "/", s) in {"AES"};')
+        assert isinstance(constraint.subject, ast.PartOf)
+        assert constraint.subject.index == 0
+        assert constraint.subject.separator == "/"
+
+    def test_instanceof(self):
+        (constraint,) = self._constraints("instanceof[b, repro.jca.SecretKey];")
+        assert isinstance(constraint, ast.InstanceOf)
+        assert constraint.type_name == "repro.jca.SecretKey"
+
+    def test_call_predicates(self):
+        constraints = self._constraints("callTo[e];\n noCallTo[e];")
+        assert isinstance(constraints[0], ast.CallTo)
+        assert isinstance(constraints[1], ast.NoCallTo)
+
+
+class TestRequires:
+    def test_disjunction(self):
+        rule = parse_rule(
+            "SPEC a.B\nOBJECTS\n bytes k;\nEVENTS\n e: m(k);\n"
+            "REQUIRES\n generated_key[k, _] || pub_key[k];"
+        )
+        (group,) = rule.requires
+        assert [a.name for a in group.alternatives] == ["generated_key", "pub_key"]
+
+    def test_literal_arguments(self):
+        rule = parse_rule(
+            "SPEC a.B\nOBJECTS\n bytes k;\nEVENTS\n e: m(k);\n"
+            'REQUIRES\n keyed[k, 128, "AES"];'
+        )
+        args = rule.requires[0].alternatives[0].args
+        assert args[1].value.value == 128
+        assert args[2].value.value == "AES"
+
+
+class TestErrors:
+    def test_missing_spec(self):
+        with pytest.raises(CrySLSyntaxError):
+            parse_rule("OBJECTS\n int x;")
+
+    def test_duplicate_section(self):
+        with pytest.raises(CrySLSyntaxError) as excinfo:
+            parse_rule("SPEC a.B\nOBJECTS\n int x;\nOBJECTS\n int y;")
+        assert "duplicate" in str(excinfo.value)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(CrySLSyntaxError):
+            parse_rule("SPEC a.B\nOBJECTS\n int x")
+
+    def test_after_outside_ensures(self):
+        with pytest.raises(CrySLSyntaxError):
+            parse_rule(
+                "SPEC a.B\nOBJECTS\n bytes k;\nEVENTS\n e: m(k);\n"
+                "REQUIRES\n keyed[k] after e;"
+            )
+
+    def test_error_location_reported(self):
+        with pytest.raises(CrySLSyntaxError) as excinfo:
+            parse_rule("SPEC a.B\nCONSTRAINTS\n x >=;")
+        assert excinfo.value.location.line == 3
+
+    def test_error_shows_source_line(self):
+        with pytest.raises(CrySLSyntaxError) as excinfo:
+            parse_rule("SPEC a.B\nCONSTRAINTS\n x >=;", "my.crysl")
+        rendered = str(excinfo.value)
+        assert "my.crysl" in rendered
+        assert "^" in rendered

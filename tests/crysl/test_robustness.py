@@ -1,0 +1,105 @@
+"""Robustness properties of the CrySL front end.
+
+The scanner and parser must *terminate* — with a value or a clean
+diagnostic — on arbitrary input. (A session of this reproduction once
+hung on any rule ending in an identifier; these properties pin the
+fix down.)
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.crysl import CrySLError, check_rule, parse_rule, tokenize
+from repro.crysl.errors import CrySLSyntaxError
+from repro.crysl.lexer import TokenKind
+
+
+@settings(max_examples=200, deadline=None)
+@given(source=st.text(max_size=200))
+@example(source="SPEC a.B")          # ends in an identifier (the old hang)
+@example(source="x")
+@example(source='"unterminated')
+@example(source="/* open comment")
+@example(source="-")
+@example(source="a.b.c.d.e")
+def test_lexer_terminates_on_arbitrary_text(source):
+    try:
+        tokens = tokenize(source)
+    except CrySLSyntaxError:
+        return
+    assert tokens[-1].kind is TokenKind.EOF
+
+
+@settings(max_examples=150, deadline=None)
+@given(source=st.text(alphabet="SPECabc .;:()[]{}|*+?=<>!&\n\t\"0123456789_", max_size=300))
+def test_parser_terminates_on_token_soup(source):
+    try:
+        parse_rule(source)
+    except CrySLError:
+        pass  # a clean diagnostic is a valid outcome
+
+
+_IDENTS = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    class_name=st.from_regex(r"[a-z]+\.[A-Z][a-zA-Z]{0,6}", fullmatch=True),
+    objects=st.lists(_IDENTS, min_size=1, max_size=4, unique=True),
+)
+def test_wellformed_rules_always_parse(class_name, objects):
+    """Generated well-formed rules parse and check."""
+    object_section = "\n".join(f"    int {name};" for name in objects)
+    params = ", ".join(objects)
+    source = (
+        f"SPEC {class_name}\n"
+        f"OBJECTS\n{object_section}\n"
+        f"EVENTS\n    e1: run({params});\n"
+        f"ORDER\n    e1\n"
+    )
+    rule = check_rule(parse_rule(source))
+    assert rule.class_name == class_name
+    assert [o.name for o in rule.objects] == objects
+
+
+@settings(max_examples=60, deadline=None)
+@given(value=st.integers(min_value=-(10**9), max_value=10**9))
+def test_integer_literals_roundtrip(value):
+    rule = parse_rule(
+        f"SPEC a.B\nOBJECTS\n int x;\nEVENTS\n e: m(x);\nCONSTRAINTS\n x == {value};"
+    )
+    assert rule.constraints[0].rhs.value == value
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    text=st.text(
+        alphabet=st.characters(blacklist_characters='"\\\n', min_codepoint=32, max_codepoint=0x2FF),
+        max_size=40,
+    )
+)
+def test_string_literals_roundtrip(text):
+    rule = parse_rule(
+        f'SPEC a.B\nOBJECTS\n str s;\nEVENTS\n e: m(s);\nCONSTRAINTS\n s == "{text}";'
+    )
+    assert rule.constraints[0].rhs.value == text
+
+
+def test_deeply_nested_order_parses():
+    depth = 40
+    order = "(" * depth + "e" + ")" * depth
+    rule = parse_rule(f"SPEC a.B\nEVENTS\n e: m();\nORDER\n {order}")
+    from repro.fsm import enumerate_paths
+
+    assert [tuple(ev.label for ev in p) for p in enumerate_paths(rule)] == [("e",)]
+
+
+def test_long_rule_file(ruleset):
+    """A synthetic 200-event rule stays well-behaved."""
+    events = "\n".join(f"    e{i}: m{i}();" for i in range(200))
+    order = ", ".join(f"e{i}?" for i in range(20))
+    rule = check_rule(parse_rule(f"SPEC a.Big\nEVENTS\n{events}\nORDER\n    {order}"))
+    assert len(rule.events) == 200

@@ -1,0 +1,96 @@
+"""Rule-set loading and lookup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crysl import RuleSet, bundled_ruleset, load_rule_file, parse_rule
+from repro.crysl.errors import RuleNotFoundError
+
+EXPECTED_BUNDLED = {
+    "repro.jca.Cipher",
+    "repro.jca.GCMParameterSpec",
+    "repro.jca.IvParameterSpec",
+    "repro.jca.KeyGenerator",
+    "repro.jca.KeyPair",
+    "repro.jca.KeyPairGenerator",
+    "repro.jca.KeyStore",
+    "repro.jca.Mac",
+    "repro.jca.MessageDigest",
+    "repro.jca.PBEKeySpec",
+    "repro.jca.SecretKey",
+    "repro.jca.SecretKeyFactory",
+    "repro.jca.SecretKeySpec",
+    "repro.jca.SecureRandom",
+    "repro.jca.Signature",
+}
+
+
+def test_bundled_contents(ruleset):
+    assert set(ruleset.class_names) == EXPECTED_BUNDLED
+
+
+def test_lookup_by_qualified_name(ruleset):
+    assert ruleset.get("repro.jca.Cipher").simple_name == "Cipher"
+
+
+def test_lookup_by_simple_name(ruleset):
+    assert ruleset.get("Cipher").class_name == "repro.jca.Cipher"
+
+
+def test_contains(ruleset):
+    assert "Cipher" in ruleset
+    assert "Nonexistent" not in ruleset
+
+
+def test_unknown_rule_mentions_known(ruleset):
+    with pytest.raises(RuleNotFoundError) as excinfo:
+        ruleset.get("Unknown")
+    assert "repro.jca.Cipher" in str(excinfo.value)
+
+
+def test_ambiguous_simple_name():
+    rules = RuleSet(
+        [
+            parse_rule("SPEC a.Thing\nEVENTS\n e: m();"),
+            parse_rule("SPEC b.Thing\nEVENTS\n e: m();"),
+        ]
+    )
+    assert rules.get("a.Thing").class_name == "a.Thing"
+    with pytest.raises(RuleNotFoundError) as excinfo:
+        rules.get("Thing")
+    assert "ambiguous" in str(excinfo.value)
+
+
+def test_add_replaces_same_class():
+    rules = RuleSet([parse_rule("SPEC a.Thing\nEVENTS\n e: m();")])
+    rules.add(parse_rule("SPEC a.Thing\nEVENTS\n f: n();"))
+    assert len(rules) == 1
+    assert rules.get("Thing").event_labelled("f") is not None
+
+
+def test_from_directory(tmp_path):
+    (tmp_path / "Thing.crysl").write_text("SPEC x.Thing\nEVENTS\n e: m();")
+    rules = RuleSet.from_directory(tmp_path)
+    assert rules.class_names == ("x.Thing",)
+
+
+def test_from_missing_directory():
+    with pytest.raises(FileNotFoundError):
+        RuleSet.from_directory("/nonexistent/rules")
+
+
+def test_load_rule_file(tmp_path):
+    path = tmp_path / "Thing.crysl"
+    path.write_text("SPEC x.Thing\nEVENTS\n e: m();")
+    assert load_rule_file(path).class_name == "x.Thing"
+
+
+def test_bundled_is_cached():
+    assert bundled_ruleset() is bundled_ruleset()
+
+
+def test_every_bundled_rule_has_usage_pattern(ruleset):
+    for rule in ruleset:
+        assert rule.events, rule.class_name
+        assert rule.order is not None, rule.class_name

@@ -1,0 +1,138 @@
+"""Semantic checks: every error class the checker knows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crysl import check_rule, parse_rule
+from repro.crysl.errors import CrySLSemanticError
+
+
+def check(source):
+    return check_rule(parse_rule(source))
+
+
+def expect_error(source, fragment):
+    with pytest.raises(CrySLSemanticError) as excinfo:
+        check(source)
+    assert fragment in str(excinfo.value)
+
+
+def test_valid_rule_passes():
+    rule = check(
+        "SPEC a.B\nOBJECTS\n int x;\nEVENTS\n e: m(x);\nORDER\n e\n"
+        "CONSTRAINTS\n x >= 1;"
+    )
+    assert rule.simple_name == "B"
+
+
+def test_duplicate_object():
+    expect_error("SPEC a.B\nOBJECTS\n int x;\n int x;", "duplicate object")
+
+
+def test_reserved_object_name():
+    expect_error("SPEC a.B\nOBJECTS\n int this;", "reserved")
+
+
+def test_unknown_primitive_type():
+    expect_error("SPEC a.B\nOBJECTS\n longint x;", "unknown type")
+
+
+def test_qualified_class_types_allowed():
+    check("SPEC a.B\nOBJECTS\n repro.jca.SecretKey key;\nEVENTS\n e: m(key);")
+
+
+def test_undeclared_event_parameter():
+    expect_error("SPEC a.B\nEVENTS\n e: m(ghost);", "undeclared object 'ghost'")
+
+
+def test_wildcard_and_this_params_allowed():
+    check("SPEC a.B\nEVENTS\n e: m(_, this);")
+
+
+def test_undeclared_result():
+    expect_error("SPEC a.B\nEVENTS\n e: ghost = m();", "undeclared")
+
+
+def test_duplicate_event_label():
+    expect_error("SPEC a.B\nEVENTS\n e: m();\n e: n();", "duplicate event label")
+
+
+def test_aggregate_unknown_member():
+    expect_error("SPEC a.B\nEVENTS\n e: m();\n Agg := e | ghost;", "unknown label")
+
+
+def test_aggregate_cycle():
+    expect_error(
+        "SPEC a.B\nEVENTS\n e: m();\n A := B | e;\n B := A | e;", "cycle"
+    )
+
+
+def test_order_unknown_label():
+    expect_error("SPEC a.B\nEVENTS\n e: m();\nORDER\n e, ghost", "unknown label")
+
+
+def test_constraint_undeclared_object():
+    expect_error(
+        "SPEC a.B\nOBJECTS\n int x;\nEVENTS\n e: m(x);\nCONSTRAINTS\n y >= 1;",
+        "undeclared object 'y'",
+    )
+
+
+def test_length_on_non_sized():
+    expect_error(
+        "SPEC a.B\nOBJECTS\n int x;\nEVENTS\n e: m(x);\nCONSTRAINTS\n length[x] >= 1;",
+        "non-sized",
+    )
+
+
+def test_part_on_non_string():
+    expect_error(
+        "SPEC a.B\nOBJECTS\n bytes b;\nEVENTS\n e: m(b);\n"
+        'CONSTRAINTS\n part(0, "/", b) == "AES";',
+        "non-string",
+    )
+
+
+def test_value_set_type_mismatch():
+    expect_error(
+        "SPEC a.B\nOBJECTS\n int x;\nEVENTS\n e: m(x);\n"
+        'CONSTRAINTS\n x in {"A", "B"};',
+        "constrains object of type",
+    )
+
+
+def test_mixed_literal_set():
+    expect_error(
+        "SPEC a.B\nOBJECTS\n int x;\nEVENTS\n e: m(x);\n"
+        'CONSTRAINTS\n x in {1, "two"};',
+        "mixes literal types",
+    )
+
+
+def test_callto_unknown_label():
+    expect_error(
+        "SPEC a.B\nOBJECTS\n int x;\nEVENTS\n e: m(x);\nCONSTRAINTS\n callTo[ghost];",
+        "unknown label",
+    )
+
+
+def test_predicate_undeclared_object():
+    expect_error(
+        "SPEC a.B\nOBJECTS\n int x;\nEVENTS\n e: m(x);\nENSURES\n done[ghost];",
+        "undeclared object 'ghost'",
+    )
+
+
+def test_after_unknown_event():
+    expect_error(
+        "SPEC a.B\nOBJECTS\n int x;\nEVENTS\n e: m(x);\nENSURES\n done[x] after ghost;",
+        "unknown event",
+    )
+
+
+def test_predicate_literals_and_wildcards_allowed():
+    check(
+        "SPEC a.B\nOBJECTS\n int x;\nEVENTS\n e: m(x);\n"
+        'ENSURES\n done[this, _, 128, "AES"];'
+    )

@@ -1,0 +1,111 @@
+"""The evaluation drivers: every table regenerates and its shape holds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import (
+    PAPER_TABLE2,
+    count_loc,
+    measure_use_case,
+    render_rq5,
+    render_table,
+    render_table1,
+    render_table2,
+    run_rq5,
+    run_table1,
+    run_table2,
+)
+from repro.eval.rq5 import shape_holds as rq5_shape
+from repro.eval.table1 import shape_holds as table1_shape
+from repro.eval.table2 import shape_holds as table2_shape
+from repro.usecases import use_case
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        table = render_table(("A", "Long"), [(1, "x"), (22, "yy")], "T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+    def test_float_formatting(self):
+        assert "1.50" in render_table(("v",), [(1.5,)])
+
+    def test_bool_formatting(self):
+        table = render_table(("v",), [(True,), (False,)])
+        assert "yes" in table and "no" in table
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table1(runs=2)
+
+    def test_all_eleven_measured(self, rows):
+        assert [r.use_case.number for r in rows] == list(range(1, 12))
+
+    def test_rq1_all_implemented(self, rows):
+        assert all(r.compiles and r.sast_clean for r in rows)
+
+    def test_rq2_under_budget(self, rows):
+        assert all(r.runtime_seconds < 10.0 for r in rows)
+
+    def test_rq3_memory_positive_and_modest(self, rows):
+        assert all(0 < r.memory_mb < 100 for r in rows)
+
+    def test_shape(self, rows):
+        assert table1_shape(rows)
+
+    def test_render_includes_paper_columns(self, rows):
+        table = render_table1(rows)
+        assert "Paper (s)" in table
+        assert "8.10" in table  # use case 9's paper runtime
+
+    def test_single_measure(self):
+        row = measure_use_case(use_case(11), runs=1)
+        assert row.implemented
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table2()
+
+    def test_eight_rows(self, rows):
+        assert [r.use_case.number for r in rows] == [1, 2, 3, 5, 6, 7, 9, 10]
+
+    def test_gen_templates_smaller(self, rows):
+        for row in rows:
+            assert row.template_loc < row.old_gen_total
+
+    def test_shape_quarter_ish(self, rows):
+        assert table2_shape(rows)
+
+    def test_render(self, rows):
+        table = render_table2(rows)
+        assert "maintenance ratio" in table
+        assert "paper XSL" in table
+
+    def test_paper_reference_data_complete(self):
+        assert set(PAPER_TABLE2) == {1, 2, 3, 5, 6, 7, 9, 10}
+
+    def test_count_loc_ignores_blanks(self, tmp_path):
+        path = tmp_path / "f.txt"
+        path.write_text("a\n\n  \nb\n")
+        assert count_loc(path) == 2
+
+
+class TestRq5:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_rq5()
+
+    def test_shape(self, results):
+        assert rq5_shape(results)
+
+    def test_render(self, results):
+        table = render_rq5(results)
+        assert "SUS gen" in table
+        assert "76.3" in table  # the paper column
+        assert "n.s." in table

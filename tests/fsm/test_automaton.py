@@ -1,0 +1,110 @@
+"""NFA/DFA machinery."""
+
+from __future__ import annotations
+
+from repro.fsm.automaton import NFA, DfaWalker, determinize
+
+
+def _simple_nfa():
+    """(a b) | c"""
+    nfa = NFA()
+    start = nfa.new_state()
+    nfa.start = start
+    mid = nfa.new_state()
+    end = nfa.new_state()
+    nfa.add_transition(start, "a", mid)
+    nfa.add_transition(mid, "b", end)
+    nfa.add_transition(start, "c", end)
+    nfa.accepting = {end}
+    return nfa
+
+
+class TestNfa:
+    def test_accepts(self):
+        nfa = _simple_nfa()
+        assert nfa.accepts(["a", "b"])
+        assert nfa.accepts(["c"])
+        assert not nfa.accepts(["a"])
+        assert not nfa.accepts(["b"])
+        assert not nfa.accepts([])
+
+    def test_epsilon_closure(self):
+        nfa = NFA()
+        s0, s1, s2 = nfa.new_state(), nfa.new_state(), nfa.new_state()
+        nfa.add_transition(s0, None, s1)
+        nfa.add_transition(s1, None, s2)
+        assert nfa.epsilon_closure({s0}) == {s0, s1, s2}
+
+    def test_alphabet(self):
+        assert _simple_nfa().alphabet == {"a", "b", "c"}
+
+
+class TestDeterminize:
+    def test_language_preserved(self):
+        dfa = determinize(_simple_nfa())
+        assert dfa.accepts(["a", "b"])
+        assert dfa.accepts(["c"])
+        assert not dfa.accepts(["a", "b", "c"])
+        assert not dfa.accepts(["a", "c"])
+
+    def test_dfa_is_deterministic(self):
+        dfa = determinize(_simple_nfa())
+        for moves in dfa.transitions:
+            assert len(moves) == len(set(moves))  # dict keys unique
+
+    def test_epsilon_heavy_nfa(self):
+        nfa = NFA()
+        s0 = nfa.new_state()
+        nfa.start = s0
+        s1 = nfa.new_state()
+        s2 = nfa.new_state()
+        nfa.add_transition(s0, None, s1)
+        nfa.add_transition(s1, "x", s2)
+        nfa.add_transition(s2, None, s1)  # loop x+
+        nfa.accepting = {s2}
+        dfa = determinize(nfa)
+        assert dfa.accepts(["x"])
+        assert dfa.accepts(["x", "x", "x"])
+        assert not dfa.accepts([])
+
+
+class TestDfaQueries:
+    def test_prefix_viability(self):
+        dfa = determinize(_simple_nfa())
+        assert dfa.is_prefix_viable(["a"])
+        assert dfa.is_prefix_viable([])
+        assert not dfa.is_prefix_viable(["b"])
+
+    def test_shortest_accepting_words(self):
+        dfa = determinize(_simple_nfa())
+        words = dfa.shortest_accepting_words()
+        assert ("c",) in words
+        assert ("a", "b") in words
+        assert words.index(("c",)) < words.index(("a", "b"))  # BFS order
+
+
+class TestWalker:
+    def test_feed_sequence(self):
+        walker = DfaWalker(determinize(_simple_nfa()))
+        assert walker.feed("a")
+        assert not walker.in_accepting_state
+        assert walker.can_still_accept
+        assert walker.feed("b")
+        assert walker.in_accepting_state
+
+    def test_violation_enters_dead_state(self):
+        walker = DfaWalker(determinize(_simple_nfa()))
+        assert not walker.feed("b")
+        assert walker.in_dead_state
+        assert not walker.can_still_accept
+        assert walker.expected_symbols() == frozenset()
+
+    def test_expected_symbols(self):
+        walker = DfaWalker(determinize(_simple_nfa()))
+        assert walker.expected_symbols() == {"a", "c"}
+
+    def test_history(self):
+        walker = DfaWalker(determinize(_simple_nfa()))
+        walker.feed("a")
+        walker.feed("b")
+        assert walker.history == ["a", "b"]

@@ -1,0 +1,114 @@
+"""Path enumeration: the paper's expansion policy, checked per construct
+and as a property over random ORDER expressions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crysl import ast, parse_rule
+from repro.fsm.build import rule_dfa
+from repro.fsm.paths import (
+    MAX_PATHS,
+    PathExplosionError,
+    enumerate_paths,
+    path_parameter_count,
+)
+
+
+def _rule(order, events="a: m();\n b: n();\n c: o();"):
+    return parse_rule(f"SPEC x.Y\nEVENTS\n {events}\nORDER\n {order}")
+
+
+def labels(paths):
+    return [tuple(e.label for e in p) for p in paths]
+
+
+class TestExpansionPolicy:
+    def test_sequence(self):
+        assert labels(enumerate_paths(_rule("a, b"))) == [("a", "b")]
+
+    def test_alternative(self):
+        assert labels(enumerate_paths(_rule("a | b"))) == [("a",), ("b",)]
+
+    def test_optional_two_variants(self):
+        """x? -> one path without, one with (paper §3.3)."""
+        assert labels(enumerate_paths(_rule("a, b?"))) == [("a",), ("a", "b")]
+
+    def test_star_no_repetition(self):
+        """x* expands like x? — repetition unsupported by design."""
+        assert labels(enumerate_paths(_rule("a*"))) == [(), ("a",)]
+
+    def test_plus_exactly_once(self):
+        assert labels(enumerate_paths(_rule("a+"))) == [("a",)]
+
+    def test_aggregate_expansion(self):
+        rule = parse_rule(
+            "SPEC x.Y\nEVENTS\n a: m();\n b: n();\n Both := a | b;\nORDER\n Both"
+        )
+        assert labels(enumerate_paths(rule)) == [("a",), ("b",)]
+
+    def test_nested(self):
+        paths = labels(enumerate_paths(_rule("a, (b | c)?")))
+        assert paths == [("a",), ("a", "b"), ("a", "c")]
+
+    def test_deduplication(self):
+        paths = labels(enumerate_paths(_rule("(a | a), b")))
+        assert paths == [("a", "b")]
+
+    def test_missing_order_degenerates(self):
+        rule = parse_rule("SPEC x.Y\nEVENTS\n a: m();\n b: n();")
+        assert labels(enumerate_paths(rule)) == [("a",), ("b",)]
+
+
+class TestConsistencyWithDfa:
+    def test_all_enumerated_paths_accepted(self, ruleset):
+        """Every enumerated path of every bundled rule is in the DFA's
+        language — expansion and Thompson construction agree."""
+        for rule in ruleset:
+            dfa = rule_dfa(rule)
+            for path in enumerate_paths(rule):
+                assert dfa.accepts([e.label for e in path]), rule.class_name
+
+
+# A recursive strategy over ORDER expressions with 3 event labels.
+_orders = st.recursive(
+    st.sampled_from(["a", "b", "c"]),
+    lambda children: st.one_of(
+        st.tuples(children, children).map(lambda t: f"({t[0]}, {t[1]})"),
+        st.tuples(children, children).map(lambda t: f"({t[0]} | {t[1]})"),
+        children.map(lambda inner: f"({inner})?"),
+        children.map(lambda inner: f"({inner})*"),
+        children.map(lambda inner: f"({inner})+"),
+    ),
+    max_leaves=6,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(order=_orders)
+def test_random_orders_roundtrip_through_dfa(order):
+    """Property: for arbitrary ORDER expressions, every enumerated path
+    is accepted by the expression's own DFA."""
+    rule = _rule(order)
+    dfa = rule_dfa(rule)
+    for path in enumerate_paths(rule):
+        assert dfa.accepts([event.label for event in path])
+
+
+def test_path_explosion_guard():
+    # 13 alternations of 2 in sequence = 2^13 > MAX_PATHS.
+    order = ", ".join(["(a | b)"] * 13)
+    with pytest.raises(PathExplosionError):
+        enumerate_paths(_rule(order))
+    assert MAX_PATHS == 4096
+
+
+def test_parameter_count():
+    rule = parse_rule(
+        "SPEC x.Y\nOBJECTS\n int p;\n int q;\nEVENTS\n a: m(p, q);\n b: n(p);\n"
+        "ORDER\n a, b"
+    )
+    (path,) = enumerate_paths(rule)
+    assert path_parameter_count(path) == 3

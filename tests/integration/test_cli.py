@@ -1,0 +1,107 @@
+"""The cognicrypt-gen command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.usecases import use_case
+
+
+def test_list_use_cases(capsys):
+    assert main(["list-use-cases"]) == 0
+    out = capsys.readouterr().out
+    assert "PBE on Files" in out
+    assert "Hashing of Strings" in out
+
+
+def test_generate(tmp_path, capsys):
+    template = use_case(11).template_path()
+    assert main(["generate", str(template), "-o", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "generated" in out
+    generated = tmp_path / "string_hashing_generated.py"
+    assert generated.exists()
+    assert "MessageDigest" in generated.read_text()
+
+
+def test_generate_bad_template(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("class Empty:\n    pass\n")
+    assert main(["generate", str(bad), "-o", str(tmp_path)]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_use_case_command(tmp_path, capsys):
+    assert main(["use-case", "11", "-o", str(tmp_path)]) == 0
+    assert (tmp_path / "string_hashing.py").exists()
+
+
+def test_analyze_clean(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text(
+        "from repro.jca import MessageDigest\n"
+        "def f():\n"
+        "    md = MessageDigest.get_instance('SHA-256')\n"
+        "    digest = md.digest(b'x')\n"
+    )
+    assert main(["analyze", str(clean)]) == 0
+    assert "no misuses" in capsys.readouterr().out
+
+
+def test_analyze_insecure(tmp_path, capsys):
+    insecure = tmp_path / "bad.py"
+    insecure.write_text(
+        "from repro.jca import MessageDigest\n"
+        "def f():\n"
+        "    md = MessageDigest.get_instance('MD5')\n"
+        "    digest = md.digest(b'x')\n"
+    )
+    assert main(["analyze", str(insecure)]) == 2
+    assert "constraint" in capsys.readouterr().out
+
+
+def test_check_rules_bundled(capsys):
+    assert main(["check-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "repro.jca.Cipher" in out
+    assert "15 rules OK" in out
+
+
+def test_check_rules_custom_directory(tmp_path, capsys):
+    (tmp_path / "T.crysl").write_text("SPEC x.T\nEVENTS\n e: m();\nORDER\n e")
+    assert main(["check-rules", str(tmp_path)]) == 0
+    assert "1 rules OK" in capsys.readouterr().out
+
+
+def test_check_rules_broken(tmp_path, capsys):
+    (tmp_path / "T.crysl").write_text("NOT A RULE")
+    assert main(["check-rules", str(tmp_path)]) == 1
+
+
+def test_eval_rq5(capsys):
+    assert main(["eval", "rq5"]) == 0
+    assert "SUS gen" in capsys.readouterr().out
+
+
+def test_eval_table2(capsys):
+    assert main(["eval", "table2"]) == 0
+    assert "maintenance ratio" in capsys.readouterr().out
+
+
+def test_analyze_json_output(tmp_path, capsys):
+    import json
+
+    insecure = tmp_path / "bad.py"
+    insecure.write_text(
+        "from repro.jca import MessageDigest\n"
+        "def f():\n"
+        "    md = MessageDigest.get_instance('MD5')\n"
+        "    digest = md.digest(b'x')\n"
+    )
+    assert main(["analyze", str(insecure), "--json"]) == 2
+    report = json.loads(capsys.readouterr().out)
+    (entry,) = report.values()
+    assert entry["secure"] is False
+    assert entry["findings"][0]["kind"] == "constraint-violation"
+    assert entry["findings"][0]["rule"] == "repro.jca.MessageDigest"

@@ -1,0 +1,236 @@
+"""The Cipher service: modes, typestate, key typing, wrap/unwrap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jca import (
+    BadPaddingError,
+    Cipher,
+    GCMParameterSpec,
+    IllegalStateError,
+    InvalidAlgorithmParameterError,
+    InvalidKeyError,
+    IvParameterSpec,
+    KeyGenerator,
+    SecretKeySpec,
+    SecureRandom,
+)
+
+
+@pytest.fixture()
+def aes_key():
+    generator = KeyGenerator.get_instance("AES")
+    generator.init(128)
+    return generator.generate_key()
+
+
+class TestSymmetric:
+    @pytest.mark.parametrize(
+        "transformation",
+        ["AES/GCM/NoPadding", "AES/CBC/PKCS5Padding", "AES/CTR/NoPadding"],
+    )
+    def test_roundtrip_all_modes(self, aes_key, transformation):
+        encryptor = Cipher.get_instance(transformation)
+        encryptor.init(Cipher.ENCRYPT_MODE, aes_key)
+        iv = encryptor.get_iv()
+        ciphertext = encryptor.do_final(b"mode roundtrip")
+
+        decryptor = Cipher.get_instance(transformation)
+        if "GCM" in transformation:
+            params = GCMParameterSpec(128, iv)
+        else:
+            params = IvParameterSpec(iv)
+        decryptor.init(Cipher.DECRYPT_MODE, aes_key, params)
+        assert decryptor.do_final(ciphertext) == b"mode roundtrip"
+
+    def test_fresh_iv_generated_per_init(self, aes_key):
+        cipher = Cipher.get_instance("AES/GCM/NoPadding")
+        cipher.init(Cipher.ENCRYPT_MODE, aes_key)
+        first = cipher.get_iv()
+        cipher.init(Cipher.ENCRYPT_MODE, aes_key)
+        assert cipher.get_iv() != first
+
+    def test_update_then_do_final(self, aes_key):
+        cipher = Cipher.get_instance("AES/GCM/NoPadding")
+        cipher.init(Cipher.ENCRYPT_MODE, aes_key)
+        cipher.update(b"part one ")
+        cipher.update(b"part two")
+        ciphertext = cipher.do_final()
+        decryptor = Cipher.get_instance("AES/GCM/NoPadding")
+        decryptor.init(
+            Cipher.DECRYPT_MODE, aes_key, GCMParameterSpec(128, cipher.get_iv())
+        )
+        assert decryptor.do_final(ciphertext) == b"part one part two"
+
+    def test_aad_is_authenticated(self, aes_key):
+        cipher = Cipher.get_instance("AES/GCM/NoPadding")
+        cipher.init(Cipher.ENCRYPT_MODE, aes_key)
+        cipher.update_aad(b"header")
+        ciphertext = cipher.do_final(b"payload")
+        decryptor = Cipher.get_instance("AES/GCM/NoPadding")
+        decryptor.init(
+            Cipher.DECRYPT_MODE, aes_key, GCMParameterSpec(128, cipher.get_iv())
+        )
+        decryptor.update_aad(b"wrong header")
+        with pytest.raises(BadPaddingError):
+            decryptor.do_final(ciphertext)
+
+    def test_explicit_random_source(self, aes_key):
+        cipher = Cipher.get_instance("AES/GCM/NoPadding")
+        cipher.init(
+            Cipher.ENCRYPT_MODE, aes_key, SecureRandom.get_instance("HMACDRBG")
+        )
+        assert len(cipher.get_iv()) == 12
+
+    def test_tampered_gcm_rejected(self, aes_key):
+        cipher = Cipher.get_instance("AES/GCM/NoPadding")
+        cipher.init(Cipher.ENCRYPT_MODE, aes_key)
+        blob = bytearray(cipher.do_final(b"data"))
+        blob[0] ^= 1
+        decryptor = Cipher.get_instance("AES/GCM/NoPadding")
+        decryptor.init(
+            Cipher.DECRYPT_MODE, aes_key, GCMParameterSpec(128, cipher.get_iv())
+        )
+        with pytest.raises(BadPaddingError):
+            decryptor.do_final(bytes(blob))
+
+
+class TestTypestate:
+    def test_do_final_before_init(self):
+        with pytest.raises(IllegalStateError):
+            Cipher.get_instance("AES/GCM/NoPadding").do_final(b"x")
+
+    def test_update_before_init(self):
+        with pytest.raises(IllegalStateError):
+            Cipher.get_instance("AES/GCM/NoPadding").update(b"x")
+
+    def test_reuse_after_final_requires_reinit(self, aes_key):
+        cipher = Cipher.get_instance("AES/GCM/NoPadding")
+        cipher.init(Cipher.ENCRYPT_MODE, aes_key)
+        cipher.do_final(b"first")
+        with pytest.raises(IllegalStateError):
+            cipher.do_final(b"second")
+        cipher.init(Cipher.ENCRYPT_MODE, aes_key)
+        cipher.do_final(b"second")  # re-init resets the state machine
+
+    def test_get_iv_before_init(self):
+        with pytest.raises(IllegalStateError):
+            Cipher.get_instance("AES/GCM/NoPadding").get_iv()
+
+    def test_aad_after_data_rejected(self, aes_key):
+        cipher = Cipher.get_instance("AES/GCM/NoPadding")
+        cipher.init(Cipher.ENCRYPT_MODE, aes_key)
+        cipher.update(b"data first")
+        with pytest.raises(IllegalStateError):
+            cipher.update_aad(b"too late")
+
+    def test_aad_on_unauthenticated_mode_rejected(self, aes_key):
+        cipher = Cipher.get_instance("AES/CBC/PKCS5Padding")
+        cipher.init(Cipher.ENCRYPT_MODE, aes_key)
+        with pytest.raises(IllegalStateError):
+            cipher.update_aad(b"aad")
+
+    def test_unknown_op_mode(self, aes_key):
+        with pytest.raises(InvalidAlgorithmParameterError):
+            Cipher.get_instance("AES/GCM/NoPadding").init(9, aes_key)
+
+
+class TestKeyTyping:
+    def test_decrypt_without_iv_rejected(self, aes_key):
+        cipher = Cipher.get_instance("AES/GCM/NoPadding")
+        with pytest.raises(InvalidAlgorithmParameterError):
+            cipher.init(Cipher.DECRYPT_MODE, aes_key)
+
+    def test_wrong_spec_kind_rejected(self, aes_key):
+        cipher = Cipher.get_instance("AES/GCM/NoPadding")
+        with pytest.raises(InvalidAlgorithmParameterError):
+            cipher.init(Cipher.DECRYPT_MODE, aes_key, IvParameterSpec(b"\x00" * 12))
+
+    def test_wrong_iv_length_for_cbc(self, aes_key):
+        cipher = Cipher.get_instance("AES/CBC/PKCS5Padding")
+        with pytest.raises(InvalidAlgorithmParameterError):
+            cipher.init(Cipher.DECRYPT_MODE, aes_key, IvParameterSpec(b"\x00" * 8))
+
+    def test_symmetric_rejects_public_key(self, jca_keypair_1024):
+        cipher = Cipher.get_instance("AES/GCM/NoPadding")
+        with pytest.raises(InvalidKeyError):
+            cipher.init(Cipher.ENCRYPT_MODE, jca_keypair_1024.get_public())
+
+    def test_asymmetric_encrypt_rejects_private_key(self, jca_keypair_1024):
+        cipher = Cipher.get_instance("RSA/ECB/OAEPWithSHA-256AndMGF1Padding")
+        with pytest.raises(InvalidKeyError):
+            cipher.init(Cipher.ENCRYPT_MODE, jca_keypair_1024.get_private())
+
+    def test_asymmetric_decrypt_rejects_public_key(self, jca_keypair_1024):
+        cipher = Cipher.get_instance("RSA/ECB/OAEPWithSHA-256AndMGF1Padding")
+        with pytest.raises(InvalidKeyError):
+            cipher.init(Cipher.DECRYPT_MODE, jca_keypair_1024.get_public())
+
+    def test_short_key_rejected(self):
+        weak = SecretKeySpec(b"\x01" * 8, "AES")
+        cipher = Cipher.get_instance("AES/GCM/NoPadding")
+        with pytest.raises(InvalidKeyError):
+            cipher.init(Cipher.ENCRYPT_MODE, weak)
+
+
+class TestAsymmetric:
+    def test_oaep_roundtrip(self, jca_keypair_1024):
+        encryptor = Cipher.get_instance("RSA/ECB/OAEPWithSHA-256AndMGF1Padding")
+        encryptor.init(Cipher.ENCRYPT_MODE, jca_keypair_1024.get_public())
+        ciphertext = encryptor.do_final(b"rsa payload")
+        decryptor = Cipher.get_instance("RSA/ECB/OAEPWithSHA-256AndMGF1Padding")
+        decryptor.init(Cipher.DECRYPT_MODE, jca_keypair_1024.get_private())
+        assert decryptor.do_final(ciphertext) == b"rsa payload"
+
+    def test_iv_spec_rejected_for_rsa(self, jca_keypair_1024):
+        cipher = Cipher.get_instance("RSA/ECB/OAEPWithSHA-256AndMGF1Padding")
+        with pytest.raises(InvalidAlgorithmParameterError):
+            cipher.init(
+                Cipher.ENCRYPT_MODE,
+                jca_keypair_1024.get_public(),
+                IvParameterSpec(b"\x00" * 16),
+            )
+
+
+class TestWrapping:
+    def test_rsa_wrap_unwrap(self, jca_keypair_1024, aes_key):
+        wrapper = Cipher.get_instance("RSA/ECB/OAEPWithSHA-256AndMGF1Padding")
+        wrapper.init(Cipher.WRAP_MODE, jca_keypair_1024.get_public())
+        wrapped = wrapper.wrap(aes_key)
+
+        unwrapper = Cipher.get_instance("RSA/ECB/OAEPWithSHA-256AndMGF1Padding")
+        unwrapper.init(Cipher.UNWRAP_MODE, jca_keypair_1024.get_private())
+        recovered = unwrapper.unwrap(wrapped, "AES", Cipher.SECRET_KEY)
+        assert recovered.get_encoded() == aes_key.get_encoded()
+        assert recovered.get_algorithm() == "AES"
+
+    def test_symmetric_wrap_unwrap(self, aes_key):
+        generator = KeyGenerator.get_instance("AES")
+        generator.init(256)
+        kek = generator.generate_key()
+        wrapper = Cipher.get_instance("AES/GCM/NoPadding")
+        wrapper.init(Cipher.WRAP_MODE, kek)
+        wrapped = wrapper.wrap(aes_key)
+        unwrapper = Cipher.get_instance("AES/GCM/NoPadding")
+        unwrapper.init(
+            Cipher.UNWRAP_MODE, kek, GCMParameterSpec(128, wrapper.get_iv())
+        )
+        recovered = unwrapper.unwrap(wrapped, "AES", Cipher.SECRET_KEY)
+        assert recovered.get_encoded() == aes_key.get_encoded()
+
+    def test_wrap_requires_wrap_mode(self, jca_keypair_1024, aes_key):
+        cipher = Cipher.get_instance("RSA/ECB/OAEPWithSHA-256AndMGF1Padding")
+        cipher.init(Cipher.ENCRYPT_MODE, jca_keypair_1024.get_public())
+        with pytest.raises(IllegalStateError):
+            cipher.wrap(aes_key)
+
+    def test_unwrap_tampered_rejected(self, jca_keypair_1024, aes_key):
+        wrapper = Cipher.get_instance("RSA/ECB/OAEPWithSHA-256AndMGF1Padding")
+        wrapper.init(Cipher.WRAP_MODE, jca_keypair_1024.get_public())
+        wrapped = bytearray(wrapper.wrap(aes_key))
+        wrapped[-1] ^= 1
+        unwrapper = Cipher.get_instance("RSA/ECB/OAEPWithSHA-256AndMGF1Padding")
+        unwrapper.init(Cipher.UNWRAP_MODE, jca_keypair_1024.get_private())
+        with pytest.raises(BadPaddingError):
+            unwrapper.unwrap(bytes(wrapped), "AES", Cipher.SECRET_KEY)

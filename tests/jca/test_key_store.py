@@ -1,0 +1,142 @@
+"""The KeyStore service: lifecycle, sealing, wire format, tampering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jca import (
+    BadPaddingError,
+    IllegalStateError,
+    InvalidAlgorithmParameterError,
+    InvalidKeyError,
+    KeyStore,
+    KeyStoreError,
+    NoSuchAlgorithmError,
+    SecretKey,
+)
+
+
+def _key(byte=1, size=16):
+    return SecretKey(bytes([byte]) * size, "AES")
+
+
+def _loaded_store():
+    store = KeyStore.get_instance("CCKS")
+    store.create(bytearray(b"store password"))
+    return store
+
+
+class TestLifecycle:
+    def test_unknown_type(self):
+        with pytest.raises(NoSuchAlgorithmError):
+            KeyStore.get_instance("PKCS12")
+
+    def test_use_before_load(self):
+        store = KeyStore.get_instance("CCKS")
+        with pytest.raises(IllegalStateError):
+            store.get_key("x", bytearray(b"pw"))
+        with pytest.raises(IllegalStateError):
+            store.aliases()
+
+    @pytest.mark.parametrize("bad", ["string", b"bytes", bytearray()])
+    def test_bad_passwords(self, bad):
+        store = KeyStore.get_instance("CCKS")
+        with pytest.raises(InvalidAlgorithmParameterError):
+            store.create(bad)
+
+
+class TestEntries:
+    def test_roundtrip(self):
+        store = _loaded_store()
+        store.set_key_entry("master", _key(7), bytearray(b"store password"))
+        recovered = store.get_key("master", bytearray(b"store password"))
+        assert recovered.get_encoded() == bytes([7]) * 16
+
+    def test_wrong_password_rejected(self):
+        store = _loaded_store()
+        store.set_key_entry("master", _key(), bytearray(b"store password"))
+        with pytest.raises(BadPaddingError):
+            store.get_key("master", bytearray(b"wrong"))
+
+    def test_missing_alias(self):
+        store = _loaded_store()
+        with pytest.raises(KeyStoreError):
+            store.get_key("ghost", bytearray(b"store password"))
+
+    def test_alias_management(self):
+        store = _loaded_store()
+        store.set_key_entry("a", _key(1), bytearray(b"store password"))
+        store.set_key_entry("b", _key(2), bytearray(b"store password"))
+        assert store.aliases() == ("a", "b")
+        assert store.contains_alias("a")
+        store.delete_entry("a")
+        assert not store.contains_alias("a")
+        assert store.size() == 1
+
+    def test_empty_alias_rejected(self):
+        store = _loaded_store()
+        with pytest.raises(InvalidAlgorithmParameterError):
+            store.set_key_entry("", _key(), bytearray(b"store password"))
+
+    def test_only_secret_keys(self, jca_keypair_1024):
+        store = _loaded_store()
+        with pytest.raises(InvalidKeyError):
+            store.set_key_entry(
+                "pub", jca_keypair_1024.get_public(), bytearray(b"store password")
+            )
+
+    def test_fresh_salt_per_entry(self):
+        """The same key under the same password seals differently."""
+        store = _loaded_store()
+        store.set_key_entry("a", _key(), bytearray(b"store password"))
+        store.set_key_entry("b", _key(), bytearray(b"store password"))
+        assert store._entries["a"] != store._entries["b"]
+
+
+class TestPersistence:
+    def test_store_and_load(self, tmp_path):
+        path = str(tmp_path / "keys.ccks")
+        store = _loaded_store()
+        store.set_key_entry("master", _key(9), bytearray(b"store password"))
+        store.store(path, bytearray(b"store password"))
+
+        reopened = KeyStore.get_instance("CCKS")
+        reopened.load(path, bytearray(b"store password"))
+        assert reopened.get_key("master", bytearray(b"store password")).get_encoded() == bytes([9]) * 16
+
+    def test_no_plaintext_key_material_on_disk(self, tmp_path):
+        path = tmp_path / "keys.ccks"
+        store = _loaded_store()
+        store.set_key_entry("master", _key(0x5A, 32), bytearray(b"store password"))
+        store.store(str(path), bytearray(b"store password"))
+        assert bytes([0x5A]) * 32 not in path.read_bytes()
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bogus.ccks"
+        path.write_bytes(b"NOPE" + bytes(20))
+        store = KeyStore.get_instance("CCKS")
+        with pytest.raises(KeyStoreError):
+            store.load(str(path), bytearray(b"pw"))
+
+    def test_truncated_store(self, tmp_path):
+        path = tmp_path / "keys.ccks"
+        store = _loaded_store()
+        store.set_key_entry("master", _key(), bytearray(b"store password"))
+        store.store(str(path), bytearray(b"store password"))
+        path.write_bytes(path.read_bytes()[:-5])
+        fresh = KeyStore.get_instance("CCKS")
+        with pytest.raises(KeyStoreError):
+            fresh.load(str(path), bytearray(b"store password"))
+
+    def test_alias_is_authenticated(self, tmp_path):
+        """Renaming an entry on disk breaks its GCM tag (alias is AAD)."""
+        path = tmp_path / "keys.ccks"
+        store = _loaded_store()
+        store.set_key_entry("aa", _key(), bytearray(b"store password"))
+        store.store(str(path), bytearray(b"store password"))
+        data = path.read_bytes().replace(b"aa", b"bb")
+        path.write_bytes(data)
+        fresh = KeyStore.get_instance("CCKS")
+        fresh.load(str(path), bytearray(b"store password"))
+        with pytest.raises(BadPaddingError):
+            fresh.get_key("bb", bytearray(b"store password"))

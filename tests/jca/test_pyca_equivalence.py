@@ -1,0 +1,134 @@
+"""The pyca/`cryptography` mapping table is executable documentation:
+for each documented correspondence, run both sides and compare.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.jca import (
+    Cipher,
+    GCMParameterSpec,
+    Mac,
+    MessageDigest,
+    PBEKeySpec,
+    SecretKeyFactory,
+    SecretKeySpec,
+)
+from repro.jca.pyca_mapping import MAPPINGS, as_markdown_table, mapping_for
+
+pyca = pytest.importorskip("cryptography")
+
+
+def test_table_is_nonempty_and_unique():
+    assert len(MAPPINGS) >= 10
+    keys = [(m.jca_class, m.jca_operation) for m in MAPPINGS]
+    assert len(keys) == len(set(keys))
+
+
+def test_mapping_lookup():
+    assert mapping_for("Cipher")
+    assert not mapping_for("Nonexistent")
+
+
+def test_markdown_rendering():
+    table = as_markdown_table()
+    assert table.count("\n") >= len(MAPPINGS)
+    assert "SecretKeySpec" in table
+
+
+def test_pbkdf2_equivalence():
+    """PBEKeySpec+SecretKeyFactory == pyca's PBKDF2HMAC."""
+    from cryptography.hazmat.primitives import hashes
+    from cryptography.hazmat.primitives.kdf.pbkdf2 import PBKDF2HMAC
+
+    salt = os.urandom(32)
+    spec = PBEKeySpec(bytearray(b"password"), salt, 10000, 256)
+    ours = SecretKeyFactory.get_instance("PBKDF2WithHmacSHA256").generate_secret(spec)
+    theirs = PBKDF2HMAC(
+        algorithm=hashes.SHA256(), length=32, salt=salt, iterations=10000
+    ).derive(b"password")
+    assert ours.get_encoded() == theirs
+
+
+def test_gcm_equivalence():
+    """Cipher(AES/GCM/NoPadding) == pyca's AESGCM."""
+    from cryptography.hazmat.primitives.ciphers.aead import AESGCM
+
+    key_bytes = os.urandom(16)
+    key = SecretKeySpec(key_bytes, "AES")
+    cipher = Cipher.get_instance("AES/GCM/NoPadding")
+    cipher.init(Cipher.ENCRYPT_MODE, key)
+    ciphertext = cipher.do_final(b"equivalence")
+    recovered = AESGCM(key_bytes).decrypt(cipher.get_iv(), ciphertext, None)
+    assert recovered == b"equivalence"
+
+
+def test_cbc_equivalence():
+    """Cipher(AES/CBC/PKCS5Padding) == pyca CBC + PKCS7."""
+    from cryptography.hazmat.primitives import padding as pyca_padding
+    from cryptography.hazmat.primitives.ciphers import (
+        Cipher as PycaCipher,
+        algorithms,
+        modes,
+    )
+
+    key_bytes = os.urandom(16)
+    key = SecretKeySpec(key_bytes, "AES")
+    cipher = Cipher.get_instance("AES/CBC/PKCS5Padding")
+    cipher.init(Cipher.ENCRYPT_MODE, key)
+    ciphertext = cipher.do_final(b"cbc equivalence")
+    decryptor = PycaCipher(
+        algorithms.AES(key_bytes), modes.CBC(cipher.get_iv())
+    ).decryptor()
+    unpadder = pyca_padding.PKCS7(128).unpadder()
+    padded = decryptor.update(ciphertext) + decryptor.finalize()
+    assert unpadder.update(padded) + unpadder.finalize() == b"cbc equivalence"
+
+
+def test_hmac_equivalence():
+    from cryptography.hazmat.primitives import hashes, hmac
+
+    key_bytes = os.urandom(32)
+    ours = Mac.get_instance("HmacSHA256")
+    ours.init(SecretKeySpec(key_bytes, "HmacSHA256"))
+    theirs = hmac.HMAC(key_bytes, hashes.SHA256())
+    theirs.update(b"message")
+    assert ours.do_final(b"message") == theirs.finalize()
+
+
+def test_digest_equivalence():
+    from cryptography.hazmat.primitives import hashes
+
+    digest = hashes.Hash(hashes.SHA256())
+    digest.update(b"abc")
+    assert MessageDigest.get_instance("SHA-256").digest(b"abc") == digest.finalize()
+
+
+def test_rsa_oaep_equivalence(jca_keypair_1024):
+    """pyca decrypts what our provider's Cipher encrypts."""
+    from cryptography.hazmat.primitives import hashes
+    from cryptography.hazmat.primitives.asymmetric import padding, rsa
+
+    ours = jca_keypair_1024.get_private().rsa
+    pyca_private = rsa.RSAPrivateNumbers(
+        p=ours.p,
+        q=ours.q,
+        d=ours.d,
+        dmp1=ours.d % (ours.p - 1),
+        dmq1=ours.d % (ours.q - 1),
+        iqmp=pow(ours.q, -1, ours.p),
+        public_numbers=rsa.RSAPublicNumbers(e=ours.e, n=ours.n),
+    ).private_key()
+    cipher = Cipher.get_instance("RSA/ECB/OAEPWithSHA-256AndMGF1Padding")
+    cipher.init(Cipher.ENCRYPT_MODE, jca_keypair_1024.get_public())
+    ciphertext = cipher.do_final(b"interop blob")
+    plaintext = pyca_private.decrypt(
+        ciphertext,
+        padding.OAEP(
+            mgf=padding.MGF1(hashes.SHA256()), algorithm=hashes.SHA256(), label=None
+        ),
+    )
+    assert plaintext == b"interop blob"

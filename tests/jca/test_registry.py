@@ -1,0 +1,107 @@
+"""Transformation and algorithm-name parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jca.exceptions import NoSuchAlgorithmError, NoSuchPaddingError
+from repro.jca.registry import (
+    SignatureScheme,
+    parse_kdf,
+    parse_mac,
+    parse_signature,
+    parse_transformation,
+)
+
+
+class TestTransformations:
+    def test_gcm(self):
+        t = parse_transformation("AES/GCM/NoPadding")
+        assert t.algorithm == "AES"
+        assert t.mode == "GCM"
+        assert t.is_authenticated
+        assert t.needs_iv
+        assert not t.is_asymmetric
+
+    def test_cbc(self):
+        t = parse_transformation("AES/CBC/PKCS5Padding")
+        assert not t.is_authenticated
+        assert t.needs_iv
+
+    def test_rsa_oaep(self):
+        t = parse_transformation("RSA/ECB/OAEPWithSHA-256AndMGF1Padding")
+        assert t.is_asymmetric
+        assert not t.needs_iv
+
+    def test_bare_algorithm_rejected(self):
+        """'AES' alone would fall back to ECB in the JCA — refused here."""
+        with pytest.raises(NoSuchAlgorithmError):
+            parse_transformation("AES")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(NoSuchAlgorithmError):
+            parse_transformation("AES/XTS/NoPadding")
+
+    def test_unknown_padding_rejected(self):
+        with pytest.raises(NoSuchPaddingError):
+            parse_transformation("AES/CBC/ISO9797Padding")
+
+    def test_unknown_combination_rejected(self):
+        # Every part known, but the combination is not offered.
+        with pytest.raises(NoSuchAlgorithmError):
+            parse_transformation("AES/GCM/PKCS5Padding")
+
+    def test_legacy_ecb_accepted_for_analysis_material(self):
+        t = parse_transformation("AES/ECB/PKCS5Padding")
+        assert t.mode == "ECB"
+
+    def test_canonical_roundtrip(self):
+        t = parse_transformation("AES/CTR/NoPadding")
+        assert t.canonical == "AES/CTR/NoPadding"
+
+    def test_error_carries_known_names(self):
+        with pytest.raises(NoSuchAlgorithmError) as excinfo:
+            parse_transformation("AES")
+        assert "AES/GCM/NoPadding" in str(excinfo.value)
+
+
+class TestKdfNames:
+    @pytest.mark.parametrize(
+        "name,digest",
+        [
+            ("PBKDF2WithHmacSHA256", "SHA-256"),
+            ("PBKDF2WithHmacSHA384", "SHA-384"),
+            ("PBKDF2WithHmacSHA512", "SHA-512"),
+        ],
+    )
+    def test_parse(self, name, digest):
+        assert parse_kdf(name) == digest
+
+    def test_unknown_rejected(self):
+        with pytest.raises(NoSuchAlgorithmError):
+            parse_kdf("PBKDF2WithHmacMD5")
+
+
+class TestMacNames:
+    def test_parse(self):
+        assert parse_mac("HmacSHA256") == "SHA-256"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(NoSuchAlgorithmError):
+            parse_mac("HmacMD5")
+
+
+class TestSignatureNames:
+    def test_pss(self):
+        assert parse_signature("SHA256withRSA/PSS") == SignatureScheme(
+            "SHA-256", "PSS"
+        )
+
+    def test_pkcs1(self):
+        assert parse_signature("SHA512withRSA") == SignatureScheme(
+            "SHA-512", "PKCS1v15"
+        )
+
+    def test_unknown_rejected(self):
+        with pytest.raises(NoSuchAlgorithmError):
+            parse_signature("MD5withRSA")

@@ -1,0 +1,250 @@
+"""The remaining provider services: SecureRandom, digests, MACs, key
+generators/factories, signatures, and key objects."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.jca import (
+    IllegalStateError,
+    InvalidAlgorithmParameterError,
+    InvalidKeyError,
+    InvalidKeySpecError,
+    KeyGenerator,
+    KeyPairGenerator,
+    Mac,
+    MessageDigest,
+    NoSuchAlgorithmError,
+    PBEKeySpec,
+    SecretKey,
+    SecretKeyFactory,
+    SecretKeySpec,
+    SecureRandom,
+    Signature,
+)
+
+
+class TestSecureRandom:
+    def test_next_bytes_fills_in_place(self):
+        buffer = bytearray(32)
+        SecureRandom.get_instance("HMACDRBG").next_bytes(buffer)
+        assert any(buffer)
+
+    def test_next_bytes_requires_bytearray(self):
+        with pytest.raises(IllegalStateError):
+            SecureRandom.get_instance("NativePRNG").next_bytes(bytes(16))
+
+    def test_generate_seed(self):
+        assert len(SecureRandom.get_instance("NativePRNG").generate_seed(24)) == 24
+
+    def test_set_seed_supplements(self):
+        random = SecureRandom.get_instance("HMACDRBG")
+        random.set_seed(b"extra entropy")
+        assert len(random.random_bytes(16)) == 16
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(NoSuchAlgorithmError):
+            SecureRandom.get_instance("DUALECDRBG")
+
+
+class TestMessageDigest:
+    def test_matches_hashlib(self):
+        md = MessageDigest.get_instance("SHA-256")
+        md.update(b"abc")
+        assert md.digest() == hashlib.sha256(b"abc").digest()
+
+    def test_digest_resets(self):
+        md = MessageDigest.get_instance("SHA-512")
+        md.update(b"first")
+        md.digest()
+        assert md.digest(b"second") == hashlib.sha512(b"second").digest()
+
+    def test_one_shot_digest(self):
+        md = MessageDigest.get_instance("SHA-384")
+        assert md.digest(b"x") == hashlib.sha384(b"x").digest()
+
+    def test_is_equal(self):
+        assert MessageDigest.is_equal(b"tag", b"tag")
+        assert not MessageDigest.is_equal(b"tag", b"gat")
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(NoSuchAlgorithmError):
+            MessageDigest.get_instance("Whirlpool")
+
+
+class TestMac:
+    def test_roundtrip(self):
+        key = SecretKeySpec(bytes(32), "HmacSHA256")
+        mac = Mac.get_instance("HmacSHA256")
+        mac.init(key)
+        tag = mac.do_final(b"message")
+        assert len(tag) == 32
+        mac2 = Mac.get_instance("HmacSHA256")
+        mac2.init(key)
+        assert mac2.do_final(b"message") == tag
+
+    def test_typestate(self):
+        mac = Mac.get_instance("HmacSHA256")
+        with pytest.raises(IllegalStateError):
+            mac.do_final(b"message")
+        with pytest.raises(IllegalStateError):
+            mac.update(b"message")
+
+    def test_requires_secret_key(self, jca_keypair_1024):
+        mac = Mac.get_instance("HmacSHA256")
+        with pytest.raises(InvalidKeyError):
+            mac.init(jca_keypair_1024.get_public())
+
+    def test_do_final_resets(self):
+        key = SecretKeySpec(bytes(16), "HmacSHA256")
+        mac = Mac.get_instance("HmacSHA512")
+        mac.init(key)
+        first = mac.do_final(b"a")
+        assert mac.do_final(b"a") == first
+
+    def test_mac_length(self):
+        mac = Mac.get_instance("HmacSHA384")
+        assert mac.get_mac_length() == 48
+
+
+class TestSecretKeyFactory:
+    def _spec(self):
+        return PBEKeySpec(bytearray(b"pwd"), b"\x01" * 32, 10000, 256)
+
+    def test_derivation_matches_pbkdf2(self):
+        factory = SecretKeyFactory.get_instance("PBKDF2WithHmacSHA256")
+        key = factory.generate_secret(self._spec())
+        expected = hashlib.pbkdf2_hmac("sha256", b"pwd", b"\x01" * 32, 10000, 32)
+        assert key.get_encoded() == expected
+
+    def test_key_length_is_bits(self):
+        factory = SecretKeyFactory.get_instance("PBKDF2WithHmacSHA512")
+        key = factory.generate_secret(
+            PBEKeySpec(bytearray(b"p"), b"\x02" * 16, 10000, 128)
+        )
+        assert len(key.get_encoded()) == 16
+
+    def test_cleared_spec_rejected(self):
+        spec = self._spec()
+        spec.clear_password()
+        factory = SecretKeyFactory.get_instance("PBKDF2WithHmacSHA256")
+        with pytest.raises(InvalidKeySpecError):
+            factory.generate_secret(spec)
+
+    def test_wrong_spec_type_rejected(self):
+        factory = SecretKeyFactory.get_instance("PBKDF2WithHmacSHA256")
+        with pytest.raises(InvalidKeySpecError):
+            factory.generate_secret(b"raw bytes")
+
+
+class TestKeyGenerator:
+    def test_generates_fresh_keys(self):
+        generator = KeyGenerator.get_instance("AES")
+        generator.init(128)
+        assert generator.generate_key().get_encoded() != generator.generate_key().get_encoded()
+
+    def test_key_size_honoured(self):
+        generator = KeyGenerator.get_instance("AES")
+        generator.init(256)
+        assert len(generator.generate_key().get_encoded()) == 32
+
+    def test_generate_before_init(self):
+        with pytest.raises(IllegalStateError):
+            KeyGenerator.get_instance("AES").generate_key()
+
+    def test_unsupported_size(self):
+        generator = KeyGenerator.get_instance("AES")
+        with pytest.raises(InvalidAlgorithmParameterError):
+            generator.init(100)
+
+
+class TestKeyPairGenerator:
+    def test_initialize_required(self):
+        with pytest.raises(IllegalStateError):
+            KeyPairGenerator.get_instance("RSA").generate_key_pair()
+
+    def test_unsupported_size(self):
+        generator = KeyPairGenerator.get_instance("RSA")
+        with pytest.raises(InvalidAlgorithmParameterError):
+            generator.initialize(512)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(NoSuchAlgorithmError):
+            KeyPairGenerator.get_instance("DSA")
+
+
+class TestSignature:
+    def test_sign_verify(self, jca_keypair_1024):
+        signer = Signature.get_instance("SHA256withRSA/PSS")
+        signer.init_sign(jca_keypair_1024.get_private())
+        signer.update(b"document")
+        signature = signer.sign()
+        verifier = Signature.get_instance("SHA256withRSA/PSS")
+        verifier.init_verify(jca_keypair_1024.get_public())
+        verifier.update(b"document")
+        assert verifier.verify(signature)
+
+    def test_pkcs1_variant(self, jca_keypair_1024):
+        signer = Signature.get_instance("SHA256withRSA")
+        signer.init_sign(jca_keypair_1024.get_private())
+        signer.update(b"legacy")
+        signature = signer.sign()
+        verifier = Signature.get_instance("SHA256withRSA")
+        verifier.init_verify(jca_keypair_1024.get_public())
+        verifier.update(b"legacy")
+        assert verifier.verify(signature)
+
+    def test_typestate(self, jca_keypair_1024):
+        sig = Signature.get_instance("SHA256withRSA/PSS")
+        with pytest.raises(IllegalStateError):
+            sig.update(b"x")
+        sig.init_verify(jca_keypair_1024.get_public())
+        with pytest.raises(IllegalStateError):
+            sig.sign()
+        sig.init_sign(jca_keypair_1024.get_private())
+        with pytest.raises(IllegalStateError):
+            sig.verify(b"x")
+
+    def test_key_type_enforced(self, jca_keypair_1024):
+        sig = Signature.get_instance("SHA256withRSA/PSS")
+        with pytest.raises(InvalidKeyError):
+            sig.init_sign(jca_keypair_1024.get_public())
+        with pytest.raises(InvalidKeyError):
+            sig.init_verify(jca_keypair_1024.get_private())
+
+    def test_sign_resets_buffer(self, jca_keypair_1024):
+        signer = Signature.get_instance("SHA256withRSA/PSS")
+        signer.init_sign(jca_keypair_1024.get_private())
+        signer.update(b"first")
+        signer.sign()
+        signer.update(b"second")
+        signature = signer.sign()
+        verifier = Signature.get_instance("SHA256withRSA/PSS")
+        verifier.init_verify(jca_keypair_1024.get_public())
+        verifier.update(b"second")
+        assert verifier.verify(signature)
+
+
+class TestKeyObjects:
+    def test_destroy_wipes_material(self):
+        key = SecretKey(b"\x01" * 16, "AES")
+        key.destroy()
+        assert key.is_destroyed()
+        with pytest.raises(InvalidKeyError):
+            key.get_encoded()
+
+    def test_empty_secret_key_spec_rejected(self):
+        with pytest.raises(InvalidKeyError):
+            SecretKeySpec(b"", "AES")
+
+    def test_key_pair_accessors(self, jca_keypair_1024):
+        assert jca_keypair_1024.get_public() is jca_keypair_1024.public
+        assert jca_keypair_1024.get_private() is jca_keypair_1024.private
+
+    def test_public_key_encoding_roundtrip_fields(self, jca_keypair_1024):
+        encoded = jca_keypair_1024.get_public().get_encoded()
+        n_length = int.from_bytes(encoded[:4], "big")
+        n = int.from_bytes(encoded[4 : 4 + n_length], "big")
+        assert n == jca_keypair_1024.get_public().rsa.n

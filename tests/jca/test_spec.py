@@ -1,0 +1,100 @@
+"""Parameter specs, above all PBEKeySpec's clearing semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jca.exceptions import IllegalStateError, InvalidAlgorithmParameterError
+from repro.jca.spec import GCMParameterSpec, IvParameterSpec, PBEKeySpec
+
+
+def _spec(password=b"hunter2", salt=b"\x01" * 32, iterations=10000, bits=128):
+    return PBEKeySpec(bytearray(password), salt, iterations, bits)
+
+
+class TestPBEKeySpec:
+    def test_accessors(self):
+        spec = _spec()
+        assert spec.get_password() == b"hunter2"
+        assert spec.get_salt() == b"\x01" * 32
+        assert spec.get_iteration_count() == 10000
+        assert spec.get_key_length() == 128
+
+    def test_string_password_rejected(self):
+        """The core of the paper's Figure 1 misuse: immutable passwords
+        cannot be wiped."""
+        with pytest.raises(InvalidAlgorithmParameterError):
+            PBEKeySpec("a string", b"\x01" * 32, 10000, 128)
+
+    def test_bytes_password_rejected(self):
+        with pytest.raises(InvalidAlgorithmParameterError):
+            PBEKeySpec(b"bytes too", b"\x01" * 32, 10000, 128)
+
+    def test_clear_password_wipes_caller_buffer(self):
+        password = bytearray(b"sensitive")
+        spec = PBEKeySpec(password, b"\x01" * 32, 10000, 128)
+        spec.clear_password()
+        assert password == bytearray(len(b"sensitive"))
+
+    def test_cleared_spec_refuses_password_access(self):
+        spec = _spec()
+        spec.clear_password()
+        with pytest.raises(IllegalStateError):
+            spec.get_password()
+
+    def test_is_cleared_flag(self):
+        spec = _spec()
+        assert not spec.is_cleared
+        spec.clear_password()
+        assert spec.is_cleared
+
+    def test_clearing_caller_buffer_does_not_corrupt_spec(self):
+        """The spec snapshots the password: a caller wiping its own
+        array early must not change what the spec derives from."""
+        password = bytearray(b"sensitive")
+        spec = PBEKeySpec(password, b"\x01" * 32, 10000, 128)
+        for i in range(len(password)):
+            password[i] = 0
+        assert spec.get_password() == b"sensitive"
+
+    @pytest.mark.parametrize(
+        "salt,iterations,bits",
+        [(b"", 10000, 128), (b"\x01" * 32, 0, 128), (b"\x01" * 32, 10000, 0)],
+    )
+    def test_invalid_parameters(self, salt, iterations, bits):
+        with pytest.raises(InvalidAlgorithmParameterError):
+            PBEKeySpec(bytearray(b"pwd"), salt, iterations, bits)
+
+    def test_repr_states(self):
+        spec = _spec()
+        assert "armed" in repr(spec)
+        spec.clear_password()
+        assert "cleared" in repr(spec)
+
+
+class TestIvParameterSpec:
+    def test_get_iv_copies(self):
+        buffer = bytearray(b"\x01" * 16)
+        spec = IvParameterSpec(buffer)
+        buffer[0] = 0xFF
+        assert spec.get_iv() == b"\x01" * 16
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidAlgorithmParameterError):
+            IvParameterSpec(b"")
+
+
+class TestGCMParameterSpec:
+    def test_accessors(self):
+        spec = GCMParameterSpec(128, b"\x02" * 12)
+        assert spec.get_tag_length() == 128
+        assert spec.get_iv() == b"\x02" * 12
+
+    @pytest.mark.parametrize("tag", [0, 64, 127, 130])
+    def test_bad_tag_lengths(self, tag):
+        with pytest.raises(InvalidAlgorithmParameterError):
+            GCMParameterSpec(tag, b"\x02" * 12)
+
+    def test_empty_nonce_rejected(self):
+        with pytest.raises(InvalidAlgorithmParameterError):
+            GCMParameterSpec(128, b"")

@@ -1,0 +1,160 @@
+"""The Clafer-like variability language and solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.oldgen.clafer import ClaferError, ClaferModel, ClaferSolver, Constraint
+
+MODEL = """
+// demo model
+abstract Algo
+    name -> string
+    security -> integer
+
+root
+    base
+        size -> integer
+        [size = 32]
+    xor choice
+        weak : Algo
+            [name = "WEAK"]
+            [security = 1]
+        strong : Algo
+            [name = "STRONG"]
+            [security = 5]
+    opt extra
+        [flag = 1]
+        [security = 1]
+"""
+
+
+@pytest.fixture()
+def model():
+    return ClaferModel.parse(MODEL)
+
+
+class TestParsing:
+    def test_structure(self, model):
+        root = model.root.find("root")
+        assert root is not None
+        assert [c.name for c in root.children] == ["base", "choice", "extra"]
+
+    def test_abstract_collected(self, model):
+        assert "Algo" in model.abstracts
+
+    def test_inheritance_copies_attributes(self, model):
+        weak = model.root.find("weak")
+        assert "name" in weak.attributes
+        assert "security" in weak.attributes
+
+    def test_assignments(self, model):
+        base = model.root.find("base")
+        assert base.assignments["size"] == 32
+
+    def test_kinds(self, model):
+        assert model.root.find("choice").kind == "xor"
+        assert model.root.find("extra").kind == "opt"
+        assert model.root.find("base").kind == "mandatory"
+
+    def test_comments_ignored(self):
+        parsed = ClaferModel.parse("// only a comment\nroot\n    [x = 1]\n")
+        assert parsed.root.find("root").assignments["x"] == 1
+
+    def test_bad_indent_rejected(self):
+        with pytest.raises(ClaferError):
+            ClaferModel.parse("root\n   child\n")  # 3 spaces
+
+    def test_unknown_superclass_rejected(self):
+        with pytest.raises(ClaferError):
+            ClaferModel.parse("thing : Ghost\n")
+
+    def test_bad_constraint_rejected(self):
+        with pytest.raises(ClaferError):
+            ClaferModel.parse("root\n    [x ~ 3]\n")
+
+
+class TestConstraint:
+    @pytest.mark.parametrize(
+        "op,value,actual,expected",
+        [
+            ("=", 3, 3, True),
+            ("!=", 3, 4, True),
+            (">=", 3, 3, True),
+            (">", 3, 3, False),
+            ("<=", 3, 2, True),
+            ("<", 3, 3, False),
+            ("in", [1, 2], 2, True),
+            ("in", [1, 2], 5, False),
+        ],
+    )
+    def test_check(self, op, value, actual, expected):
+        assert Constraint("x", op, value).check(actual) is expected
+
+    def test_none_never_satisfies(self):
+        assert not Constraint("x", "=", 1).check(None)
+
+
+class TestSolver:
+    def test_enumerates_all_configurations(self, model):
+        # 2 xor alternatives x 2 optional states = 4.
+        assert len(ClaferSolver(model).enumerate()) == 4
+
+    def test_solve_maximizes_security(self, model):
+        best = ClaferSolver(model).solve()
+        assert best.value("choice.name") == "STRONG"
+        assert best.has("extra")  # the optional adds security 1
+        assert best.score == 6
+
+    def test_document_nesting(self, model):
+        doc = ClaferSolver(model).solve().as_document()
+        assert doc["choice"]["name"] == "STRONG"
+        assert doc["base"]["size"] == 32
+
+    def test_unsatisfiable_model(self):
+        bad = ClaferModel.parse("root\n    thing\n        [x = 1]\n        [x >= 2]\n")
+        with pytest.raises(ClaferError):
+            ClaferSolver(bad).solve()
+
+    def test_bundled_models_solve(self):
+        from repro.oldgen.generator import ARTEFACTS, OldGenerator
+
+        old = OldGenerator()
+        for slug in old.supported_slugs():
+            model_path, _ = old.artefact_paths(slug)
+            configuration = ClaferSolver(ClaferModel.parse_file(model_path)).solve()
+            assert configuration.score > 0
+
+
+class TestPerformanceTiebreak:
+    def test_equal_security_breaks_on_performance(self):
+        model = ClaferModel.parse(
+            "root\n"
+            "    xor choice\n"
+            "        slow\n"
+            '            [name = "SLOW"]\n'
+            "            [security = 3]\n"
+            "            [performance = 1]\n"
+            "        fast\n"
+            '            [name = "FAST"]\n'
+            "            [security = 3]\n"
+            "            [performance = 4]\n"
+        )
+        best = ClaferSolver(model).solve()
+        assert best.value("choice.name") == "FAST"
+        assert best.performance == 4
+
+    def test_security_still_dominates(self):
+        model = ClaferModel.parse(
+            "root\n"
+            "    xor choice\n"
+            "        secure\n"
+            '            [name = "SECURE"]\n'
+            "            [security = 5]\n"
+            "            [performance = 1]\n"
+            "        quick\n"
+            '            [name = "QUICK"]\n'
+            "            [security = 1]\n"
+            "            [performance = 9]\n"
+        )
+        assert ClaferSolver(model).solve().value("choice.name") == "SECURE"

@@ -1,0 +1,100 @@
+"""The legacy old-gen pipeline end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.oldgen import OldGenError, OldGenerator
+
+
+@pytest.fixture(scope="module")
+def old():
+    return OldGenerator()
+
+
+def test_supported_slugs_match_table2(old):
+    assert old.supported_slugs() == (
+        "digital_signing",
+        "hybrid_bytes",
+        "hybrid_files",
+        "hybrid_strings",
+        "password_storage",
+        "pbe_bytes",
+        "pbe_files",
+        "pbe_strings",
+    )
+
+
+@pytest.mark.parametrize(
+    "slug",
+    [
+        "pbe_files",
+        "pbe_strings",
+        "pbe_bytes",
+        "hybrid_files",
+        "hybrid_strings",
+        "hybrid_bytes",
+        "password_storage",
+        "digital_signing",
+    ],
+)
+def test_every_legacy_use_case_compiles(old, slug):
+    module = old.generate(slug)
+    module.compile_check()
+    assert "CogniCrypt_old-gen" in module.source
+
+
+def test_solver_picks_most_secure(old):
+    module = old.generate("pbe_files")
+    assert "PBKDF2WithHmacSHA512" in module.source  # highest-security digest
+    assert "AES/GCM/NoPadding" in module.source
+
+
+def test_user_input_overrides_model(old):
+    module = old.generate("pbe_bytes", user_input={"kdf": {"iterations": 250000}})
+    assert "250000" in module.source
+
+
+def test_unknown_slug_rejected(old):
+    with pytest.raises(OldGenError, match="legacy use cases"):
+        old.generate("string_hashing")
+
+
+def test_artefact_paths_exist(old):
+    for slug in old.supported_slugs():
+        model, template = old.artefact_paths(slug)
+        assert model.exists(), model
+        assert template.exists(), template
+
+
+def test_pbe_output_executes(old, tmp_path):
+    import importlib.util
+    import sys
+
+    module = old.generate("pbe_bytes")
+    path = tmp_path / "legacy.py"
+    path.write_text(module.source)
+    spec = importlib.util.spec_from_file_location("legacy_pbe", path)
+    loaded = importlib.util.module_from_spec(spec)
+    sys.modules["legacy_pbe"] = loaded
+    spec.loader.exec_module(loaded)
+    encryptor = loaded.SecureBytesEncryptor()
+    key = encryptor.generate_key(bytearray(b"old pw"))
+    assert encryptor.decrypt(key, encryptor.encrypt(key, b"legacy data")) == b"legacy data"
+
+
+def test_password_storage_output_executes(old, tmp_path):
+    import importlib.util
+    import sys
+
+    module = old.generate("password_storage")
+    path = tmp_path / "vault.py"
+    path.write_text(module.source)
+    spec = importlib.util.spec_from_file_location("legacy_vault", path)
+    loaded = importlib.util.module_from_spec(spec)
+    sys.modules["legacy_vault"] = loaded
+    spec.loader.exec_module(loaded)
+    vault = loaded.PasswordVault()
+    stored = vault.hash_password(bytearray(b"pw"))
+    assert vault.verify_password(bytearray(b"pw"), stored)
+    assert not vault.verify_password(bytearray(b"no"), stored)

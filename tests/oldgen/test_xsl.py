@@ -1,0 +1,97 @@
+"""The XSLT-subset engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.oldgen.xsl import XslError, XslTemplate
+
+HEADER = '<?xml version="1.0"?>\n<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">\n<xsl:template match="/">'
+FOOTER = "</xsl:template>\n</xsl:stylesheet>"
+
+
+def render(body, document):
+    return XslTemplate(HEADER + body + FOOTER).transform(document)
+
+
+def test_text_verbatim():
+    assert render("<xsl:text>hello\nworld</xsl:text>", {}) == "hello\nworld"
+
+
+def test_value_of():
+    assert render('<xsl:value-of select="a/b"/>', {"a": {"b": 42}}) == "42"
+
+
+def test_value_of_missing_path():
+    with pytest.raises(XslError, match="a/b"):
+        render('<xsl:value-of select="a/b"/>', {"a": {}})
+
+
+def test_if_string_comparison():
+    body = "<xsl:if test=\"mode = 'GCM'\"><xsl:text>yes</xsl:text></xsl:if>"
+    assert render(body, {"mode": "GCM"}) == "yes"
+    assert render(body, {"mode": "CBC"}) == ""
+
+
+def test_if_numeric_comparison():
+    body = '<xsl:if test="bits >= 128"><xsl:text>ok</xsl:text></xsl:if>'
+    assert render(body, {"bits": 256}) == "ok"
+    assert render(body, {"bits": 64}) == ""
+
+
+def test_if_existence():
+    body = '<xsl:if test="feature"><xsl:text>present</xsl:text></xsl:if>'
+    assert render(body, {"feature": {}}) == "present"
+    assert render(body, {}) == ""
+
+
+def test_choose_when_otherwise():
+    body = (
+        "<xsl:choose>"
+        "<xsl:when test=\"mode = 'GCM'\"><xsl:text>gcm</xsl:text></xsl:when>"
+        "<xsl:when test=\"mode = 'CBC'\"><xsl:text>cbc</xsl:text></xsl:when>"
+        "<xsl:otherwise><xsl:text>other</xsl:text></xsl:otherwise>"
+        "</xsl:choose>"
+    )
+    assert render(body, {"mode": "GCM"}) == "gcm"
+    assert render(body, {"mode": "CBC"}) == "cbc"
+    assert render(body, {"mode": "CTR"}) == "other"
+
+
+def test_first_matching_when_wins():
+    body = (
+        "<xsl:choose>"
+        '<xsl:when test="x >= 1"><xsl:text>first</xsl:text></xsl:when>'
+        '<xsl:when test="x >= 0"><xsl:text>second</xsl:text></xsl:when>'
+        "</xsl:choose>"
+    )
+    assert render(body, {"x": 5}) == "first"
+
+
+def test_structural_whitespace_not_emitted():
+    body = "\n  <xsl:text>only this</xsl:text>\n  "
+    assert render(body, {}) == "only this"
+
+
+def test_unsupported_element_rejected():
+    with pytest.raises(XslError, match="unsupported"):
+        render('<xsl:for-each select="x"/>', {"x": 1})
+
+
+def test_malformed_xml_rejected():
+    with pytest.raises(XslError, match="parse error"):
+        XslTemplate("<not-closed")
+
+
+def test_root_must_be_stylesheet():
+    with pytest.raises(XslError, match="stylesheet"):
+        XslTemplate("<wrong/>")
+
+
+def test_exactly_one_root_template_required():
+    source = (
+        '<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">'
+        "</xsl:stylesheet>"
+    )
+    with pytest.raises(XslError, match="template"):
+        XslTemplate(source)

@@ -1,0 +1,104 @@
+"""AES block cipher: FIPS-197 known answers plus structural properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.primitives.aes import AES, BLOCK_SIZE, INV_SBOX, SBOX, expand_key
+from repro.primitives.errors import InvalidBlockSize, InvalidKeyLength
+
+# FIPS-197 appendix C example vectors.
+_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+_VECTORS = [
+    ("000102030405060708090a0b0c0d0e0f", "69c4e0d86a7b0430d8cdb78070b4c55a"),
+    ("000102030405060708090a0b0c0d0e0f1011121314151617", "dda97ca4864cdfe06eaf70a0ec0d7191"),
+    (
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        "8ea2b7ca516745bfeafc49904b496089",
+    ),
+]
+
+
+@pytest.mark.parametrize("key_hex,expected_hex", _VECTORS)
+def test_fips197_known_answers(key_hex, expected_hex):
+    cipher = AES(bytes.fromhex(key_hex))
+    assert cipher.encrypt_block(_PLAINTEXT).hex() == expected_hex
+
+
+@pytest.mark.parametrize("key_hex,expected_hex", _VECTORS)
+def test_fips197_decrypt_inverts(key_hex, expected_hex):
+    cipher = AES(bytes.fromhex(key_hex))
+    assert cipher.decrypt_block(bytes.fromhex(expected_hex)) == _PLAINTEXT
+
+
+def test_sbox_is_a_permutation():
+    assert sorted(SBOX) == list(range(256))
+    assert all(INV_SBOX[SBOX[x]] == x for x in range(256))
+
+
+def test_sbox_known_entries():
+    # S(0x00) = 0x63 and S(0x53) = 0xED are standard spot checks.
+    assert SBOX[0x00] == 0x63
+    assert SBOX[0x53] == 0xED
+
+
+def test_round_counts():
+    assert AES(bytes(16)).rounds == 10
+    assert AES(bytes(24)).rounds == 12
+    assert AES(bytes(32)).rounds == 14
+
+
+def test_key_schedule_size():
+    assert len(expand_key(bytes(16))) == 11
+    assert len(expand_key(bytes(32))) == 15
+    assert all(len(rk) == 16 for rk in expand_key(bytes(24)))
+
+
+@pytest.mark.parametrize("bad_length", [0, 1, 15, 17, 20, 31, 33, 64])
+def test_invalid_key_lengths_rejected(bad_length):
+    with pytest.raises(InvalidKeyLength):
+        AES(bytes(bad_length))
+
+
+@pytest.mark.parametrize("bad_length", [0, 1, 15, 17, 32])
+def test_invalid_block_lengths_rejected(bad_length):
+    cipher = AES(bytes(16))
+    with pytest.raises(InvalidBlockSize):
+        cipher.encrypt_block(bytes(bad_length))
+    with pytest.raises(InvalidBlockSize):
+        cipher.decrypt_block(bytes(bad_length))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    key=st.binary(min_size=16, max_size=16) | st.binary(min_size=32, max_size=32),
+    block=st.binary(min_size=BLOCK_SIZE, max_size=BLOCK_SIZE),
+)
+def test_roundtrip_property(key, block):
+    cipher = AES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@settings(max_examples=20, deadline=None)
+@given(block=st.binary(min_size=BLOCK_SIZE, max_size=BLOCK_SIZE))
+def test_key_sensitivity(block):
+    """Flipping one key bit must change the ciphertext."""
+    key_a = bytes(16)
+    key_b = bytes([1]) + bytes(15)
+    assert AES(key_a).encrypt_block(block) != AES(key_b).encrypt_block(block)
+
+
+def test_matches_pyca_reference():
+    """Cross-check against the installed `cryptography` package."""
+    from cryptography.hazmat.primitives.ciphers import Cipher, algorithms, modes
+
+    import os
+
+    for key_size in (16, 24, 32):
+        key = os.urandom(key_size)
+        block = os.urandom(16)
+        encryptor = Cipher(algorithms.AES(key), modes.ECB()).encryptor()
+        reference = encryptor.update(block) + encryptor.finalize()
+        assert AES(key).encrypt_block(block) == reference

@@ -1,0 +1,29 @@
+"""Constant-time comparison helper."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.primitives.ct import constant_time_equals
+
+
+def test_equal():
+    assert constant_time_equals(b"same", b"same")
+
+
+def test_unequal_content():
+    assert not constant_time_equals(b"aaaa", b"aaab")
+
+
+def test_unequal_length():
+    assert not constant_time_equals(b"short", b"longer")
+
+
+def test_empty():
+    assert constant_time_equals(b"", b"")
+
+
+@given(a=st.binary(max_size=64), b=st.binary(max_size=64))
+def test_agrees_with_operator(a, b):
+    assert constant_time_equals(a, b) == (a == b)

@@ -1,0 +1,107 @@
+"""Hashes: the pure SHA-256 against hashlib, registry behaviour."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.primitives.hashes import (
+    DIGEST_SIZES,
+    SECURE_DIGESTS,
+    SHA256,
+    canonical_name,
+    hash_bytes,
+    hash_function,
+    new_hash,
+)
+
+_NIST_VECTORS = [
+    (b"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"),
+    (b"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"),
+    (
+        b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+    ),
+]
+
+
+@pytest.mark.parametrize("message,expected", _NIST_VECTORS)
+def test_nist_vectors(message, expected):
+    assert SHA256(message).hexdigest() == expected
+
+
+def test_million_a():
+    digest = SHA256(b"a" * 1_000_000).hexdigest()
+    assert digest == "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.binary(max_size=500))
+def test_matches_hashlib_property(data):
+    assert SHA256(data).digest() == hashlib.sha256(data).digest()
+
+
+@given(chunks=st.lists(st.binary(max_size=100), max_size=10))
+def test_incremental_equals_oneshot(chunks):
+    incremental = SHA256()
+    for chunk in chunks:
+        incremental.update(chunk)
+    assert incremental.digest() == SHA256(b"".join(chunks)).digest()
+
+
+def test_digest_does_not_consume_state():
+    hasher = SHA256(b"abc")
+    first = hasher.digest()
+    assert hasher.digest() == first
+    hasher.update(b"def")
+    assert hasher.digest() == SHA256(b"abcdef").digest()
+
+
+def test_boundary_lengths():
+    """Padding boundaries: 55, 56, 63, 64, 65 bytes."""
+    for size in (55, 56, 63, 64, 65, 119, 120):
+        data = bytes(range(size % 251)) * (size // max(size % 251, 1) + 1)
+        data = data[:size]
+        assert SHA256(data).digest() == hashlib.sha256(data).digest()
+
+
+@pytest.mark.parametrize(
+    "spelling,expected",
+    [
+        ("sha256", "SHA-256"),
+        ("SHA-256", "SHA-256"),
+        ("SHA256", "SHA-256"),
+        ("sha_512", "SHA-512"),
+        ("md5", "MD5"),
+    ],
+)
+def test_canonical_names(spelling, expected):
+    assert canonical_name(spelling) == expected
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(ValueError):
+        canonical_name("SHA-3-256")
+
+
+@pytest.mark.parametrize("name", list(DIGEST_SIZES))
+def test_registry_digest_sizes(name):
+    assert len(hash_bytes(name, b"test")) == DIGEST_SIZES[name]
+
+
+def test_new_hash_dispatch():
+    assert isinstance(new_hash("SHA-256"), SHA256)
+    assert new_hash("SHA-512").digest() == hashlib.sha512(b"").digest()
+
+
+def test_hash_function_closure():
+    sha384 = hash_function("sha384")
+    assert sha384(b"x") == hashlib.sha384(b"x").digest()
+
+
+def test_secure_digests_exclude_legacy():
+    assert "SHA-1" not in SECURE_DIGESTS
+    assert "MD5" not in SECURE_DIGESTS

@@ -1,0 +1,83 @@
+"""KDFs: PBKDF2 against hashlib, HKDF against RFC 5869 vectors."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.primitives.errors import ParameterError
+from repro.primitives.kdf import hkdf, hkdf_expand, hkdf_extract, pbkdf2
+
+
+class TestPbkdf2:
+    def test_matches_hashlib_sha256(self):
+        ours = pbkdf2(b"password", b"salt", 4096, 32)
+        reference = hashlib.pbkdf2_hmac("sha256", b"password", b"salt", 4096, 32)
+        assert ours == reference
+
+    def test_matches_hashlib_multiblock(self):
+        """Output longer than one digest exercises block iteration."""
+        ours = pbkdf2(b"passwordPASSWORD", b"saltSALT", 100, 100, "SHA-512")
+        reference = hashlib.pbkdf2_hmac(
+            "sha512", b"passwordPASSWORD", b"saltSALT", 100, 100
+        )
+        assert ours == reference
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        password=st.binary(min_size=1, max_size=40),
+        salt=st.binary(min_size=1, max_size=40),
+        length=st.integers(min_value=1, max_value=64),
+    )
+    def test_matches_hashlib_property(self, password, salt, length):
+        assert pbkdf2(password, salt, 10, length) == hashlib.pbkdf2_hmac(
+            "sha256", password, salt, 10, length
+        )
+
+    def test_iteration_sensitivity(self):
+        assert pbkdf2(b"p", b"s", 100, 16) != pbkdf2(b"p", b"s", 101, 16)
+
+    @pytest.mark.parametrize("iterations", [0, -1])
+    def test_rejects_nonpositive_iterations(self, iterations):
+        with pytest.raises(ParameterError):
+            pbkdf2(b"p", b"s", iterations, 16)
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ParameterError):
+            pbkdf2(b"p", b"s", 10, 0)
+
+
+class TestHkdf:
+    def test_rfc5869_case_1(self):
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        prk = hkdf_extract(salt, ikm)
+        assert prk.hex() == (
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+        okm = hkdf_expand(prk, info, 42)
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_rfc5869_case_3_empty_salt_and_info(self):
+        ikm = bytes.fromhex("0b" * 22)
+        okm = hkdf(ikm, b"", b"", 42)
+        assert okm.hex() == (
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+    def test_expand_limit(self):
+        prk = hkdf_extract(b"salt", b"ikm")
+        with pytest.raises(ParameterError):
+            hkdf_expand(prk, b"", 255 * 32 + 1)
+
+    @given(length=st.integers(min_value=1, max_value=128))
+    def test_output_length(self, length):
+        assert len(hkdf(b"ikm", b"salt", b"info", length)) == length

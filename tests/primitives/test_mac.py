@@ -1,0 +1,77 @@
+"""HMAC: RFC 4231 vectors and stdlib equivalence."""
+
+from __future__ import annotations
+
+import hmac as stdlib_hmac
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.primitives.mac import HMAC, hmac_digest
+
+# RFC 4231 test case 1 and 2 (SHA-256/384/512).
+_RFC4231 = [
+    (
+        bytes.fromhex("0b" * 20),
+        b"Hi There",
+        {
+            "SHA-256": "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7",
+            "SHA-384": (
+                "afd03944d84895626b0825f4ab46907f15f9dadbe4101ec682aa034c7cebc59c"
+                "faea9ea9076ede7f4af152e8b2fa9cb6"
+            ),
+            "SHA-512": (
+                "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cde"
+                "daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854"
+            ),
+        },
+    ),
+    (
+        b"Jefe",
+        b"what do ya want for nothing?",
+        {
+            "SHA-256": "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843",
+        },
+    ),
+]
+
+
+@pytest.mark.parametrize("key,message,digests", _RFC4231)
+def test_rfc4231_vectors(key, message, digests):
+    for algorithm, expected in digests.items():
+        assert hmac_digest(key, message, algorithm).hex() == expected
+
+
+def test_long_key_is_hashed_first():
+    """Keys longer than the block size are pre-hashed (RFC 2104)."""
+    key = b"k" * 200
+    assert hmac_digest(key, b"m") == stdlib_hmac.new(key, b"m", "sha256").digest()
+
+
+def test_incremental_equals_oneshot():
+    mac = HMAC(b"key", "SHA-256")
+    mac.update(b"part one, ")
+    mac.update(b"part two")
+    assert mac.digest() == hmac_digest(b"key", b"part one, part two")
+
+
+def test_digest_is_repeatable():
+    mac = HMAC(b"key").update(b"data")
+    assert mac.digest() == mac.digest()
+
+
+@settings(max_examples=40, deadline=None)
+@given(key=st.binary(min_size=1, max_size=100), data=st.binary(max_size=200))
+def test_matches_stdlib_property(key, data):
+    assert hmac_digest(key, data) == stdlib_hmac.new(key, data, "sha256").digest()
+
+
+@settings(max_examples=15, deadline=None)
+@given(key=st.binary(min_size=1, max_size=80), data=st.binary(max_size=80))
+def test_matches_stdlib_sha512(key, data):
+    assert hmac_digest(key, data, "SHA-512") == stdlib_hmac.new(key, data, "sha512").digest()
+
+
+def test_different_keys_different_tags():
+    assert hmac_digest(b"key-a", b"m") != hmac_digest(b"key-b", b"m")

@@ -1,0 +1,160 @@
+"""Block-cipher modes: reference equivalence, tampering, properties."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.primitives.errors import InvalidBlockSize, InvalidTag, ParameterError
+from repro.primitives.modes import (
+    cbc_decrypt,
+    cbc_encrypt,
+    ctr_transform,
+    gcm_decrypt,
+    gcm_encrypt,
+)
+
+
+class TestCbc:
+    def test_roundtrip(self):
+        key, iv = os.urandom(16), os.urandom(16)
+        data = b"some plaintext longer than a block boundary"
+        assert cbc_decrypt(key, iv, cbc_encrypt(key, iv, data)) == data
+
+    def test_empty_plaintext(self):
+        key, iv = os.urandom(32), os.urandom(16)
+        ciphertext = cbc_encrypt(key, iv, b"")
+        assert len(ciphertext) == 16  # one full padding block
+        assert cbc_decrypt(key, iv, ciphertext) == b""
+
+    def test_matches_pyca(self):
+        from cryptography.hazmat.primitives import padding as pyca_padding
+        from cryptography.hazmat.primitives.ciphers import Cipher, algorithms, modes
+
+        key, iv, data = os.urandom(16), os.urandom(16), os.urandom(333)
+        padder = pyca_padding.PKCS7(128).padder()
+        encryptor = Cipher(algorithms.AES(key), modes.CBC(iv)).encryptor()
+        reference = encryptor.update(padder.update(data) + padder.finalize())
+        reference += encryptor.finalize()
+        assert cbc_encrypt(key, iv, data) == reference
+
+    def test_bad_iv_length(self):
+        with pytest.raises(ParameterError):
+            cbc_encrypt(os.urandom(16), os.urandom(12), b"data")
+
+    def test_unaligned_ciphertext(self):
+        with pytest.raises(InvalidBlockSize):
+            cbc_decrypt(os.urandom(16), os.urandom(16), b"short")
+
+    def test_same_plaintext_same_iv_is_deterministic(self):
+        key, iv = os.urandom(16), os.urandom(16)
+        assert cbc_encrypt(key, iv, b"x" * 20) == cbc_encrypt(key, iv, b"x" * 20)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.binary(max_size=200))
+    def test_roundtrip_property(self, data):
+        key, iv = bytes(16), bytes(range(16))
+        assert cbc_decrypt(key, iv, cbc_encrypt(key, iv, data)) == data
+
+
+class TestCtr:
+    def test_involution(self):
+        key, nonce = os.urandom(16), os.urandom(16)
+        data = os.urandom(100)
+        once = ctr_transform(key, nonce, data)
+        assert ctr_transform(key, nonce, once) == data
+
+    def test_length_preserving(self):
+        key, nonce = os.urandom(16), os.urandom(16)
+        for size in (0, 1, 15, 16, 17, 100):
+            assert len(ctr_transform(key, nonce, bytes(size))) == size
+
+    def test_matches_pyca(self):
+        from cryptography.hazmat.primitives.ciphers import Cipher, algorithms, modes
+
+        key, nonce, data = os.urandom(32), os.urandom(16), os.urandom(77)
+        encryptor = Cipher(algorithms.AES(key), modes.CTR(nonce)).encryptor()
+        assert ctr_transform(key, nonce, data) == encryptor.update(data) + encryptor.finalize()
+
+    def test_bad_nonce_length(self):
+        with pytest.raises(ParameterError):
+            ctr_transform(os.urandom(16), os.urandom(8), b"data")
+
+
+class TestGcm:
+    def test_roundtrip_with_aad(self):
+        key, nonce = os.urandom(16), os.urandom(12)
+        data, aad = b"payload", b"header"
+        assert gcm_decrypt(key, nonce, gcm_encrypt(key, nonce, data, aad), aad) == data
+
+    def test_matches_pyca_aesgcm(self):
+        from cryptography.hazmat.primitives.ciphers.aead import AESGCM
+
+        key, nonce = os.urandom(32), os.urandom(12)
+        data, aad = os.urandom(129), b"associated"
+        assert gcm_encrypt(key, nonce, data, aad) == AESGCM(key).encrypt(nonce, data, aad)
+
+    def test_nist_sp800_38d_vector(self):
+        """Test case 3 of the original GCM validation suite."""
+        key = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+        nonce = bytes.fromhex("cafebabefacedbaddecaf888")
+        plaintext = bytes.fromhex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+            "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255"
+        )
+        expected_ct = bytes.fromhex(
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985"
+        )
+        expected_tag = bytes.fromhex("4d5c2af327cd64a62cf35abd2ba6fab4")
+        out = gcm_encrypt(key, nonce, plaintext)
+        assert out[:-16] == expected_ct
+        assert out[-16:] == expected_tag
+
+    def test_tampered_ciphertext_rejected(self):
+        key, nonce = os.urandom(16), os.urandom(12)
+        blob = bytearray(gcm_encrypt(key, nonce, b"secret"))
+        blob[0] ^= 1
+        with pytest.raises(InvalidTag):
+            gcm_decrypt(key, nonce, bytes(blob))
+
+    def test_tampered_tag_rejected(self):
+        key, nonce = os.urandom(16), os.urandom(12)
+        blob = bytearray(gcm_encrypt(key, nonce, b"secret"))
+        blob[-1] ^= 1
+        with pytest.raises(InvalidTag):
+            gcm_decrypt(key, nonce, bytes(blob))
+
+    def test_wrong_aad_rejected(self):
+        key, nonce = os.urandom(16), os.urandom(12)
+        blob = gcm_encrypt(key, nonce, b"secret", b"aad-1")
+        with pytest.raises(InvalidTag):
+            gcm_decrypt(key, nonce, blob, b"aad-2")
+
+    def test_short_input_rejected(self):
+        with pytest.raises(InvalidTag):
+            gcm_decrypt(os.urandom(16), os.urandom(12), b"too-short")
+
+    def test_empty_nonce_rejected(self):
+        with pytest.raises(ParameterError):
+            gcm_encrypt(os.urandom(16), b"", b"data")
+
+    def test_long_nonce_j0_path(self):
+        """Nonces other than 96 bits take the GHASH-derived J0 path."""
+        from cryptography.hazmat.primitives.ciphers import Cipher, algorithms, modes
+
+        key, nonce, data = os.urandom(16), os.urandom(20), os.urandom(40)
+        encryptor = Cipher(algorithms.AES(key), modes.GCM(nonce)).encryptor()
+        reference = encryptor.update(data) + encryptor.finalize()
+        out = gcm_encrypt(key, nonce, data)
+        assert out[:-16] == reference
+        assert out[-16:] == encryptor.tag
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.binary(max_size=100), aad=st.binary(max_size=40))
+    def test_roundtrip_property(self, data, aad):
+        key, nonce = bytes(16), bytes(12)
+        assert gcm_decrypt(key, nonce, gcm_encrypt(key, nonce, data, aad), aad) == data

@@ -1,0 +1,87 @@
+"""Number theory: Miller–Rabin, prime generation, modular arithmetic."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.primitives.errors import ParameterError
+from repro.primitives.numbers import (
+    egcd,
+    generate_prime,
+    i2osp,
+    is_probable_prime,
+    modinv,
+    os2ip,
+)
+
+_KNOWN_PRIMES = [2, 3, 5, 7, 97, 7919, 104729, (1 << 61) - 1, 2**89 - 1]
+_KNOWN_COMPOSITES = [1, 4, 100, 561, 1105, 6601, 8911, 2**67 - 1]  # incl. Carmichaels
+
+
+@pytest.mark.parametrize("n", _KNOWN_PRIMES)
+def test_known_primes(n):
+    assert is_probable_prime(n)
+
+
+@pytest.mark.parametrize("n", _KNOWN_COMPOSITES)
+def test_known_composites(n):
+    assert not is_probable_prime(n)
+
+
+def test_negative_and_zero():
+    assert not is_probable_prime(0)
+    assert not is_probable_prime(-7)
+
+
+@given(st.integers(min_value=2, max_value=10_000))
+def test_agrees_with_trial_division(n):
+    reference = n > 1 and all(n % d for d in range(2, int(math.isqrt(n)) + 1))
+    assert is_probable_prime(n) == reference
+
+
+def test_generate_prime_bit_length():
+    for bits in (64, 128, 256):
+        p = generate_prime(bits)
+        assert p.bit_length() == bits
+        assert is_probable_prime(p)
+
+
+def test_generate_prime_rejects_tiny():
+    with pytest.raises(ParameterError):
+        generate_prime(4)
+
+
+@given(
+    a=st.integers(min_value=1, max_value=10**9),
+    b=st.integers(min_value=1, max_value=10**9),
+)
+def test_egcd_invariant(a, b):
+    g, x, y = egcd(a, b)
+    assert g == math.gcd(a, b)
+    assert a * x + b * y == g
+
+
+@given(a=st.integers(min_value=1, max_value=10**6))
+def test_modinv_property(a):
+    m = 1_000_003  # prime modulus: every nonzero element invertible
+    inverse = modinv(a, m)
+    assert (a * inverse) % m == 1
+
+
+def test_modinv_non_coprime_rejected():
+    with pytest.raises(ParameterError):
+        modinv(6, 9)
+
+
+@given(x=st.integers(min_value=0, max_value=2**64 - 1))
+def test_i2osp_os2ip_roundtrip(x):
+    assert os2ip(i2osp(x, 8)) == x
+
+
+def test_i2osp_overflow_rejected():
+    with pytest.raises(ParameterError):
+        i2osp(256, 1)

@@ -1,0 +1,65 @@
+"""PKCS#7 padding: spec behaviour and malformed inputs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.primitives.errors import InvalidPadding
+from repro.primitives.padding import pad, unpad
+
+
+def test_pad_aligns_to_block():
+    for size in range(0, 50):
+        assert len(pad(bytes(size), 16)) % 16 == 0
+
+
+def test_full_block_appended_when_aligned():
+    padded = pad(bytes(16), 16)
+    assert len(padded) == 32
+    assert padded[-16:] == bytes([16]) * 16
+
+
+def test_known_padding_value():
+    assert pad(b"YELLOW SUBMARINE", 20) == b"YELLOW SUBMARINE\x04\x04\x04\x04"
+
+
+@given(data=st.binary(max_size=200), block=st.integers(min_value=1, max_value=255))
+def test_roundtrip_property(data, block):
+    assert unpad(pad(data, block), block) == data
+
+
+def test_unpad_rejects_empty():
+    with pytest.raises(InvalidPadding):
+        unpad(b"", 16)
+
+
+def test_unpad_rejects_unaligned():
+    with pytest.raises(InvalidPadding):
+        unpad(bytes(15), 16)
+
+
+def test_unpad_rejects_zero_count():
+    with pytest.raises(InvalidPadding):
+        unpad(bytes(15) + b"\x00", 16)
+
+
+def test_unpad_rejects_count_above_block():
+    with pytest.raises(InvalidPadding):
+        unpad(bytes(15) + b"\x11", 16)
+
+
+def test_unpad_rejects_inconsistent_bytes():
+    # Count byte says 4 but the third-to-last byte disagrees.
+    block = bytes(12) + b"\x04\x03\x04\x04"
+    with pytest.raises(InvalidPadding):
+        unpad(block, 16)
+
+
+@pytest.mark.parametrize("bad_block", [0, 256, -1])
+def test_block_size_bounds(bad_block):
+    with pytest.raises(ValueError):
+        pad(b"x", bad_block)
+    with pytest.raises(ValueError):
+        unpad(b"x", bad_block)

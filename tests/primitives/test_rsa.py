@@ -1,0 +1,190 @@
+"""RSA: OAEP/PSS roundtrips, pyca interop, failure cases."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.primitives.errors import (
+    InvalidPadding,
+    MessageTooLong,
+    ParameterError,
+)
+from repro.primitives.rsa import (
+    RsaPrivateKey,
+    generate_keypair,
+    mgf1,
+    oaep_decrypt,
+    oaep_encrypt,
+    pkcs1v15_sign,
+    pkcs1v15_verify,
+    pss_sign,
+    pss_verify,
+)
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(1024)
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, keypair):
+        public, private = keypair
+        assert public.n.bit_length() == 1024
+        assert private.n == public.n
+
+    def test_public_exponent(self, keypair):
+        public, _ = keypair
+        assert public.e == 65537
+
+    def test_private_key_consistency(self, keypair):
+        _, private = keypair
+        assert private.p * private.q == private.n
+        assert (private.e * private.d) % ((private.p - 1) * (private.q - 1)) == 1
+
+    @pytest.mark.parametrize("bits", [100, 511])
+    def test_too_small_rejected(self, bits):
+        with pytest.raises(ParameterError):
+            generate_keypair(bits)
+
+    def test_odd_size_rejected(self):
+        with pytest.raises(ParameterError):
+            generate_keypair(1025)
+
+
+class TestOaep:
+    def test_roundtrip(self, keypair):
+        public, private = keypair
+        ciphertext = oaep_encrypt(public, b"top secret", os.urandom)
+        assert oaep_decrypt(private, ciphertext) == b"top secret"
+
+    def test_empty_message(self, keypair):
+        public, private = keypair
+        assert oaep_decrypt(private, oaep_encrypt(public, b"", os.urandom)) == b""
+
+    def test_randomized_encryption(self, keypair):
+        public, _ = keypair
+        a = oaep_encrypt(public, b"m", os.urandom)
+        b = oaep_encrypt(public, b"m", os.urandom)
+        assert a != b
+
+    def test_capacity_limit(self, keypair):
+        public, _ = keypair
+        # 1024-bit key with SHA-256: 128 - 2*32 - 2 = 62 bytes max.
+        oaep_encrypt(public, bytes(62), os.urandom)
+        with pytest.raises(MessageTooLong):
+            oaep_encrypt(public, bytes(63), os.urandom)
+
+    def test_tampered_ciphertext_rejected(self, keypair):
+        public, private = keypair
+        blob = bytearray(oaep_encrypt(public, b"secret", os.urandom))
+        blob[-1] ^= 1
+        with pytest.raises(InvalidPadding):
+            oaep_decrypt(private, bytes(blob))
+
+    def test_wrong_length_rejected(self, keypair):
+        _, private = keypair
+        with pytest.raises(InvalidPadding):
+            oaep_decrypt(private, bytes(10))
+
+    def test_pyca_decrypts_our_ciphertext(self):
+        from cryptography.hazmat.primitives import hashes
+        from cryptography.hazmat.primitives.asymmetric import padding, rsa
+
+        pyca_key = rsa.generate_private_key(public_exponent=65537, key_size=1024)
+        numbers = pyca_key.private_numbers()
+        ours = RsaPrivateKey(
+            numbers.public_numbers.n,
+            numbers.public_numbers.e,
+            numbers.d,
+            numbers.p,
+            numbers.q,
+        )
+        ciphertext = oaep_encrypt(ours.public_key(), b"interop", os.urandom)
+        decrypted = pyca_key.decrypt(
+            ciphertext,
+            padding.OAEP(
+                mgf=padding.MGF1(hashes.SHA256()),
+                algorithm=hashes.SHA256(),
+                label=None,
+            ),
+        )
+        assert decrypted == b"interop"
+
+
+class TestPss:
+    def test_sign_verify(self, keypair):
+        public, private = keypair
+        signature = pss_sign(private, b"document", os.urandom)
+        assert pss_verify(public, b"document", signature)
+
+    def test_wrong_message_fails(self, keypair):
+        public, private = keypair
+        signature = pss_sign(private, b"document", os.urandom)
+        assert not pss_verify(public, b"other", signature)
+
+    def test_tampered_signature_fails(self, keypair):
+        public, private = keypair
+        signature = bytearray(pss_sign(private, b"document", os.urandom))
+        signature[0] ^= 1
+        assert not pss_verify(public, b"document", bytes(signature))
+
+    def test_wrong_length_fails(self, keypair):
+        public, _ = keypair
+        assert not pss_verify(public, b"document", bytes(10))
+
+    def test_signatures_are_randomized(self, keypair):
+        _, private = keypair
+        a = pss_sign(private, b"m", os.urandom)
+        b = pss_sign(private, b"m", os.urandom)
+        assert a != b
+
+    def test_pyca_verifies_our_signature(self):
+        from cryptography.hazmat.primitives import hashes
+        from cryptography.hazmat.primitives.asymmetric import padding, rsa
+
+        pyca_key = rsa.generate_private_key(public_exponent=65537, key_size=1024)
+        numbers = pyca_key.private_numbers()
+        ours = RsaPrivateKey(
+            numbers.public_numbers.n,
+            numbers.public_numbers.e,
+            numbers.d,
+            numbers.p,
+            numbers.q,
+        )
+        signature = pss_sign(ours, b"interop", os.urandom)
+        pyca_key.public_key().verify(
+            signature,
+            b"interop",
+            padding.PSS(mgf=padding.MGF1(hashes.SHA256()), salt_length=32),
+            hashes.SHA256(),
+        )  # raises on failure
+
+
+class TestPkcs1v15:
+    def test_sign_verify(self, keypair):
+        public, private = keypair
+        signature = pkcs1v15_sign(private, b"legacy document")
+        assert pkcs1v15_verify(public, b"legacy document", signature)
+
+    def test_deterministic(self, keypair):
+        _, private = keypair
+        assert pkcs1v15_sign(private, b"m") == pkcs1v15_sign(private, b"m")
+
+    def test_wrong_message_fails(self, keypair):
+        public, private = keypair
+        signature = pkcs1v15_sign(private, b"m")
+        assert not pkcs1v15_verify(public, b"other", signature)
+
+
+class TestMgf1:
+    def test_length(self):
+        assert len(mgf1(b"seed", 100)) == 100
+
+    def test_deterministic(self):
+        assert mgf1(b"seed", 32) == mgf1(b"seed", 32)
+
+    def test_prefix_property(self):
+        assert mgf1(b"seed", 64)[:32] == mgf1(b"seed", 32)

@@ -1,0 +1,137 @@
+"""IR lifting: traces, aliases, facts, factory products."""
+
+from __future__ import annotations
+
+import ast as pyast
+
+from repro.sast.ir import lift_module
+
+TRACKED = {"Cipher", "SecretKeyFactory", "SecretKey", "KeyGenerator"}
+RESULT_CLASSES = {("SecretKeyFactory", "generate_secret", 1): "SecretKey"}
+
+
+def lift(source):
+    return lift_module(pyast.parse(source), TRACKED, RESULT_CLASSES)
+
+
+def test_constructor_creates_trace():
+    (ir,) = lift("def f():\n    c = Cipher('AES/GCM/NoPadding')\n")
+    assert "c" in ir.traces
+    assert ir.traces["c"].class_name == "Cipher"
+    assert ir.traces["c"].creation.method == "Cipher"
+
+
+def test_factory_creates_trace():
+    (ir,) = lift("def f():\n    c = Cipher.get_instance('AES/GCM/NoPadding')\n")
+    assert ir.traces["c"].creation.method == "get_instance"
+
+
+def test_method_calls_recorded_in_order():
+    (ir,) = lift(
+        "def f(key):\n"
+        "    c = Cipher.get_instance('AES/GCM/NoPadding')\n"
+        "    c.init(1, key)\n"
+        "    out = c.do_final(b'data')\n"
+    )
+    trace = ir.traces["c"]
+    assert [call.method for call in trace.calls] == ["init", "do_final"]
+    assert trace.calls[1].result_var == "out"
+
+
+def test_alias_following():
+    (ir,) = lift(
+        "def f():\n"
+        "    c = Cipher.get_instance('AES/GCM/NoPadding')\n"
+        "    alias = c\n"
+        "    alias.init(1, None)\n"
+    )
+    assert [call.method for call in ir.traces["c"].calls] == ["init"]
+
+
+def test_annotated_parameter_becomes_trace():
+    (ir,) = lift("def f(cipher: Cipher):\n    cipher.init(1, None)\n")
+    assert ir.traces["cipher"].from_parameter
+
+
+def test_factory_product_tracked():
+    (ir,) = lift(
+        "def f(spec):\n"
+        "    skf = SecretKeyFactory.get_instance('PBKDF2WithHmacSHA256')\n"
+        "    key = skf.generate_secret(spec)\n"
+        "    material = key.get_encoded()\n"
+    )
+    assert ir.traces["key"].class_name == "SecretKey"
+    assert [c.method for c in ir.traces["key"].calls] == ["get_encoded"]
+
+
+def test_literal_facts():
+    (ir,) = lift(
+        "def f():\n"
+        "    iterations = 1000\n"
+        "    name = 'AES'\n"
+        "    salt = bytearray(32)\n"
+        "    raw = b'xyz'\n"
+    )
+    assert ir.constants["iterations"] == 1000
+    assert ir.constants["name"] == "AES"
+    assert ir.lengths["salt"] == 32
+    assert ir.lengths["raw"] == 3
+
+
+def test_arg_facts_capture_values():
+    (ir,) = lift(
+        "def f():\n"
+        "    size = 128\n"
+        "    g = KeyGenerator.get_instance('AES')\n"
+        "    g.init(size)\n"
+    )
+    (init,) = ir.traces["g"].calls
+    assert init.args[0].var == "size"
+    assert init.args[0].value == 128
+
+
+def test_symbolic_constant_args():
+    (ir,) = lift(
+        "def f(key):\n"
+        "    c = Cipher.get_instance('AES/GCM/NoPadding')\n"
+        "    c.init(Cipher.ENCRYPT_MODE, key)\n"
+    )
+    (init,) = ir.traces["c"].calls
+    assert init.args[0].value == 1
+    assert init.args[0].is_literal
+
+
+def test_sequence_numbers_are_monotonic():
+    (ir,) = lift(
+        "def f(key):\n"
+        "    a = Cipher.get_instance('AES/GCM/NoPadding')\n"
+        "    b = Cipher.get_instance('AES/GCM/NoPadding')\n"
+        "    a.init(1, key)\n"
+        "    b.init(1, key)\n"
+    )
+    sequence = [
+        ir.traces["a"].creation.seq,
+        ir.traces["b"].creation.seq,
+        ir.traces["a"].calls[0].seq,
+        ir.traces["b"].calls[0].seq,
+    ]
+    assert sequence == sorted(sequence)
+
+
+def test_methods_inside_classes_lifted():
+    irs = lift(
+        "class K:\n"
+        "    def m(self):\n"
+        "        c = Cipher.get_instance('AES/GCM/NoPadding')\n"
+    )
+    assert [ir.name for ir in irs] == ["m"]
+
+
+def test_nested_control_flow_visited():
+    (ir,) = lift(
+        "def f(key, flag):\n"
+        "    c = Cipher.get_instance('AES/GCM/NoPadding')\n"
+        "    if flag:\n"
+        "        c.init(1, key)\n"
+    )
+    assert [call.method for call in ir.traces["c"].calls] == ["init"]
