@@ -28,27 +28,38 @@ from .usecases import USE_CASES, generate_use_case, use_case
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
+    # One generator — and therefore one warm GenerationContext — serves
+    # every template on the command line; rules compile once.
     generator = CrySLBasedCodeGenerator(_ruleset(args))
-    try:
-        module = generator.generate_from_file(args.template)
-    except (GenerationError, CrySLError, TemplateError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
-    module_name = Path(args.template).stem + "_generated"
-    path = TargetProject(args.output).write(module, module_name)
-    print(f"generated {path}")
-    if args.explain:
-        from .codegen.explain import explain_module
+    project = TargetProject(args.output)
+    exit_code = 0
+    for template in args.templates:
+        try:
+            module = generator.generate_from_file(template)
+        except (GenerationError, CrySLError, TemplateError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            exit_code = 1
+            continue
+        module_name = Path(template).stem + "_generated"
+        path = project.write(module, module_name)
+        print(f"generated {path}")
+        if args.explain:
+            from .codegen.explain import explain_module
 
-        print(explain_module(module))
-    else:
-        for report in module.reports:
-            labels = " ".join(
-                f"{plan.instance.alias}:{','.join(plan.labels)}"
-                for plan in report.plan.instances
-            )
-            print(f"  {report.method_name}: {labels}")
-    return 0
+            print(explain_module(module))
+        else:
+            for report in module.reports:
+                labels = " ".join(
+                    f"{plan.instance.alias}:{','.join(plan.labels)}"
+                    for plan in report.plan.instances
+                )
+                print(f"  {report.method_name}: {labels}")
+        if args.stats:
+            print(module.diagnostics.render())
+    if args.stats and len(args.templates) > 1:
+        print("cumulative over all templates:")
+        print(generator.context.diagnostics.render())
+    return exit_code
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -151,14 +162,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    generate = sub.add_parser("generate", help="run the generator on a template")
-    generate.add_argument("template", help="template .py file")
+    generate = sub.add_parser("generate", help="run the generator on templates")
+    generate.add_argument(
+        "templates", nargs="+", metavar="template",
+        help="template .py file(s) — all share one warm generation context",
+    )
     generate.add_argument("-o", "--output", default=".", help="output directory")
     generate.add_argument("--rules", help="directory of .crysl rules")
     generate.add_argument(
         "--explain",
         action="store_true",
         help="print the plan: chosen paths, links, value provenance",
+    )
+    generate.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-stage timings, cache counters and cascade tiers",
     )
     generate.set_defaults(handler=_cmd_generate)
 

@@ -6,6 +6,7 @@ The package realises the five-step workflow of the paper's Figure 6:
 ``generator`` (step 5), ``project`` (writing into a target project).
 """
 
+from .context import GenerationContext
 from .emitter import ChainEmitter, EmittedChain, PushedParameter
 from .explain import explain_chain, explain_module
 from .fluent import ConsideredRule, CrySLCodeGenerator, GenerationRequest
@@ -30,6 +31,7 @@ __all__ = [
     "CrySLCodeGenerator",
     "EmittedChain",
     "GeneratedModule",
+    "GenerationContext",
     "GenerationError",
     "FLUENT_ALIASES",
     "GenerationRequest",

@@ -1,0 +1,83 @@
+"""The shared GenerationContext threaded through the pipeline stages.
+
+One context bundles everything the five stages (collect → link →
+select → resolve → emit) share:
+
+* the rule set and its compiled-rule cache (``context.compiled``),
+* the type registry used by constraint evaluation,
+* cumulative diagnostics across every run of the context.
+
+A context is *warm state*: it lives as long as its generator, and
+repeated generation through the same context — ``generate_many``, the
+CLI's multi-template mode, the eval harness — pays rule compilation
+exactly once. Each :meth:`run` yields a fresh per-run
+:class:`~repro.diagnostics.Diagnostics` and, on exit, stamps the
+compile-cache counter deltas into it and merges it into the cumulative
+record. Runs are not thread-safe: two contexts over the same rule set
+must not run concurrently, because cache deltas are read off the rule
+set's shared :class:`~repro.crysl.compiled.CompileStats`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from ..constraints.types import TypeRegistry, default_registry
+from ..crysl.ast import Rule
+from ..crysl.compiled import CompiledRule
+from ..crysl.ruleset import RuleSet, bundled_ruleset
+from ..diagnostics import (
+    COMPILED_HITS,
+    COMPILED_MISSES,
+    DFA_BUILDS,
+    PATH_ENUMERATIONS,
+    Diagnostics,
+)
+
+
+class GenerationContext:
+    """Shared state for one or many generation runs."""
+
+    def __init__(
+        self,
+        ruleset: RuleSet | None = None,
+        registry: TypeRegistry | None = None,
+    ):
+        self.ruleset = ruleset if ruleset is not None else bundled_ruleset()
+        self.registry = registry if registry is not None else default_registry()
+        #: cumulative diagnostics over every run of this context
+        self.diagnostics = Diagnostics()
+        #: completed runs (one ``generate()`` call each)
+        self.runs = 0
+
+    def compiled(self, rule: Rule | str) -> CompiledRule:
+        """The compiled artefacts for one rule (cached on the rule set)."""
+        return self.ruleset.compiled(rule)
+
+    @contextmanager
+    def run(self) -> Iterator[Diagnostics]:
+        """Scope one generation run; yields its private diagnostics.
+
+        On exit — success or failure — the rule-compilation counter
+        movement (cache hits/misses, DFA builds, path enumerations)
+        observed during the run is recorded, and the run is merged into
+        :attr:`diagnostics`.
+        """
+        diag = Diagnostics()
+        before = self.ruleset.compile_stats.snapshot()
+        try:
+            yield diag
+        finally:
+            delta = self.ruleset.compile_stats.delta(before)
+            diag.count(COMPILED_HITS, delta.hits)
+            diag.count(COMPILED_MISSES, delta.misses)
+            diag.count(DFA_BUILDS, delta.dfa_builds)
+            diag.count(PATH_ENUMERATIONS, delta.path_enumerations)
+            self.runs += 1
+            self.diagnostics.merge(diag)
+
+    def __repr__(self) -> str:
+        return (
+            f"<GenerationContext rules={len(self.ruleset)} runs={self.runs}>"
+        )

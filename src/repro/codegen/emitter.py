@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from ..constraints.model import UNKNOWN, BindingSource
 from ..crysl import ast as crysl_ast
+from ..diagnostics import STATEMENTS_EMITTED, Diagnostics
 from .naming import NameAllocator
 from .selector import ChainPlan, GenerationError, InstancePlan
 
@@ -66,8 +67,14 @@ def _literal(value: object) -> str:
 class ChainEmitter:
     """Render one chain plan into source statements."""
 
-    def __init__(self, plan: ChainPlan, reserved_names: set[str]):
+    def __init__(
+        self,
+        plan: ChainPlan,
+        reserved_names: set[str],
+        diagnostics: Diagnostics | None = None,
+    ):
         self._plan = plan
+        self._diag = diagnostics if diagnostics is not None else Diagnostics()
         self._names = NameAllocator(reserved_names)
         #: (instance index, rule object name) -> source expression
         self._object_exprs: dict[tuple[int, str], str] = {}
@@ -249,6 +256,7 @@ class ChainEmitter:
                 self._statement(f"{receiver}.{event.method_name}({args})", deferred)
 
     def _statement(self, text: str, deferred: bool) -> None:
+        self._diag.count(STATEMENTS_EMITTED)
         if deferred:
             self._emitted.deferred_statements.append(text)
         else:

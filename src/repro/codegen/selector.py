@@ -40,6 +40,17 @@ from ..constraints import (
 )
 from ..constraints.types import TypeRegistry, default_registry
 from ..crysl import ast
+from ..diagnostics import (
+    COMBOS_EVALUATED,
+    PATHS_CANDIDATES,
+    PATHS_FILTERED,
+    PATHS_KEPT,
+    TIER_DERIVED,
+    TIER_PREDICATE,
+    TIER_PUSHED,
+    TIER_TEMPLATE,
+    Diagnostics,
+)
 from ..fsm import enumerate_paths
 from ..predicates import (
     Link,
@@ -49,6 +60,7 @@ from ..predicates import (
     invalidating_events,
     unlinked_instances,
 )
+from .context import GenerationContext
 
 #: Hard cap on the path-combination product; beyond it the selector
 #: falls back to a per-instance greedy choice.
@@ -108,14 +120,23 @@ class ChainPlan:
 # ---------------------------------------------------------------------------
 
 
-def candidate_paths(instance: RuleInstance) -> list[tuple[ast.Event, ...]]:
-    """Per-instance path candidates after the template-object filter."""
+def candidate_paths(
+    instance: RuleInstance,
+    paths: tuple[tuple[ast.Event, ...], ...] | list[tuple[ast.Event, ...]] | None = None,
+) -> list[tuple[ast.Event, ...]]:
+    """Per-instance path candidates after the template-object filter.
+
+    ``paths`` lets callers supply the rule's pre-enumerated paths (from
+    the compiled-rule cache); without it the rule is enumerated afresh.
+    """
+    if paths is None:
+        paths = enumerate_paths(instance.rule)
     bound_vars = set(instance.bindings) - {"this"}
     receiver_bound = "this" in instance.bindings
     needs_output = instance.return_target is not None
     required_outputs = set(instance.output_bindings)
     kept: list[tuple[ast.Event, ...]] = []
-    for path in enumerate_paths(instance.rule):
+    for path in paths:
         param_names = {
             param.name for event in path for param in event.params if not param.is_wildcard
         }
@@ -169,6 +190,7 @@ def _activatable_links(
     links: list[Link],
     instances: list[RuleInstance],
     paths: dict[int, tuple[ast.Event, ...]],
+    context: GenerationContext | None = None,
 ) -> list[Link]:
     """Links whose producer path grants the predicate and whose consumer
     path actually uses the linked object. One link per consumer slot;
@@ -178,7 +200,13 @@ def _activatable_links(
         producer_path = paths[link.producer]
         consumer_path = paths[link.consumer]
         producer_rule = instances[link.producer].rule
-        granted = granted_predicates(producer_rule, tuple(e.label for e in producer_path))
+        producer_labels = tuple(e.label for e in producer_path)
+        if context is not None:
+            granted = context.compiled(producer_rule).granted_predicates(
+                producer_labels
+            )
+        else:
+            granted = granted_predicates(producer_rule, producer_labels)
         if link.ensures not in granted:
             continue
         if not _producer_side_available(link, producer_path, instances[link.producer]):
@@ -273,9 +301,10 @@ def _evaluate_combo(
     combo: tuple[tuple[ast.Event, ...], ...],
     links: list[Link],
     registry: TypeRegistry,
+    context: GenerationContext | None = None,
 ) -> _ComboResult | None:
     paths = {instance.index: path for instance, path in zip(instances, combo)}
-    active = _activatable_links(links, instances, paths)
+    active = _activatable_links(links, instances, paths, context)
     pushed_total = 0
     unsatisfied = 0
     plans: list[InstancePlan] = []
@@ -292,7 +321,8 @@ def _evaluate_combo(
                 if param.name not in env:
                     unknown.append(param.name)
         pushed: list[str] = []
-        deriver = ValueDeriver(instance.rule, env, labels, registry)
+        compiled = context.compiled(instance.rule) if context is not None else None
+        deriver = ValueDeriver(instance.rule, env, labels, registry, compiled=compiled)
         for name in dict.fromkeys(unknown):  # stable dedupe
             try:
                 value = deriver.derive(name)
@@ -350,13 +380,18 @@ def _evaluate_combo(
             if not linked and not waived:
                 unsatisfied += 1
         pushed_total += len(pushed) + (1 if receiver_pushed else 0)
+        deferred = (
+            compiled.invalidating_events(labels)
+            if compiled is not None
+            else invalidating_events(instance.rule, labels)
+        )
         plans.append(
             InstancePlan(
                 instance=instance,
                 path=path,
                 env=env,
                 pushed_up=tuple(pushed),
-                deferred=invalidating_events(instance.rule, labels),
+                deferred=deferred,
                 receiver_pushed=receiver_pushed,
             )
         )
@@ -372,63 +407,114 @@ def _evaluate_combo(
 # ---------------------------------------------------------------------------
 
 
+def _record_cascade_tiers(plans: list[InstancePlan], diag: Diagnostics) -> None:
+    """Count the winning plan's bindings per cascade tier (paper §3.3)."""
+    for plan in plans:
+        for binding in plan.env:
+            if binding.source is BindingSource.TEMPLATE:
+                diag.count(TIER_TEMPLATE)
+            elif binding.source is BindingSource.PREDICATE:
+                diag.count(TIER_PREDICATE)
+            elif binding.source is BindingSource.DERIVED:
+                diag.count(TIER_DERIVED)
+            elif binding.source is BindingSource.PUSHED_UP:
+                diag.count(TIER_PUSHED)
+        if plan.receiver_pushed:
+            diag.count(TIER_PUSHED)
+
+
 def select(
     instances: list[RuleInstance],
     registry: TypeRegistry | None = None,
+    *,
+    context: GenerationContext | None = None,
+    diagnostics: Diagnostics | None = None,
+    links: list[Link] | None = None,
 ) -> ChainPlan:
-    """Choose paths and resolve parameters for a whole chain."""
-    registry = registry or default_registry()
-    links = compute_links(instances)
-    per_instance = []
-    for instance in instances:
-        candidates = candidate_paths(instance)
-        if not candidates:
-            bound = ", ".join(sorted(set(instance.bindings) - {"this"}))
-            raise GenerationError(
-                f"{instance.rule.class_name}: no usage path uses the template "
-                f"objects [{bound}] — check the add_parameter variable names "
-                f"against the rule's EVENTS section"
-            )
-        per_instance.append(candidates)
+    """Choose paths and resolve parameters for a whole chain.
 
-    combination_count = 1
-    for candidates in per_instance:
-        combination_count *= len(candidates)
+    With a ``context``, per-rule path enumerations come from the
+    compiled-rule cache; with ``diagnostics``, the select and resolve
+    stages are timed and counted. ``links`` lets the caller reuse the
+    link stage's output instead of recomputing it here.
+    """
+    if registry is None:
+        registry = context.registry if context is not None else default_registry()
+    diag = diagnostics if diagnostics is not None else Diagnostics()
+    if links is None:
+        links = compute_links(instances, context=context)
+
+    with diag.stage("select"):
+        per_instance = []
+        for instance in instances:
+            if context is not None:
+                compiled = context.compiled(instance.rule)
+                all_paths = compiled.paths
+            else:
+                all_paths = tuple(enumerate_paths(instance.rule))
+            diag.record_path_count(instance.rule.simple_name, len(all_paths))
+            candidates = candidate_paths(instance, all_paths)
+            diag.count(PATHS_CANDIDATES, len(all_paths))
+            diag.count(PATHS_KEPT, len(candidates))
+            diag.count(PATHS_FILTERED, len(all_paths) - len(candidates))
+            if not candidates:
+                bound = ", ".join(sorted(set(instance.bindings) - {"this"}))
+                raise GenerationError(
+                    f"{instance.rule.class_name}: no usage path uses the template "
+                    f"objects [{bound}] — check the add_parameter variable names "
+                    f"against the rule's EVENTS section"
+                )
+            per_instance.append(candidates)
+
+        combination_count = 1
+        for candidates in per_instance:
+            combination_count *= len(candidates)
 
     best: _ComboResult | None = None
-    if combination_count <= MAX_COMBINATIONS:
-        for combo in itertools.product(*per_instance):
-            result = _evaluate_combo(instances, combo, links, registry)
-            if result is None:
-                continue
-            if best is None or result.score < best.score:
-                best = result
-    else:
-        # Greedy fallback: pick locally-best path per instance, front to
-        # back, holding earlier choices fixed.
-        chosen: list[tuple[ast.Event, ...]] = []
-        for position, candidates in enumerate(per_instance):
-            local_best = None
-            local_best_result = None
-            for path in candidates:
-                trial = chosen + [path] + [c[0] for c in per_instance[position + 1 :]]
-                result = _evaluate_combo(instances, tuple(trial), links, registry)
+    with diag.stage("resolve"):
+        if combination_count <= MAX_COMBINATIONS:
+            for combo in itertools.product(*per_instance):
+                diag.count(COMBOS_EVALUATED)
+                result = _evaluate_combo(instances, combo, links, registry, context)
                 if result is None:
                     continue
-                if local_best is None or result.score < local_best_result.score:
-                    local_best = path
-                    local_best_result = result
-            if local_best is None:
-                raise GenerationError(
-                    f"{instances[position].rule.class_name}: every candidate path "
-                    "violates the rule's constraints"
-                )
-            chosen.append(local_best)
-        best = _evaluate_combo(instances, tuple(chosen), links, registry)
+                if best is None or result.score < best.score:
+                    best = result
+        else:
+            # Greedy fallback: pick locally-best path per instance, front to
+            # back, holding earlier choices fixed.
+            diag.warn(
+                "resolve",
+                f"path-combination product {combination_count} exceeds "
+                f"{MAX_COMBINATIONS}; falling back to greedy per-instance choice",
+            )
+            chosen: list[tuple[ast.Event, ...]] = []
+            for position, candidates in enumerate(per_instance):
+                local_best = None
+                local_best_result = None
+                for path in candidates:
+                    trial = chosen + [path] + [c[0] for c in per_instance[position + 1 :]]
+                    diag.count(COMBOS_EVALUATED)
+                    result = _evaluate_combo(
+                        instances, tuple(trial), links, registry, context
+                    )
+                    if result is None:
+                        continue
+                    if local_best is None or result.score < local_best_result.score:
+                        local_best = path
+                        local_best_result = result
+                if local_best is None:
+                    raise GenerationError(
+                        f"{instances[position].rule.class_name}: every candidate path "
+                        "violates the rule's constraints"
+                    )
+                chosen.append(local_best)
+            best = _evaluate_combo(instances, tuple(chosen), links, registry, context)
 
-    if best is None:
-        raise GenerationError(
-            "no combination of usage paths satisfies all CONSTRAINTS; "
-            "the considered rules are mutually inconsistent"
-        )
+        if best is None:
+            raise GenerationError(
+                "no combination of usage paths satisfies all CONSTRAINTS; "
+                "the considered rules are mutually inconsistent"
+            )
+        _record_cascade_tiers(best.plans, diag)
     return ChainPlan(best.plans, best.active_links, best.score, best.dropped)

@@ -74,28 +74,38 @@ class ValueDeriver:
         env: Environment,
         path_labels: tuple[str, ...],
         registry: TypeRegistry | None = None,
+        compiled=None,
     ):
         self._rule = rule
         self._env = env
         self._path_labels = path_labels
         self._registry = registry
+        #: optional repro.crysl.compiled.CompiledRule: its pre-indexed
+        #: CONSTRAINTS table narrows candidate collection to the
+        #: constraints that actually mention the object being derived.
+        self._compiled = compiled
 
     def _evaluator(self, env: Environment) -> ConstraintEvaluator:
         return ConstraintEvaluator(env, self._rule, self._path_labels, self._registry)
 
     # ------------------------------------------------------------------
 
-    def _active_constraints(self) -> list[ast.ConstraintExpr]:
+    def _active_constraints(
+        self, relevant: tuple[ast.ConstraintExpr, ...] | None = None
+    ) -> list[ast.ConstraintExpr]:
         """Top-level constraints plus consequents of fired implications.
 
         An implication contributes its consequent when its antecedent
         currently evaluates to True (e.g. ``instanceof[key, SecretKey]``
         once the key is linked). Unknown antecedents contribute nothing
-        — the paper's generator is conservative here.
+        — the paper's generator is conservative here. ``relevant``
+        restricts the sweep to a subset of the rule's CONSTRAINTS (the
+        compiled per-object index).
         """
         evaluator = self._evaluator(self._env)
         active: list[ast.ConstraintExpr] = []
-        for constraint in self._rule.constraints:
+        source = relevant if relevant is not None else self._rule.constraints
+        for constraint in source:
             expr = constraint
             while isinstance(expr, ast.Implication):
                 if evaluator.evaluate(expr.antecedent) is True:
@@ -108,8 +118,11 @@ class ValueDeriver:
         return active
 
     def _candidates_for(self, object_name: str) -> list[_Candidate]:
+        relevant = None
+        if self._compiled is not None:
+            relevant = self._compiled.constraints_mentioning(object_name)
         candidates: list[_Candidate] = []
-        for constraint in self._active_constraints():
+        for constraint in self._active_constraints(relevant):
             candidates.extend(self._candidates_from(constraint, object_name))
         return candidates
 

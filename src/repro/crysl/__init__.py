@@ -21,6 +21,7 @@ complete stand-alone front end for it:
 """
 
 from . import ast
+from .compiled import CompiledRule, CompileStats
 from .errors import (
     CrySLError,
     CrySLSemanticError,
@@ -30,11 +31,14 @@ from .errors import (
 from .lexer import Lexer, Token, TokenKind, tokenize
 from .lint import LintFinding, LintKind, lint_ruleset, render_findings
 from .parser import Parser, parse_rule
-from .ruleset import RuleSet, bundled_ruleset, load_rule_file
+from .ruleset import FrozenRuleSetError, RuleSet, bundled_ruleset, load_rule_file
 from .typecheck import check_rule
 
 __all__ = [
+    "CompileStats",
+    "CompiledRule",
     "CrySLError",
+    "FrozenRuleSetError",
     "CrySLSemanticError",
     "CrySLSyntaxError",
     "Lexer",

@@ -1,0 +1,218 @@
+"""Compiled per-rule artefacts, computed once and shared everywhere.
+
+CrySL treats rules as immutable compiled artefacts that every analysis
+shares (Krüger et al.), and this module is that idea for the
+reproduction: a :class:`CompiledRule` lazily derives and caches the
+expensive by-products of one parsed rule —
+
+* the ORDER automaton (``dfa``),
+* the repetition-free accepting paths (``paths``),
+* label → concrete-event expansions (``expand_label``),
+* pre-indexed ENSURES/CONSTRAINTS/EVENTS tables
+  (``ensures_by_name``, ``constraints_mentioning``,
+  ``events_by_signature``),
+* memoised per-path predicate grants and NEGATES deferrals
+  (``granted_predicates``, ``invalidating_events``).
+
+Instances are cached on the owning :class:`~repro.crysl.ruleset.
+RuleSet` (``RuleSet.compiled``), so chains, templates, the SAST
+analyzer and the eval table runners all pay compilation exactly once
+per rule. :class:`CompileStats` counts hits, misses and rebuilds; the
+diagnostics layer snapshots it around each run.
+
+The heavy derivations live in :mod:`repro.fsm` and
+:mod:`repro.predicates`, which import this package — hence the lazy,
+function-level imports below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from . import ast
+
+
+@dataclass
+class CompileStats:
+    """Counters for one rule-compilation cache (one :class:`RuleSet`)."""
+
+    hits: int = 0
+    misses: int = 0
+    dfa_builds: int = 0
+    path_enumerations: int = 0
+
+    def snapshot(self) -> "CompileStats":
+        return replace(self)
+
+    def delta(self, earlier: "CompileStats") -> "CompileStats":
+        """Counter movement since an earlier :meth:`snapshot`."""
+        return CompileStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            dfa_builds=self.dfa_builds - earlier.dfa_builds,
+            path_enumerations=self.path_enumerations - earlier.path_enumerations,
+        )
+
+
+def _mentioned_objects(expr: ast.ConstraintExpr) -> frozenset[str]:
+    """All OBJECTS names a constraint tree references."""
+    out: set[str] = set()
+
+    def value(node: ast.ValueExpr) -> None:
+        if isinstance(node, ast.ObjectRef):
+            out.add(node.name)
+        elif isinstance(node, (ast.LengthOf, ast.PartOf)):
+            out.add(node.operand.name)
+
+    def walk(node: ast.ConstraintExpr) -> None:
+        if isinstance(node, ast.Comparison):
+            value(node.lhs)
+            value(node.rhs)
+        elif isinstance(node, ast.InSet):
+            value(node.subject)
+        elif isinstance(node, ast.Implication):
+            walk(node.antecedent)
+            walk(node.consequent)
+        elif isinstance(node, ast.BoolOp):
+            for operand in node.operands:
+                walk(operand)
+        elif isinstance(node, ast.Negation):
+            walk(node.operand)
+        elif isinstance(node, ast.InstanceOf):
+            out.add(node.operand.name)
+        # CallTo / NoCallTo reference event labels, not objects.
+
+    walk(expr)
+    return frozenset(out)
+
+
+class CompiledRule:
+    """One rule's derived artefacts, each computed at most once."""
+
+    __slots__ = (
+        "rule",
+        "_stats",
+        "_dfa",
+        "_paths",
+        "_expansions",
+        "_granted",
+        "_invalidating",
+        "_constraint_index",
+        "_ensures_by_name",
+        "_events_by_signature",
+    )
+
+    def __init__(self, rule: ast.Rule, stats: CompileStats | None = None):
+        self.rule = rule
+        self._stats = stats if stats is not None else CompileStats()
+        self._dfa = None
+        self._paths: tuple[tuple[ast.Event, ...], ...] | None = None
+        self._expansions: dict[str, tuple[str, ...]] = {}
+        self._granted: dict[tuple[str, ...], tuple[ast.PredicateUse, ...]] = {}
+        self._invalidating: dict[tuple[str, ...], tuple[str, ...]] = {}
+        self._constraint_index: dict[str, tuple[ast.ConstraintExpr, ...]] | None = None
+        self._ensures_by_name: dict[str, tuple[ast.PredicateUse, ...]] | None = None
+        self._events_by_signature: dict[tuple[str, int], ast.Event] | None = None
+
+    # ------------------------------------------------------------------
+    # automaton + paths
+    # ------------------------------------------------------------------
+
+    @property
+    def dfa(self):
+        """The rule's ORDER DFA, built on first access."""
+        if self._dfa is None:
+            from ..fsm.build import rule_dfa
+
+            self._dfa = rule_dfa(self.rule)
+            self._stats.dfa_builds += 1
+        return self._dfa
+
+    @property
+    def paths(self) -> tuple[tuple[ast.Event, ...], ...]:
+        """The repetition-free accepting paths, enumerated on first access."""
+        if self._paths is None:
+            from ..fsm.paths import enumerate_paths
+
+            self._paths = tuple(enumerate_paths(self.rule, dfa=self.dfa))
+            self._stats.path_enumerations += 1
+        return self._paths
+
+    # ------------------------------------------------------------------
+    # label + predicate tables
+    # ------------------------------------------------------------------
+
+    def expand_label(self, label: str) -> tuple[str, ...]:
+        expanded = self._expansions.get(label)
+        if expanded is None:
+            expanded = self.rule.expand_label(label)
+            self._expansions[label] = expanded
+        return expanded
+
+    @property
+    def ensures_by_name(self) -> dict[str, tuple[ast.PredicateUse, ...]]:
+        """ENSURES entries indexed by predicate name (for the linker)."""
+        if self._ensures_by_name is None:
+            index: dict[str, list[ast.PredicateUse]] = {}
+            for ensured in self.rule.ensures:
+                index.setdefault(ensured.name, []).append(ensured)
+            self._ensures_by_name = {
+                name: tuple(entries) for name, entries in index.items()
+            }
+        return self._ensures_by_name
+
+    @property
+    def events_by_signature(self) -> dict[tuple[str, int], ast.Event]:
+        """``(method name, arity) -> event`` (for the SAST analyzer)."""
+        if self._events_by_signature is None:
+            index: dict[tuple[str, int], ast.Event] = {}
+            for event in self.rule.events:
+                index.setdefault((event.method_name, event.arity), event)
+            self._events_by_signature = index
+        return self._events_by_signature
+
+    def constraints_mentioning(
+        self, object_name: str
+    ) -> tuple[ast.ConstraintExpr, ...]:
+        """Top-level CONSTRAINTS entries whose tree references the object.
+
+        The value deriver only needs to scan these when collecting
+        candidates for one object — the pre-index replaces a full walk
+        of every constraint per derivation.
+        """
+        if self._constraint_index is None:
+            index: dict[str, list[ast.ConstraintExpr]] = {}
+            for constraint in self.rule.constraints:
+                for name in _mentioned_objects(constraint):
+                    index.setdefault(name, []).append(constraint)
+            self._constraint_index = {
+                name: tuple(entries) for name, entries in index.items()
+            }
+        return self._constraint_index.get(object_name, ())
+
+    def granted_predicates(
+        self, path_labels: tuple[str, ...]
+    ) -> tuple[ast.PredicateUse, ...]:
+        """Memoised ENSURES grants for one call path (selector hot loop)."""
+        granted = self._granted.get(path_labels)
+        if granted is None:
+            from ..predicates.instances import granted_predicates
+
+            granted = granted_predicates(self.rule, path_labels)
+            self._granted[path_labels] = granted
+        return granted
+
+    def invalidating_events(
+        self, path_labels: tuple[str, ...]
+    ) -> tuple[str, ...]:
+        """Memoised NEGATES deferrals for one call path."""
+        deferred = self._invalidating.get(path_labels)
+        if deferred is None:
+            from ..predicates.instances import invalidating_events
+
+            deferred = invalidating_events(self.rule, path_labels)
+            self._invalidating[path_labels] = deferred
+        return deferred
+
+    def __repr__(self) -> str:
+        return f"<CompiledRule {self.rule.class_name}>"

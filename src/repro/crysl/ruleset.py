@@ -13,9 +13,14 @@ from pathlib import Path
 from typing import Iterator
 
 from .ast import Rule
+from .compiled import CompiledRule, CompileStats
 from .errors import RuleNotFoundError
 from .parser import parse_rule
 from .typecheck import check_rule
+
+
+class FrozenRuleSetError(TypeError):
+    """A mutation was attempted on a frozen (shared) rule set."""
 
 
 class RuleSet:
@@ -23,21 +28,84 @@ class RuleSet:
 
     Rules are addressable by qualified class name and by simple name
     (when unambiguous) — templates use whichever reads better.
+
+    A rule set also owns the compilation cache for its rules
+    (:meth:`compiled`): DFAs, enumerated paths and predicate tables are
+    derived once per rule and shared by every consumer of the set. A
+    rule set can be :meth:`frozen <freeze>`, after which :meth:`add`
+    raises — the bundled set is shared process-wide and is frozen so
+    one caller's additions cannot leak into another's generator.
     """
 
     def __init__(self, rules: list[Rule] | tuple[Rule, ...] = ()):
         self._by_qualified: dict[str, Rule] = {}
         self._by_simple: dict[str, list[Rule]] = {}
+        self._frozen = False
+        self._compiled: dict[str, CompiledRule] = {}
+        self._compile_stats = CompileStats()
         for rule in rules:
             self.add(rule)
 
     def add(self, rule: Rule) -> None:
         """Index one rule, replacing any prior rule for the same class."""
+        if self._frozen:
+            raise FrozenRuleSetError(
+                "this rule set is frozen (it is shared); call .copy() and "
+                "add rules to the private copy instead"
+            )
         previous = self._by_qualified.get(rule.class_name)
         if previous is not None:
             self._by_simple[previous.simple_name].remove(previous)
         self._by_qualified[rule.class_name] = rule
         self._by_simple.setdefault(rule.simple_name, []).append(rule)
+        self._compiled.pop(rule.class_name, None)
+
+    # ------------------------------------------------------------------
+    # sharing and mutation control
+    # ------------------------------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def freeze(self) -> "RuleSet":
+        """Make this set immutable (chainable); idempotent."""
+        self._frozen = True
+        return self
+
+    def copy(self) -> "RuleSet":
+        """A mutable copy with the same rules and a cold compile cache."""
+        return RuleSet(list(self._by_qualified.values()))
+
+    # ------------------------------------------------------------------
+    # the compilation cache
+    # ------------------------------------------------------------------
+
+    def compiled(self, rule_or_name: Rule | str) -> CompiledRule:
+        """The :class:`CompiledRule` for one of this set's rules.
+
+        Artefacts are cached per qualified class name; replacing a rule
+        via :meth:`add` invalidates its entry. Accepts the rule object
+        or any name :meth:`get` accepts.
+        """
+        rule = (
+            self.get(rule_or_name)
+            if isinstance(rule_or_name, str)
+            else rule_or_name
+        )
+        entry = self._compiled.get(rule.class_name)
+        if entry is not None and entry.rule is rule:
+            self._compile_stats.hits += 1
+            return entry
+        self._compile_stats.misses += 1
+        entry = CompiledRule(rule, self._compile_stats)
+        self._compiled[rule.class_name] = entry
+        return entry
+
+    @property
+    def compile_stats(self) -> CompileStats:
+        """Hit/miss/rebuild counters for this set's compilation cache."""
+        return self._compile_stats
 
     def get(self, class_name: str) -> Rule:
         """Look up by qualified or (unambiguous) simple class name."""
@@ -109,8 +177,15 @@ _BUNDLED_CACHE: RuleSet | None = None
 
 
 def bundled_ruleset() -> RuleSet:
-    """A cached copy of the bundled rule set (parsing is pure)."""
+    """The shared, frozen bundled rule set (parsing is pure).
+
+    The instance — and with it the compiled-rule cache — is shared by
+    every generator, analyzer and eval runner in the process, so it is
+    frozen: mutating it would leak rules into unrelated consumers. Use
+    ``bundled_ruleset().copy()`` (or :meth:`RuleSet.bundled` for a cold
+    cache) to get a private, mutable set.
+    """
     global _BUNDLED_CACHE
     if _BUNDLED_CACHE is None:
-        _BUNDLED_CACHE = RuleSet.bundled()
+        _BUNDLED_CACHE = RuleSet.bundled().freeze()
     return _BUNDLED_CACHE

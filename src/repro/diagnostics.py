@@ -1,0 +1,189 @@
+"""Stage-level diagnostics for the generation pipeline.
+
+The paper's Figure 6 names five stages — collect, link, select,
+resolve, emit — and this module gives each run a structured account of
+them: per-stage wall-clock timings, counters (paths enumerated, paths
+filtered, parameters resolved per cascade tier a–d, compiled-rule cache
+hits/misses), per-rule path counts, and structured warnings.
+
+One :class:`Diagnostics` instance records one generation run; the
+:class:`~repro.codegen.context.GenerationContext` merges every run into
+a cumulative instance so batch drivers (``generate_many``, the eval
+harness) can report totals. ``cognicrypt-gen generate --stats`` prints
+:meth:`Diagnostics.render`; ``GeneratedModule.report_dict()`` embeds
+:meth:`Diagnostics.to_dict`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+#: Canonical stage names, in pipeline order (the paper's Figure 6).
+STAGES = ("collect", "link", "select", "resolve", "emit")
+
+# Counter keys. Kept as module constants so producers and consumers
+# (selector, context, tests, the CLI) agree on spelling.
+COMPILED_HITS = "compiled_rules.hits"
+COMPILED_MISSES = "compiled_rules.misses"
+DFA_BUILDS = "dfa.builds"
+PATH_ENUMERATIONS = "paths.enumerations"
+PATHS_CANDIDATES = "paths.candidates"
+PATHS_KEPT = "paths.kept"
+PATHS_FILTERED = "paths.filtered"
+COMBOS_EVALUATED = "combos.evaluated"
+CHAINS = "chains"
+STATEMENTS_EMITTED = "statements.emitted"
+
+#: The parameter-resolution cascade of §3.3, tiers a–d.
+TIER_TEMPLATE = "params.tier_a_template"
+TIER_PREDICATE = "params.tier_b_predicate"
+TIER_DERIVED = "params.tier_c_derived"
+TIER_PUSHED = "params.tier_d_pushed"
+
+_TIER_LABELS = (
+    (TIER_TEMPLATE, "a (template object)"),
+    (TIER_PREDICATE, "b (predicate link)"),
+    (TIER_DERIVED, "c (derived literal)"),
+    (TIER_PUSHED, "d (pushed up)"),
+)
+
+
+@dataclass
+class StageTiming:
+    """Accumulated wall-clock for one named stage."""
+
+    name: str
+    seconds: float = 0.0
+    calls: int = 0
+
+
+@dataclass(frozen=True)
+class DiagnosticWarning:
+    """A structured, non-fatal observation from a pipeline stage."""
+
+    stage: str
+    message: str
+    rule: str | None = None
+
+    def __str__(self) -> str:
+        prefix = f"[{self.stage}]"
+        if self.rule:
+            prefix += f" {self.rule}:"
+        return f"{prefix} {self.message}"
+
+
+@dataclass
+class Diagnostics:
+    """Timings, counters, per-rule path counts and warnings for one run."""
+
+    stages: dict[str, StageTiming] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    #: rule simple name -> number of enumerated repetition-free paths
+    path_counts: dict[str, int] = field(default_factory=dict)
+    warnings: list[DiagnosticWarning] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time one stage invocation; nests and repeats accumulate."""
+        if name not in STAGES:
+            raise ValueError(
+                f"unknown pipeline stage {name!r}; expected one of {STAGES}"
+            )
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            timing = self.stages.setdefault(name, StageTiming(name))
+            timing.seconds += time.perf_counter() - started
+            timing.calls += 1
+
+    def count(self, key: str, amount: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + amount
+
+    def record_path_count(self, rule_name: str, count: int) -> None:
+        self.path_counts[rule_name] = count
+
+    def warn(self, stage: str, message: str, rule: str | None = None) -> None:
+        self.warnings.append(DiagnosticWarning(stage, message, rule))
+
+    def merge(self, other: "Diagnostics") -> None:
+        """Fold another run's record into this one (for batch totals)."""
+        for timing in other.stages.values():
+            mine = self.stages.setdefault(timing.name, StageTiming(timing.name))
+            mine.seconds += timing.seconds
+            mine.calls += timing.calls
+        for key, amount in other.counters.items():
+            self.count(key, amount)
+        self.path_counts.update(other.path_counts)
+        self.warnings.extend(other.warnings)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(timing.seconds for timing in self.stages.values())
+
+    def counter(self, key: str) -> int:
+        return self.counters.get(key, 0)
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable snapshot (``GeneratedModule.report_dict``)."""
+        return {
+            "stages": {
+                timing.name: {
+                    "seconds": timing.seconds,
+                    "calls": timing.calls,
+                }
+                for timing in self._ordered_stages()
+            },
+            "total_seconds": self.total_seconds,
+            "counters": dict(sorted(self.counters.items())),
+            "path_counts": dict(sorted(self.path_counts.items())),
+            "warnings": [
+                {"stage": w.stage, "rule": w.rule, "message": w.message}
+                for w in self.warnings
+            ],
+        }
+
+    def _ordered_stages(self) -> list[StageTiming]:
+        known = [self.stages[name] for name in STAGES if name in self.stages]
+        extra = [t for name, t in self.stages.items() if name not in STAGES]
+        return known + sorted(extra, key=lambda t: t.name)
+
+    def render(self) -> str:
+        """Human-readable report (the ``--stats`` output)."""
+        lines = ["pipeline stages:"]
+        for timing in self._ordered_stages():
+            lines.append(
+                f"  {timing.name:<10s} {timing.seconds * 1000:8.2f} ms"
+                f"  ({timing.calls} call{'s' if timing.calls != 1 else ''})"
+            )
+        lines.append(f"  {'total':<10s} {self.total_seconds * 1000:8.2f} ms")
+        lines.append("parameter cascade (paper §3.3, tiers a–d):")
+        for key, label in _TIER_LABELS:
+            lines.append(f"  {label:<20s} {self.counter(key):6d}")
+        if self.counters:
+            lines.append("counters:")
+            tier_keys = {key for key, _ in _TIER_LABELS}
+            for key in sorted(self.counters):
+                if key in tier_keys:
+                    continue
+                lines.append(f"  {key:<28s} {self.counters[key]:6d}")
+        if self.path_counts:
+            lines.append("enumerated paths per rule:")
+            for rule_name in sorted(self.path_counts):
+                lines.append(f"  {rule_name:<28s} {self.path_counts[rule_name]:6d}")
+        if self.warnings:
+            lines.append("warnings:")
+            for warning in self.warnings:
+                lines.append(f"  {warning}")
+        return "\n".join(lines)

@@ -24,7 +24,7 @@ import tracemalloc
 from dataclasses import dataclass
 from statistics import mean
 
-from ..codegen import CrySLBasedCodeGenerator
+from ..codegen import CrySLBasedCodeGenerator, GenerationContext
 from ..sast import CrySLAnalyzer
 from ..usecases import USE_CASES, UseCase
 from .report import render_table
@@ -83,10 +83,19 @@ def measure_use_case(
     )
 
 
-def run_table1(runs: int = 10) -> list[Table1Row]:
-    """Measure all eleven use cases with shared engines (warm rules)."""
-    generator = CrySLBasedCodeGenerator()
-    analyzer = CrySLAnalyzer()
+def run_table1(
+    runs: int = 10, context: GenerationContext | None = None
+) -> list[Table1Row]:
+    """Measure all eleven use cases with shared engines (warm rules).
+
+    Generator and analyzer are built over one
+    :class:`~repro.codegen.GenerationContext`, so every DFA, path list
+    and label expansion is compiled once for the whole table; the
+    context's cumulative diagnostics account for all eleven runs.
+    """
+    context = context if context is not None else GenerationContext()
+    generator = CrySLBasedCodeGenerator(context=context)
+    analyzer = CrySLAnalyzer(context.ruleset, context.registry)
     return [
         measure_use_case(use_case, runs, generator, analyzer)
         for use_case in USE_CASES

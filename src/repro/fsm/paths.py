@@ -51,18 +51,21 @@ def _expand(node: ast.OrderExpr, rule: ast.Rule) -> list[tuple[str, ...]]:
     raise TypeError(f"unknown ORDER node: {type(node).__name__}")
 
 
-def enumerate_paths(rule: ast.Rule) -> list[tuple[ast.Event, ...]]:
+def enumerate_paths(rule: ast.Rule, dfa=None) -> list[tuple[ast.Event, ...]]:
     """All repetition-free accepting call paths of ``rule``, as events.
 
     Paths are deduplicated preserving first-seen order, which mirrors
     the deterministic traversal the generator relies on. Each label
-    sequence is checked against the rule's DFA.
+    sequence is checked against the rule's DFA; pass a prebuilt ``dfa``
+    (e.g. from :class:`~repro.crysl.compiled.CompiledRule`) to avoid
+    re-deriving it here.
     """
     if rule.order is None:
         # No ORDER: any single event is a valid (degenerate) path.
         return [(event,) for event in rule.events]
     label_paths = _expand(rule.order, rule)
-    dfa = rule_dfa(rule)
+    if dfa is None:
+        dfa = rule_dfa(rule)
     seen: set[tuple[str, ...]] = set()
     result: list[tuple[ast.Event, ...]] = []
     for labels in label_paths:

@@ -55,8 +55,14 @@ def _object_arg(predicate: ast.PredicateUse) -> str | None:
     return first if isinstance(first, str) else None
 
 
-def compute_links(instances: list[RuleInstance]) -> list[Link]:
-    """All candidate links across a chain of rule instances."""
+def compute_links(instances: list[RuleInstance], context=None) -> list[Link]:
+    """All candidate links across a chain of rule instances.
+
+    ``context`` (a :class:`~repro.codegen.context.GenerationContext`,
+    duck-typed here to keep this layer below ``codegen``) provides the
+    compiled-rule ENSURES index so producers are matched by name lookup
+    instead of a scan over every ENSURES entry.
+    """
     links: list[Link] = []
     for consumer in instances:
         for group_index, group in enumerate(consumer.rule.requires):
@@ -67,9 +73,17 @@ def compute_links(instances: list[RuleInstance]) -> list[Link]:
                 for producer in instances:
                     if producer.index >= consumer.index:
                         continue
-                    for ensured in producer.rule.ensures:
-                        if ensured.name != alternative.name:
-                            continue
+                    if context is not None:
+                        ensured_entries = context.compiled(
+                            producer.rule
+                        ).ensures_by_name.get(alternative.name, ())
+                    else:
+                        ensured_entries = tuple(
+                            e
+                            for e in producer.rule.ensures
+                            if e.name == alternative.name
+                        )
+                    for ensured in ensured_entries:
                         producer_object = _object_arg(ensured)
                         if producer_object is None:
                             continue

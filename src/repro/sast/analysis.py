@@ -32,7 +32,7 @@ from ..constraints import Binding, BindingSource, ConstraintEvaluator, Environme
 from ..constraints.types import TypeRegistry, default_registry
 from ..crysl import ast as crysl_ast
 from ..crysl.ruleset import RuleSet, bundled_ruleset
-from ..fsm import DfaWalker, rule_dfa
+from ..fsm import DfaWalker
 from .ir import ArgFact, CallRecord, FunctionIR, ObjectTrace, lift_module
 from .report import AnalysisResult, Finding, FindingKind
 
@@ -66,10 +66,16 @@ class CrySLAnalyzer:
         self._ruleset = ruleset or bundled_ruleset()
         self._registry = registry or default_registry()
         self._rules_by_simple = {rule.simple_name: rule for rule in self._ruleset}
-        self._dfas = {rule.simple_name: rule_dfa(rule) for rule in self._ruleset}
+        # DFAs and signature tables come from the rule set's compiled-rule
+        # cache, so a generator and an analyzer sharing one rule set (the
+        # eval harness) build each rule's automaton exactly once.
+        self._dfas = {
+            rule.simple_name: self._ruleset.compiled(rule).dfa
+            for rule in self._ruleset
+        }
         self._result_classes = self._compute_result_classes()
         self._signatures = {
-            rule.simple_name: self._events_by_signature(rule)
+            rule.simple_name: self._ruleset.compiled(rule).events_by_signature
             for rule in self._ruleset
         }
 
@@ -86,15 +92,6 @@ class CrySLAnalyzer:
                 simple = declared.type_name.rsplit(".", 1)[-1]
                 if simple in self._rules_by_simple:
                     out[(rule.simple_name, event.method_name, event.arity)] = simple
-        return out
-
-    @staticmethod
-    def _events_by_signature(
-        rule: crysl_ast.Rule,
-    ) -> dict[tuple[str, int], crysl_ast.Event]:
-        out: dict[tuple[str, int], crysl_ast.Event] = {}
-        for event in rule.events:
-            out.setdefault((event.method_name, event.arity), event)
         return out
 
     # ------------------------------------------------------------------

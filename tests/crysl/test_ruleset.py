@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.crysl import RuleSet, bundled_ruleset, load_rule_file, parse_rule
+from repro.crysl import (
+    FrozenRuleSetError,
+    RuleSet,
+    bundled_ruleset,
+    load_rule_file,
+    parse_rule,
+)
 from repro.crysl.errors import RuleNotFoundError
 
 EXPECTED_BUNDLED = {
@@ -94,3 +100,73 @@ def test_every_bundled_rule_has_usage_pattern(ruleset):
     for rule in ruleset:
         assert rule.events, rule.class_name
         assert rule.order is not None, rule.class_name
+
+
+# ---------------------------------------------------------------------------
+# freezing and the compiled-rule cache
+# ---------------------------------------------------------------------------
+
+
+def test_bundled_is_frozen():
+    shared = bundled_ruleset()
+    assert shared.frozen
+    with pytest.raises(FrozenRuleSetError):
+        shared.add(parse_rule("SPEC evil.Thing\nEVENTS\n e: m();"))
+    assert "evil.Thing" not in shared
+
+
+def test_frozen_error_suggests_copy():
+    shared = bundled_ruleset()
+    with pytest.raises(FrozenRuleSetError) as excinfo:
+        shared.add(parse_rule("SPEC evil.Thing\nEVENTS\n e: m();"))
+    assert "copy()" in str(excinfo.value)
+
+
+def test_copy_is_mutable_and_isolated():
+    shared = bundled_ruleset()
+    private = shared.copy()
+    assert not private.frozen
+    private.add(parse_rule("SPEC mine.Thing\nEVENTS\n e: m();"))
+    assert "mine.Thing" in private
+    assert "mine.Thing" not in shared
+
+
+def test_two_generators_cannot_contaminate_each_other():
+    """Satellite: one generator customising its rules must not leak
+    into another generator built from the shared bundled set."""
+    from repro.codegen import CrySLBasedCodeGenerator
+
+    first = CrySLBasedCodeGenerator()
+    second = CrySLBasedCodeGenerator()
+    assert first.ruleset is second.ruleset  # shared on purpose...
+    with pytest.raises(FrozenRuleSetError):
+        first.ruleset.add(parse_rule("SPEC evil.Thing\nEVENTS\n e: m();"))
+    # ...and a generator that wants private rules takes a copy.
+    private = first.ruleset.copy()
+    private.add(parse_rule("SPEC mine.Thing\nEVENTS\n e: m();"))
+    third = CrySLBasedCodeGenerator(private)
+    assert "mine.Thing" in third.ruleset
+    assert "mine.Thing" not in second.ruleset
+
+
+def test_compiled_cache_hit_and_invalidation():
+    rules = RuleSet([parse_rule("SPEC a.Thing\nEVENTS\n e: m();")])
+    rule = rules.get("Thing")
+    entry = rules.compiled(rule)
+    assert rules.compiled(rule) is entry
+    assert rules.compiled("Thing") is entry  # name lookup hits too
+    assert rules.compile_stats.hits == 2
+    assert rules.compile_stats.misses == 1
+    # Replacing the rule invalidates its entry.
+    rules.add(parse_rule("SPEC a.Thing\nEVENTS\n f: n();"))
+    fresh = rules.compiled(rules.get("Thing"))
+    assert fresh is not entry
+    assert rules.compile_stats.misses == 2
+
+
+def test_copy_has_cold_cache():
+    rules = RuleSet([parse_rule("SPEC a.Thing\nEVENTS\n e: m();")])
+    rules.compiled("Thing").dfa
+    clone = rules.copy()
+    assert clone.compile_stats.misses == 0
+    assert clone.compile_stats.dfa_builds == 0

@@ -105,6 +105,34 @@ def test_path_explosion_guard():
     assert MAX_PATHS == 4096
 
 
+def test_path_explosion_error_names_the_rule():
+    order = ", ".join(["(a | b)"] * 13)
+    with pytest.raises(PathExplosionError) as excinfo:
+        enumerate_paths(_rule(order))
+    assert "x.Y" in str(excinfo.value)
+    assert str(MAX_PATHS) in str(excinfo.value)
+
+
+def test_enumerate_paths_accepts_prebuilt_dfa():
+    rule = _rule("a, (b | c)")
+    dfa = rule_dfa(rule)
+    assert labels(enumerate_paths(rule, dfa=dfa)) == labels(enumerate_paths(rule))
+
+
+def test_diagnostics_record_path_counts_under_the_cap():
+    """Rules under MAX_PATHS have their enumerated path counts recorded
+    in the run diagnostics (one entry per rule, last count wins)."""
+    from repro.codegen import CrySLBasedCodeGenerator
+    from repro.usecases import USE_CASES
+
+    generator = CrySLBasedCodeGenerator()
+    module = generator.generate_from_file(USE_CASES[0].template_path())
+    counts = module.diagnostics.path_counts
+    assert counts  # every considered rule appears
+    for rule_name, count in counts.items():
+        assert 1 <= count <= MAX_PATHS, rule_name
+
+
 def test_parameter_count():
     rule = parse_rule(
         "SPEC x.Y\nOBJECTS\n int p;\n int q;\nEVENTS\n a: m(p, q);\n b: n(p);\n"

@@ -32,6 +32,44 @@ def test_generate_bad_template(tmp_path, capsys):
     assert "error" in capsys.readouterr().err
 
 
+def test_generate_with_stats(tmp_path, capsys):
+    template = use_case(11).template_path()
+    assert main(["generate", str(template), "-o", str(tmp_path), "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "pipeline stages:" in out
+    assert "collect" in out and "resolve" in out and "emit" in out
+    assert "parameter cascade" in out
+    assert "compiled_rules" in out
+
+
+def test_generate_multiple_templates_share_one_context(tmp_path, capsys):
+    first = use_case(11).template_path()
+    second = use_case(1).template_path()
+    assert (
+        main(
+            [
+                "generate", str(first), str(second),
+                "-o", str(tmp_path), "--stats",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert out.count("generated ") == 2
+    assert (tmp_path / "string_hashing_generated.py").exists()
+    assert "cumulative over all templates:" in out
+
+
+def test_generate_keeps_going_after_bad_template(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("class Empty:\n    pass\n")
+    good = use_case(11).template_path()
+    assert main(["generate", str(bad), str(good), "-o", str(tmp_path)]) == 1
+    captured = capsys.readouterr()
+    assert "error" in captured.err
+    assert (tmp_path / "string_hashing_generated.py").exists()
+
+
 def test_use_case_command(tmp_path, capsys):
     assert main(["use-case", "11", "-o", str(tmp_path)]) == 0
     assert (tmp_path / "string_hashing.py").exists()

@@ -1,0 +1,89 @@
+"""Unit tests for the stage-level diagnostics layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diagnostics import (
+    STAGES,
+    TIER_DERIVED,
+    TIER_TEMPLATE,
+    Diagnostics,
+)
+
+
+def test_stage_accumulates_time_and_calls():
+    diag = Diagnostics()
+    with diag.stage("select"):
+        pass
+    with diag.stage("select"):
+        pass
+    timing = diag.stages["select"]
+    assert timing.calls == 2
+    assert timing.seconds >= 0.0
+    assert diag.total_seconds == pytest.approx(
+        sum(t.seconds for t in diag.stages.values())
+    )
+
+
+def test_unknown_stage_rejected():
+    diag = Diagnostics()
+    with pytest.raises(ValueError):
+        with diag.stage("transmogrify"):
+            pass
+
+
+def test_counters_and_paths():
+    diag = Diagnostics()
+    diag.count("combos.evaluated")
+    diag.count("combos.evaluated", 4)
+    assert diag.counter("combos.evaluated") == 5
+    assert diag.counter("never.touched") == 0
+    diag.record_path_count("Cipher", 16)
+    diag.record_path_count("Cipher", 16)  # idempotent per rule
+    assert diag.path_counts == {"Cipher": 16}
+
+
+def test_merge_combines_everything():
+    a = Diagnostics()
+    with a.stage("collect"):
+        pass
+    a.count(TIER_TEMPLATE, 2)
+    a.record_path_count("Cipher", 16)
+    a.warn("collect", "something odd", rule="Cipher")
+
+    b = Diagnostics()
+    with b.stage("collect"):
+        pass
+    with b.stage("emit"):
+        pass
+    b.count(TIER_TEMPLATE, 1)
+    b.count(TIER_DERIVED, 3)
+
+    a.merge(b)
+    assert a.stages["collect"].calls == 2
+    assert "emit" in a.stages
+    assert a.counter(TIER_TEMPLATE) == 3
+    assert a.counter(TIER_DERIVED) == 3
+    assert len(a.warnings) == 1
+
+
+def test_render_and_to_dict_cover_all_sections():
+    diag = Diagnostics()
+    for stage in STAGES:
+        with diag.stage(stage):
+            pass
+    diag.count(TIER_TEMPLATE, 7)
+    diag.record_path_count("SecureRandom", 4)
+    diag.warn("resolve", "fell back to greedy", rule="Cipher")
+
+    text = diag.render()
+    assert "pipeline stages:" in text
+    assert "parameter cascade" in text
+    assert "SecureRandom" in text
+    assert "fell back to greedy" in text
+
+    data = diag.to_dict()
+    assert set(data["stages"]) == set(STAGES)
+    assert data["path_counts"] == {"SecureRandom": 4}
+    assert data["warnings"][0]["rule"] == "Cipher"
