@@ -36,7 +36,9 @@ def test_baseline_selection(benchmark, ruleset):
 
 
 def test_ablation_no_predicate_linking(benchmark, ruleset, monkeypatch):
-    monkeypatch.setattr(selector_module, "compute_links", lambda instances: [])
+    monkeypatch.setattr(
+        selector_module, "compute_links", lambda instances, **_: []
+    )
 
     plan = benchmark(lambda: select(_pbe_instances(ruleset)))
 
@@ -63,10 +65,8 @@ def test_ablation_greedy_search(benchmark, ruleset, monkeypatch):
 def test_ablation_no_template_object_filter(benchmark, ruleset, monkeypatch):
     """Drop filter 1 of §3.3 and watch the use case break: paths that
     skip the template's objects 'cannot implement the use case'."""
-    from repro.fsm import enumerate_paths
-
-    def unfiltered(instance):
-        paths = enumerate_paths(instance.rule)
+    def unfiltered(instance, all_paths):
+        paths = list(all_paths)
         if "this" in instance.bindings:
             paths = [
                 p

@@ -1,0 +1,39 @@
+"""Persistent compilation cache for CrySL rule artefacts.
+
+The in-process compiled-rule cache (``RuleSet.compiled``) makes *warm*
+generation free; this package makes *cold starts* cheap too, by
+persisting each rule's derived artefacts — DFA transition tables,
+enumerated accepting paths, label expansions and section indexes — in a
+content-addressed on-disk store keyed by the rule source and the
+pipeline :data:`~repro.cache.store.SCHEMA_VERSION`.
+
+Attach a store to a rule set and every consumer of that set benefits::
+
+    from repro.cache import DiskRuleCache
+    from repro.crysl.ruleset import RuleSet
+
+    rules = RuleSet.bundled().freeze()
+    rules.attach_disk_cache(DiskRuleCache("~/.cache/cognicrypt-gen"))
+
+The CLI does exactly this by default (``--cache-dir`` / ``--no-cache``),
+and the parallel batch engine (``generate_many(jobs=N)``) warm-starts
+each worker process from the same store.
+"""
+
+from .store import (
+    SCHEMA_VERSION,
+    CacheDirectoryError,
+    CachedArtefacts,
+    CacheEvent,
+    DiskRuleCache,
+    LoadResult,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CacheDirectoryError",
+    "CachedArtefacts",
+    "CacheEvent",
+    "DiskRuleCache",
+    "LoadResult",
+]

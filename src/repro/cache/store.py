@@ -1,0 +1,261 @@
+"""Content-addressed on-disk store for compiled CrySL rule artefacts.
+
+Compiling a rule — parsing is cheap, but building the ORDER DFA and
+enumerating its repetition-free accepting paths is not — is a pure
+function of the rule source and the pipeline's compilation scheme.
+This module persists those derived artefacts so a *fresh process* can
+start warm: the first `generate` after a cache-priming run performs
+zero DFA builds and zero path enumerations.
+
+Cache key anatomy
+-----------------
+
+An entry's key is ``sha256(schema tag || max-paths tag || rule
+source)``.  The three components mean:
+
+* **schema tag** — :data:`SCHEMA_VERSION`, a monotonically increasing
+  integer naming the layout *and semantics* of
+  :class:`CachedArtefacts`.  Any PR that changes what the pipeline
+  derives from a rule (DFA construction, path-expansion policy, label
+  expansion, the section indexes) MUST bump it; old entries then
+  simply miss and are recomputed.
+* **max-paths tag** — the effective path-explosion bound, because the
+  enumerated path list depends on it (a lower bound can make
+  enumeration fail where a higher one succeeds).
+* **rule source** — the exact ``.crysl`` text.  Editing a rule changes
+  the key, so stale artefacts are unreachable rather than detected.
+
+Entries are single pickle files written atomically (``tempfile`` in
+the cache directory + ``os.replace``), so concurrent writers racing on
+one key leave a valid entry — last writer wins, both wrote identical
+bytes by construction.  A corrupt or stale entry (truncated pickle,
+wrong payload type, schema drift) is *evicted*: the file is unlinked,
+a structured :class:`CacheEvent` is recorded for the diagnostics
+layer, and the caller recomputes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fsm -> crysl)
+    from ..fsm.automaton import DFA
+
+#: Version of the compiled-artefact layout *and* of the pipeline
+#: semantics baked into it. Bump on any change to DFA construction,
+#: path expansion, label expansion or the section indexes; every PR
+#: that touches those layers must treat this constant as part of its
+#: contract (see docs/ARCHITECTURE.md, "schema-version bump rules").
+SCHEMA_VERSION = 1
+
+_SUFFIX = ".artefacts.pkl"
+
+
+@dataclass(frozen=True)
+class CachedArtefacts:
+    """The persisted by-products of compiling one rule.
+
+    Everything is stored *by name* (event labels, indexes into the
+    rule's own ENSURES/CONSTRAINTS tuples) rather than as pickled AST
+    nodes, so rehydration re-anchors on the live
+    :class:`~repro.crysl.ast.Rule` — consumers keep identity with the
+    rule's own nodes, and a source edit that renames a label makes the
+    entry visibly stale instead of silently wrong.
+    """
+
+    schema_version: int
+    rule_class: str
+    #: the ORDER automaton (plain ints/strings; pickles compactly)
+    dfa: "DFA"
+    #: enumerated repetition-free accepting paths, as label sequences
+    path_labels: tuple[tuple[str, ...], ...]
+    #: label -> concrete event labels (aggregates pre-expanded)
+    expansions: dict[str, tuple[str, ...]]
+    #: predicate name -> indexes into ``rule.ensures``
+    ensures_index: dict[str, tuple[int, ...]]
+    #: (method name, arity) -> event label
+    event_signatures: dict[tuple[str, int], str]
+    #: object name -> indexes into ``rule.constraints``
+    constraint_index: dict[str, tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class CacheEvent:
+    """A structured, non-fatal cache observation (for diagnostics)."""
+
+    kind: str  # "evicted" | "write-failed"
+    key: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"disk cache [{self.kind}] {self.key[:12]}…: {self.message}"
+
+
+@dataclass
+class LoadResult:
+    """Outcome of one :meth:`DiskRuleCache.load` call."""
+
+    artefacts: CachedArtefacts | None = None
+    evicted: bool = False
+
+    @property
+    def hit(self) -> bool:
+        return self.artefacts is not None
+
+
+class CacheDirectoryError(OSError):
+    """The cache directory cannot be created or written to."""
+
+
+class DiskRuleCache:
+    """A directory of content-addressed compiled-rule artefacts.
+
+    The cache validates writability up front (create the directory,
+    write and remove a probe file) so misconfiguration surfaces as one
+    clean :class:`CacheDirectoryError` instead of a mid-run traceback.
+    Counter *ownership* lives with the consumer: the
+    :class:`~repro.crysl.ruleset.RuleSet` folds hit/miss/evict/write
+    movement into its :class:`~repro.crysl.compiled.CompileStats`; the
+    cache itself only records structured :class:`CacheEvent`\\ s.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        schema_version: int = SCHEMA_VERSION,
+    ):
+        self.directory = Path(directory)
+        self.schema_version = schema_version
+        self.events: list[CacheEvent] = []
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            probe = self.directory / ".probe"
+            probe.write_bytes(b"")
+            probe.unlink()
+        except OSError as exc:
+            raise CacheDirectoryError(
+                f"cache directory {self.directory} is not writable: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # keys and paths
+    # ------------------------------------------------------------------
+
+    def key(self, rule_source: str, *, max_paths: int | None = None) -> str:
+        """The content-addressed key for one rule source."""
+        digest = hashlib.sha256()
+        digest.update(f"schema:{self.schema_version}\n".encode())
+        digest.update(f"max_paths:{max_paths}\n".encode())
+        digest.update(rule_source.encode("utf-8"))
+        return digest.hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}{_SUFFIX}"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob(f"*{_SUFFIX}"))
+
+    # ------------------------------------------------------------------
+    # load / store / evict
+    # ------------------------------------------------------------------
+
+    def load(self, key: str) -> LoadResult:
+        """Read one entry; corrupt or drifted entries are evicted.
+
+        Never raises on bad content: any failure to unpickle, a payload
+        of the wrong type, or a recorded schema version that disagrees
+        with ours (belt-and-braces — the key already encodes it) turns
+        into an eviction plus a recomputation by the caller.
+        """
+        path = self.path_for(key)
+        try:
+            payload = path.read_bytes()
+        except FileNotFoundError:
+            return LoadResult()
+        except OSError as exc:
+            self.events.append(CacheEvent("evicted", key, f"unreadable: {exc}"))
+            return LoadResult(evicted=self._evict_file(path))
+        try:
+            artefacts = pickle.loads(payload)
+        except Exception as exc:  # truncated/corrupt pickles raise variously
+            self.events.append(
+                CacheEvent("evicted", key, f"corrupt entry ({exc!r}); recomputing")
+            )
+            return LoadResult(evicted=self._evict_file(path))
+        if (
+            not isinstance(artefacts, CachedArtefacts)
+            or artefacts.schema_version != self.schema_version
+        ):
+            self.events.append(
+                CacheEvent("evicted", key, "stale entry (schema drift); recomputing")
+            )
+            return LoadResult(evicted=self._evict_file(path))
+        return LoadResult(artefacts=artefacts)
+
+    def evict(self, key: str, message: str) -> bool:
+        """Explicitly drop one entry (e.g. it no longer matches its rule)."""
+        self.events.append(CacheEvent("evicted", key, message))
+        return self._evict_file(self.path_for(key))
+
+    def _evict_file(self, path: Path) -> bool:
+        try:
+            path.unlink(missing_ok=True)
+            return True
+        except OSError:
+            return False
+
+    def store(self, key: str, artefacts: CachedArtefacts) -> bool:
+        """Atomically persist one entry; returns False on I/O failure.
+
+        The pickle is written to a temporary file in the cache
+        directory and moved into place with ``os.replace``, so readers
+        and concurrent writers never observe a partial entry.
+        """
+        path = self.path_for(key)
+        try:
+            fd, temp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=".write-", suffix=_SUFFIX
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(artefacts, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(temp_name, path)
+            except BaseException:
+                os.unlink(temp_name)
+                raise
+        except OSError as exc:
+            self.events.append(CacheEvent("write-failed", key, str(exc)))
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # diagnostics plumbing
+    # ------------------------------------------------------------------
+
+    def drain_events(self) -> list[CacheEvent]:
+        """Hand accumulated events to the diagnostics layer (and reset)."""
+        events, self.events = self.events, []
+        return events
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were deleted."""
+        removed = 0
+        for path in self.directory.glob(f"*{_SUFFIX}"):
+            if self._evict_file(path):
+                removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return (
+            f"<DiskRuleCache {self.directory} schema={self.schema_version} "
+            f"entries={len(self)}>"
+        )

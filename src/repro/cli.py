@@ -13,49 +13,127 @@ Subcommands::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
 from .codegen import (
+    BatchGenerationError,
     CrySLBasedCodeGenerator,
+    GenerationContext,
     GenerationError,
     TargetProject,
     TemplateError,
+    resolve_jobs,
 )
 from .crysl import CrySLError, RuleSet, bundled_ruleset
 from .sast import CrySLAnalyzer
 from .usecases import USE_CASES, generate_use_case, use_case
 
+#: Environment override for the default persistent-cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else the XDG cache home + ``cognicrypt-gen``."""
+    override = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "cognicrypt-gen"
+
+
+def _build_context(args: argparse.Namespace) -> GenerationContext:
+    """The generation context for ``generate``: rules + optional disk cache.
+
+    An explicitly requested ``--cache-dir`` that cannot be created or
+    written is a hard, clean error; the *default* location failing only
+    degrades to cache-less operation with a warning (e.g. read-only
+    ``$HOME`` in a sandbox must not break generation).
+    """
+    from .cache import CacheDirectoryError, DiskRuleCache
+
+    if args.no_cache:
+        return GenerationContext(ruleset=_ruleset(args))
+    explicit = args.cache_dir is not None
+    cache_dir = Path(args.cache_dir) if explicit else default_cache_dir()
+    try:
+        cache = DiskRuleCache(cache_dir)
+    except CacheDirectoryError as exc:
+        if explicit:
+            raise _CLIError(f"--cache-dir {cache_dir}: {exc}") from exc
+        print(
+            f"warning: cache directory {cache_dir} is unusable ({exc}); "
+            "continuing without a persistent cache",
+            file=sys.stderr,
+        )
+        return GenerationContext(ruleset=_ruleset(args))
+    # A disk cache must not be attached to the shared bundled singleton
+    # (other consumers in this process would inherit it), so caching
+    # always gets a private rule set; the disk cache keeps it warm.
+    if getattr(args, "rules", None):
+        ruleset = RuleSet.from_directory(args.rules)
+    else:
+        ruleset = RuleSet.bundled().freeze()
+    ruleset.attach_disk_cache(cache)
+    return GenerationContext(ruleset=ruleset)
+
+
+class _CLIError(Exception):
+    """A user-facing CLI failure: message only, no traceback."""
+
+
+def _print_module(
+    module, template: str, project: TargetProject, args: argparse.Namespace
+) -> None:
+    module_name = Path(template).stem + "_generated"
+    path = project.write(module, module_name)
+    print(f"generated {path}")
+    if args.explain:
+        from .codegen.explain import explain_module
+
+        print(explain_module(module))
+    else:
+        for report in module.reports:
+            labels = " ".join(
+                f"{plan.instance.alias}:{','.join(plan.labels)}"
+                for plan in report.plan.instances
+            )
+            print(f"  {report.method_name}: {labels}")
+    if args.stats:
+        print(module.diagnostics.render())
+
 
 def _cmd_generate(args: argparse.Namespace) -> int:
     # One generator — and therefore one warm GenerationContext — serves
-    # every template on the command line; rules compile once.
-    generator = CrySLBasedCodeGenerator(_ruleset(args))
+    # every template on the command line; rules compile once (or load
+    # from the persistent cache, see repro.cache).
+    jobs = resolve_jobs(args.jobs)
+    generator = CrySLBasedCodeGenerator(context=_build_context(args))
     project = TargetProject(args.output)
     exit_code = 0
-    for template in args.templates:
+    if jobs > 1:
+        modules: list = []
         try:
-            module = generator.generate_from_file(template)
-        except (GenerationError, CrySLError, TemplateError, OSError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
+            modules = generator.generate_many(args.templates, jobs=jobs)
+        except BatchGenerationError as exc:
+            for failure in exc.failures:
+                print(f"error: {failure}", file=sys.stderr)
+            modules = exc.modules
             exit_code = 1
-            continue
-        module_name = Path(template).stem + "_generated"
-        path = project.write(module, module_name)
-        print(f"generated {path}")
-        if args.explain:
-            from .codegen.explain import explain_module
-
-            print(explain_module(module))
-        else:
-            for report in module.reports:
-                labels = " ".join(
-                    f"{plan.instance.alias}:{','.join(plan.labels)}"
-                    for plan in report.plan.instances
-                )
-                print(f"  {report.method_name}: {labels}")
-        if args.stats:
-            print(module.diagnostics.render())
+        for template, module in zip(args.templates, modules):
+            if module is not None:
+                _print_module(module, template, project, args)
+    else:
+        for template in args.templates:
+            try:
+                module = generator.generate_from_file(template)
+            except (GenerationError, CrySLError, TemplateError, OSError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                exit_code = 1
+                continue
+            _print_module(module, template, project, args)
     if args.stats and len(args.templates) > 1:
         print("cumulative over all templates:")
         print(generator.context.diagnostics.render())
@@ -179,6 +257,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-stage timings, cache counters and cascade tiers",
     )
+    generate.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the batch (default: $REPRO_JOBS, else 1)",
+    )
+    generate.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent compiled-rule cache location "
+        "(default: $REPRO_CACHE_DIR, else ~/.cache/cognicrypt-gen)",
+    )
+    generate.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent compiled-rule cache",
+    )
     generate.set_defaults(handler=_cmd_generate)
 
     analyze = sub.add_parser("analyze", help="analyze code for crypto misuses")
@@ -216,7 +313,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except (_CLIError, ValueError) as exc:
+        # ValueError covers bad --jobs / $REPRO_JOBS values.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -12,6 +12,7 @@ from .explain import explain_chain, explain_module
 from .fluent import ConsideredRule, CrySLCodeGenerator, GenerationRequest
 from .generator import ChainReport, CrySLBasedCodeGenerator, GeneratedModule
 from .naming import NameAllocator
+from .parallel import BatchGenerationError, TemplateFailure, resolve_jobs
 from .project import TargetProject
 from .selector import ChainPlan, GenerationError, InstancePlan, select
 from .shorthand import FLUENT_ALIASES, JCA, RULE_CONSTANTS
@@ -23,6 +24,7 @@ from .template import (
 )
 
 __all__ = [
+    "BatchGenerationError",
     "ChainEmitter",
     "ChainPlan",
     "ChainReport",
@@ -42,6 +44,8 @@ __all__ = [
     "PushedParameter",
     "TargetProject",
     "TemplateError",
+    "TemplateFailure",
+    "resolve_jobs",
     "TemplateModel",
     "parse_template_file",
     "parse_template_source",

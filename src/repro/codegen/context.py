@@ -5,7 +5,9 @@ select → resolve → emit) share:
 
 * the rule set and its compiled-rule cache (``context.compiled``),
 * the type registry used by constraint evaluation,
-* cumulative diagnostics across every run of the context.
+* cumulative diagnostics across every run of the context,
+* pipeline policy knobs (``max_paths``) and the optional persistent
+  artefact store (``cache_dir`` — see :mod:`repro.cache`).
 
 A context is *warm state*: it lives as long as its generator, and
 repeated generation through the same context — ``generate_many``, the
@@ -13,16 +15,20 @@ CLI's multi-template mode, the eval harness — pays rule compilation
 exactly once. Each :meth:`run` yields a fresh per-run
 :class:`~repro.diagnostics.Diagnostics` and, on exit, stamps the
 compile-cache counter deltas into it and merges it into the cumulative
-record. Runs are not thread-safe: two contexts over the same rule set
-must not run concurrently, because cache deltas are read off the rule
-set's shared :class:`~repro.crysl.compiled.CompileStats`.
+record; with a disk cache attached, run exit also flushes newly
+compiled artefacts to disk and folds cache events into the run's
+warnings. Runs are not thread-safe: two contexts over the same rule
+set must not run concurrently, because cache deltas are read off the
+rule set's shared :class:`~repro.crysl.compiled.CompileStats`.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
+from pathlib import Path
 from typing import Iterator
 
+from ..cache import DiskRuleCache
 from ..constraints.types import TypeRegistry, default_registry
 from ..crysl.ast import Rule
 from ..crysl.compiled import CompiledRule
@@ -31,6 +37,10 @@ from ..diagnostics import (
     COMPILED_HITS,
     COMPILED_MISSES,
     DFA_BUILDS,
+    DISK_EVICTIONS,
+    DISK_HITS,
+    DISK_MISSES,
+    DISK_WRITES,
     PATH_ENUMERATIONS,
     Diagnostics,
 )
@@ -43,9 +53,19 @@ class GenerationContext:
         self,
         ruleset: RuleSet | None = None,
         registry: TypeRegistry | None = None,
+        *,
+        max_paths: int | None = None,
+        cache_dir: str | Path | None = None,
     ):
         self.ruleset = ruleset if ruleset is not None else bundled_ruleset()
         self.registry = registry if registry is not None else default_registry()
+        #: path-explosion bound for rules compiled through this context;
+        #: ``None`` keeps :data:`repro.fsm.paths.MAX_PATHS`. Only
+        #: affects rules not yet in the set's compile cache, so pass a
+        #: private rule set when overriding it.
+        self.max_paths = max_paths
+        if cache_dir is not None and self.ruleset.disk_cache is None:
+            self.ruleset.attach_disk_cache(DiskRuleCache(cache_dir))
         #: cumulative diagnostics over every run of this context
         self.diagnostics = Diagnostics()
         #: completed runs (one ``generate()`` call each)
@@ -53,27 +73,36 @@ class GenerationContext:
 
     def compiled(self, rule: Rule | str) -> CompiledRule:
         """The compiled artefacts for one rule (cached on the rule set)."""
-        return self.ruleset.compiled(rule)
+        return self.ruleset.compiled(rule, max_paths=self.max_paths)
 
     @contextmanager
     def run(self) -> Iterator[Diagnostics]:
         """Scope one generation run; yields its private diagnostics.
 
         On exit — success or failure — the rule-compilation counter
-        movement (cache hits/misses, DFA builds, path enumerations)
-        observed during the run is recorded, and the run is merged into
-        :attr:`diagnostics`.
+        movement (cache hits/misses, DFA builds, path enumerations,
+        disk-cache traffic) observed during the run is recorded, newly
+        compiled artefacts are flushed to the attached disk cache (if
+        any), and the run is merged into :attr:`diagnostics`.
         """
         diag = Diagnostics()
         before = self.ruleset.compile_stats.snapshot()
         try:
             yield diag
         finally:
+            self.ruleset.flush_disk_cache()
             delta = self.ruleset.compile_stats.delta(before)
             diag.count(COMPILED_HITS, delta.hits)
             diag.count(COMPILED_MISSES, delta.misses)
             diag.count(DFA_BUILDS, delta.dfa_builds)
             diag.count(PATH_ENUMERATIONS, delta.path_enumerations)
+            if self.ruleset.disk_cache is not None:
+                diag.count(DISK_HITS, delta.disk_hits)
+                diag.count(DISK_MISSES, delta.disk_misses)
+                diag.count(DISK_WRITES, delta.disk_writes)
+                diag.count(DISK_EVICTIONS, delta.disk_evictions)
+                for event in self.ruleset.drain_disk_cache_events():
+                    diag.warn("cache", str(event))
             self.runs += 1
             self.diagnostics.merge(diag)
 

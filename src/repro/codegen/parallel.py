@@ -1,0 +1,241 @@
+"""Parallel batch generation: fan templates out over worker processes.
+
+``CrySLBasedCodeGenerator.generate_many(jobs=N)`` routes through
+:func:`run_parallel`, which distributes templates over a
+``ProcessPoolExecutor``. The design constraints, in order:
+
+* **Warm-started workers.** Each worker's initializer rebuilds the
+  parent's (frozen) rule set once, attaches the same on-disk artefact
+  store (:mod:`repro.cache`), and touches every rule — so a worker
+  with a primed disk cache performs zero DFA builds and zero path
+  enumerations before its first template.
+* **Deterministic ordering.** Results land at their submission index
+  regardless of completion order; ``jobs=4`` returns byte-identical
+  modules in the same order as ``jobs=1``.
+* **Per-template error isolation.** A template that fails with a
+  recoverable pipeline error (:class:`GenerationError`,
+  :class:`~repro.crysl.CrySLError`, :class:`TemplateError`, ``OSError``)
+  becomes a structured :class:`TemplateFailure`; the other templates
+  still generate, and the batch raises one
+  :class:`BatchGenerationError` carrying both the failures and the
+  successful modules. Unexpected exceptions still propagate.
+* **Merged diagnostics.** Every returned module carries its own run
+  diagnostics (stage timings, cascade tiers); the parent merges them —
+  plus each worker's one-time warm-start counters — into its
+  cumulative ``context.diagnostics``, so ``--stats`` totals stay
+  accurate in parallel runs.
+
+Workers hold module-level state (one generator each), initialised via
+the pool's ``initializer`` hook; task payloads are template paths or
+source text, never parsed models, so nothing fragile crosses the
+process boundary on the way in.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from .selector import GenerationError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..crysl.ast import Rule
+    from .generator import CrySLBasedCodeGenerator, GeneratedModule
+    from .template import TemplateModel
+
+#: Environment variable consulted when ``jobs`` is not passed explicitly.
+JOBS_ENV = "REPRO_JOBS"
+
+
+@dataclass(frozen=True)
+class TemplateFailure:
+    """One template that failed to generate (the batch carried on)."""
+
+    index: int
+    template: str
+    error_type: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.template}: [{self.error_type}] {self.message}"
+
+
+class BatchGenerationError(GenerationError):
+    """One or more templates of a batch failed; the rest generated.
+
+    ``modules`` is the full, order-preserving result list with ``None``
+    at each failed index; ``failures`` describes the failed ones.
+    """
+
+    def __init__(
+        self,
+        failures: list[TemplateFailure],
+        modules: "list[GeneratedModule | None]",
+    ):
+        self.failures = failures
+        self.modules = modules
+        summary = "; ".join(str(f) for f in failures)
+        super().__init__(
+            f"{len(failures)} of {len(modules)} templates failed: {summary}"
+        )
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """The effective worker count: explicit arg, else ``$REPRO_JOBS``, else 1."""
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{JOBS_ENV} must be a positive integer, got {raw!r}"
+            ) from None
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def task_spec(model: "TemplateModel | str | Path") -> tuple[str, str, str]:
+    """Normalize one batch item to a picklable ``(kind, payload, name)``."""
+    if isinstance(model, (str, Path)):
+        return ("path", str(model), str(model))
+    return ("source", model.source, model.path)
+
+
+# ---------------------------------------------------------------------------
+# worker-side machinery (module-level so the pool can pickle references)
+# ---------------------------------------------------------------------------
+
+#: Per-worker state: the warm generator plus the one-shot init report.
+_WORKER: dict = {}
+
+#: Error types a worker converts into TemplateFailure records. Mirrors
+#: the CLI's per-template error handling.
+def _recoverable_errors() -> tuple:
+    from ..crysl import CrySLError
+    from .template import TemplateError
+
+    return (GenerationError, CrySLError, TemplateError, OSError)
+
+
+def _init_worker(
+    rules_payload: "tuple[tuple[Rule, str | None], ...]",
+    cache_dir: str | None,
+    max_paths: int | None,
+) -> None:
+    """Build this worker's warm generator (runs once per process).
+
+    The frozen rule set is rebuilt from the parent's rules; with a
+    ``cache_dir`` every rule is touched once so its artefacts load from
+    the disk store up front — the warm start the batch engine promises.
+    """
+    from ..crysl.ruleset import RuleSet
+    from .context import GenerationContext
+    from .generator import CrySLBasedCodeGenerator
+
+    ruleset = RuleSet()
+    for rule, source in rules_payload:
+        ruleset.add(rule, source=source)
+    ruleset.freeze()
+    if cache_dir is not None:
+        from ..cache import DiskRuleCache
+
+        ruleset.attach_disk_cache(DiskRuleCache(cache_dir))
+        for rule in ruleset:
+            ruleset.compiled(rule, max_paths=max_paths)
+    context = GenerationContext(ruleset=ruleset, max_paths=max_paths)
+    _WORKER["generator"] = CrySLBasedCodeGenerator(context=context)
+    _WORKER["init_stats"] = ruleset.compile_stats.snapshot()
+    _WORKER["init_reported"] = False
+
+
+def _run_task(
+    index: int, kind: str, payload: str, name: str
+) -> "tuple[int, GeneratedModule | None, TemplateFailure | None, dict | None]":
+    """Generate one template in this worker; never raises for
+    recoverable pipeline errors."""
+    from ..diagnostics import DISK_EVICTIONS, DISK_HITS, DISK_MISSES
+
+    generator = _WORKER["generator"]
+    module, failure = None, None
+    try:
+        if kind == "path":
+            module = generator.generate_from_file(payload)
+        else:
+            module = generator.generate_from_source(payload, name)
+    except _recoverable_errors() as exc:
+        failure = TemplateFailure(index, name, type(exc).__name__, str(exc))
+    init_counters = None
+    if not _WORKER["init_reported"]:
+        # Report the warm-start cost exactly once per worker, piggybacked
+        # on its first completed task, so the parent can fold it in.
+        _WORKER["init_reported"] = True
+        stats = _WORKER["init_stats"]
+        init_counters = {
+            DISK_HITS: stats.disk_hits,
+            DISK_MISSES: stats.disk_misses,
+            DISK_EVICTIONS: stats.disk_evictions,
+        }
+    return index, module, failure, init_counters
+
+
+# ---------------------------------------------------------------------------
+# parent-side driver
+# ---------------------------------------------------------------------------
+
+
+def run_parallel(
+    generator: "CrySLBasedCodeGenerator",
+    models: "Iterable[TemplateModel | str | Path]",
+    jobs: int,
+) -> "list[GeneratedModule]":
+    """Generate a batch over ``jobs`` worker processes.
+
+    See the module docstring for the guarantees. The parent context's
+    cumulative diagnostics absorb every module's run record plus each
+    worker's warm-start counters; ``context.runs`` advances by the
+    number of successful modules.
+    """
+    context = generator.context
+    specs = [task_spec(model) for model in models]
+    if not specs:
+        return []
+    ruleset = context.ruleset
+    rules_payload = tuple(
+        (rule, ruleset.rule_source(rule.class_name)) for rule in ruleset
+    )
+    cache = ruleset.disk_cache
+    cache_dir = str(cache.directory) if cache is not None else None
+
+    modules: "list[GeneratedModule | None]" = [None] * len(specs)
+    failures: list[TemplateFailure] = []
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(specs)),
+        initializer=_init_worker,
+        initargs=(rules_payload, cache_dir, context.max_paths),
+    ) as pool:
+        futures = [
+            pool.submit(_run_task, index, kind, payload, name)
+            for index, (kind, payload, name) in enumerate(specs)
+        ]
+        for future in futures:
+            index, module, failure, init_counters = future.result()
+            if init_counters:
+                for key, amount in init_counters.items():
+                    context.diagnostics.count(key, amount)
+            if failure is not None:
+                failures.append(failure)
+                continue
+            modules[index] = module
+            context.diagnostics.merge(module.diagnostics)
+            context.runs += 1
+    if failures:
+        failures.sort(key=lambda f: f.index)
+        raise BatchGenerationError(failures, modules)
+    return [module for module in modules if module is not None]

@@ -41,6 +41,16 @@ class _UnknownType:
     def __bool__(self) -> bool:
         return False
 
+    def __reduce__(self):
+        # Consumers test ``value is UNKNOWN``; pickling must hand back
+        # the module singleton or bindings crossing a process boundary
+        # (the parallel batch engine) would stop comparing identical.
+        return (_restore_unknown, ())
+
+
+def _restore_unknown() -> "_UnknownType":
+    return UNKNOWN
+
 
 UNKNOWN = _UnknownType()
 

@@ -15,12 +15,14 @@ construct of the language as described in section 2.2 of the paper:
 * ``REQUIRES``/``ENSURES``/``NEGATES`` — :class:`PredicateUse` with
   optional ``after`` anchors on ENSURES.
 
-All nodes are frozen dataclasses; the generator treats rules as values.
+All nodes are frozen, slotted dataclasses; the generator treats rules
+as values, and slots keep the per-node footprint small (rules hold
+thousands of nodes and the batch engine pickles them into workers).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Union
 
 from .sourceloc import UNKNOWN, Location
@@ -30,7 +32,7 @@ from .sourceloc import UNKNOWN, Location
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ObjectDecl:
     """``<type> <name>;`` inside OBJECTS."""
 
@@ -44,7 +46,7 @@ class ObjectDecl:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Param:
     """One parameter position in an event pattern.
 
@@ -63,7 +65,7 @@ class Param:
         return self.name == "this"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """``label: [result =] method_name(param, ...);``
 
@@ -92,7 +94,7 @@ class Event:
         return f"{self.label}: {head}{self.method_name}({args})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Aggregate:
     """``Name := label1 | label2 | ...;`` — a named label disjunction."""
 
@@ -109,7 +111,7 @@ class Aggregate:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LabelRef:
     """A reference to an event label or aggregate inside ORDER."""
 
@@ -120,7 +122,7 @@ class LabelRef:
         return self.label
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Seq:
     """Sequential composition: ``a, b``."""
 
@@ -130,7 +132,7 @@ class Seq:
         return ", ".join(_paren(p, self) for p in self.parts)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Alt:
     """Alternatives: ``a | b``."""
 
@@ -140,7 +142,7 @@ class Alt:
         return " | ".join(_paren(o, self) for o in self.options)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Star:
     """Zero or more: ``a*``."""
 
@@ -150,7 +152,7 @@ class Star:
         return f"{_paren(self.inner, self)}*"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Plus:
     """One or more: ``a+``."""
 
@@ -160,7 +162,7 @@ class Plus:
         return f"{_paren(self.inner, self)}+"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Opt:
     """Zero or one: ``a?``."""
 
@@ -185,7 +187,7 @@ def _paren(node: OrderExpr, parent: OrderExpr) -> str:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Literal:
     """A literal value: int, string, or bool."""
 
@@ -200,7 +202,7 @@ class Literal:
         return str(self.value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ObjectRef:
     """A reference to an OBJECTS entry inside a constraint."""
 
@@ -211,7 +213,7 @@ class ObjectRef:
         return self.name
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LengthOf:
     """``length[obj]`` — the element count of an array-ish object."""
 
@@ -222,7 +224,7 @@ class LengthOf:
         return f"length[{self.operand}]"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PartOf:
     """``part(index, "sep", obj)`` — split a string object and select a part.
 
@@ -239,7 +241,7 @@ class PartOf:
         return f'part({self.index}, "{self.separator}", {self.operand})'
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InstanceOf:
     """``instanceof[obj, some.Type]`` — the built-in the paper adds in §4."""
 
@@ -251,7 +253,7 @@ class InstanceOf:
         return f"instanceof[{self.operand}, {self.type_name}]"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CallTo:
     """``callTo[label]`` — true when the chosen path invokes ``label``."""
 
@@ -262,7 +264,7 @@ class CallTo:
         return f"callTo[{self.label}]"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NoCallTo:
     """``noCallTo[label]`` — true when the chosen path avoids ``label``."""
 
@@ -276,7 +278,7 @@ class NoCallTo:
 ValueExpr = Union[Literal, ObjectRef, LengthOf, PartOf]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Comparison:
     """``lhs op rhs`` with op one of ``== != <= < >= >``."""
 
@@ -289,7 +291,7 @@ class Comparison:
         return f"{self.lhs} {self.op} {self.rhs}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InSet:
     """``expr in {v1, ..., vN}`` — the ordered whitelist constraint.
 
@@ -305,7 +307,7 @@ class InSet:
         return f"{self.subject} in {{{', '.join(map(str, self.values))}}}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Implication:
     """``antecedent => consequent``."""
 
@@ -317,7 +319,7 @@ class Implication:
         return f"{self.antecedent} => {self.consequent}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BoolOp:
     """``a && b`` or ``a || b``."""
 
@@ -329,7 +331,7 @@ class BoolOp:
         return f" {self.op} ".join(f"({o})" for o in self.operands)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Negation:
     """``!expr``."""
 
@@ -350,7 +352,7 @@ ConstraintExpr = Union[
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ForbiddenMethod:
     """``method_name(type1, type2) => alternative_label;``
 
@@ -372,7 +374,7 @@ class ForbiddenMethod:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PredArg:
     """A predicate argument: object name, ``this``, ``_`` or a literal."""
 
@@ -391,7 +393,7 @@ class PredArg:
         return str(self.value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PredicateUse:
     """``name[arg, ...]`` with an optional ``after label`` anchor.
 
@@ -412,7 +414,7 @@ class PredicateUse:
         return text
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequiresGroup:
     """One REQUIRES line: ``p1[x] || p2[x] || ...;``
 
@@ -434,7 +436,7 @@ class RequiresGroup:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Rule:
     """One parsed CrySL rule (one class specification)."""
 
@@ -499,7 +501,7 @@ class Rule:
         return tuple(out)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RuleSection:
     """Helper used by the parser: a section keyword plus its body tokens."""
 

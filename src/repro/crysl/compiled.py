@@ -27,19 +27,35 @@ function-level imports below.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
+from typing import TYPE_CHECKING
 
 from . import ast
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle guard)
+    from ..cache.store import CachedArtefacts
 
 
 @dataclass
 class CompileStats:
-    """Counters for one rule-compilation cache (one :class:`RuleSet`)."""
+    """Counters for one rule-compilation cache (one :class:`RuleSet`).
+
+    The ``disk_*`` counters track the optional persistent store
+    (:class:`~repro.cache.DiskRuleCache`) attached via
+    :meth:`~repro.crysl.ruleset.RuleSet.attach_disk_cache`: loads that
+    warm-started a rule (``disk_hits``), loads that fell through to a
+    recompute (``disk_misses``), corrupt/stale entries dropped
+    (``disk_evictions``) and artefacts persisted (``disk_writes``).
+    """
 
     hits: int = 0
     misses: int = 0
     dfa_builds: int = 0
     path_enumerations: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
+    disk_writes: int = 0
+    disk_evictions: int = 0
 
     def snapshot(self) -> "CompileStats":
         return replace(self)
@@ -47,10 +63,10 @@ class CompileStats:
     def delta(self, earlier: "CompileStats") -> "CompileStats":
         """Counter movement since an earlier :meth:`snapshot`."""
         return CompileStats(
-            hits=self.hits - earlier.hits,
-            misses=self.misses - earlier.misses,
-            dfa_builds=self.dfa_builds - earlier.dfa_builds,
-            path_enumerations=self.path_enumerations - earlier.path_enumerations,
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
         )
 
 
@@ -91,6 +107,9 @@ class CompiledRule:
 
     __slots__ = (
         "rule",
+        "max_paths",
+        "disk_key",
+        "persisted",
         "_stats",
         "_dfa",
         "_paths",
@@ -102,8 +121,23 @@ class CompiledRule:
         "_events_by_signature",
     )
 
-    def __init__(self, rule: ast.Rule, stats: CompileStats | None = None):
+    def __init__(
+        self,
+        rule: ast.Rule,
+        stats: CompileStats | None = None,
+        *,
+        max_paths: int | None = None,
+    ):
         self.rule = rule
+        #: path-explosion bound for this rule's enumeration; ``None``
+        #: falls back to :data:`repro.fsm.paths.MAX_PATHS`. Set via
+        #: ``GenerationContext(max_paths=...)``.
+        self.max_paths = max_paths
+        #: content-addressed key in the attached disk cache (if any)
+        self.disk_key: str | None = None
+        #: True once the artefacts are known to be on disk (loaded from
+        #: it, or written by ``RuleSet.flush_disk_cache``)
+        self.persisted = False
         self._stats = stats if stats is not None else CompileStats()
         self._dfa = None
         self._paths: tuple[tuple[ast.Event, ...], ...] | None = None
@@ -134,9 +168,112 @@ class CompiledRule:
         if self._paths is None:
             from ..fsm.paths import enumerate_paths
 
-            self._paths = tuple(enumerate_paths(self.rule, dfa=self.dfa))
+            self._paths = tuple(
+                enumerate_paths(self.rule, dfa=self.dfa, max_paths=self.max_paths)
+            )
             self._stats.path_enumerations += 1
         return self._paths
+
+    # ------------------------------------------------------------------
+    # disk-cache rehydration and export
+    # ------------------------------------------------------------------
+
+    def preload(self, artefacts: "CachedArtefacts") -> bool:
+        """Seed the lazy slots from persisted artefacts.
+
+        Rehydrates every name-based reference against the live rule, so
+        consumers keep identity with the rule's own AST nodes. Returns
+        ``False`` — leaving the instance cold — when anything no longer
+        resolves (the entry predates a rule edit the key missed, which
+        cannot happen for source-keyed entries but is guarded anyway).
+        Successful preloads bump **no** build counters: that is the
+        point of the disk cache.
+        """
+        if artefacts.rule_class != self.rule.class_name:
+            return False
+        paths: list[tuple[ast.Event, ...]] = []
+        for labels in artefacts.path_labels:
+            events = []
+            for label in labels:
+                event = self.rule.event_labelled(label)
+                if event is None:
+                    return False
+                events.append(event)
+            paths.append(tuple(events))
+        signatures: dict[tuple[str, int], ast.Event] = {}
+        for signature, label in artefacts.event_signatures.items():
+            event = self.rule.event_labelled(label)
+            if event is None:
+                return False
+            signatures[signature] = event
+        ensures = self.rule.ensures
+        constraints = self.rule.constraints
+        try:
+            ensures_by_name = {
+                name: tuple(ensures[i] for i in indexes)
+                for name, indexes in artefacts.ensures_index.items()
+            }
+            constraint_index = {
+                name: tuple(constraints[i] for i in indexes)
+                for name, indexes in artefacts.constraint_index.items()
+            }
+        except IndexError:
+            return False
+        self._dfa = artefacts.dfa
+        self._paths = tuple(paths)
+        self._expansions = dict(artefacts.expansions)
+        self._ensures_by_name = ensures_by_name
+        self._events_by_signature = signatures
+        self._constraint_index = constraint_index
+        self.persisted = True
+        return True
+
+    def export_artefacts(self) -> "CachedArtefacts | None":
+        """The persistable form of this rule's artefacts.
+
+        Returns ``None`` while the expensive derivations (DFA, paths)
+        have not been forced yet — there is nothing worth writing. The
+        cheap indexes are forced here so a persisted entry is complete.
+        """
+        if self._dfa is None or self._paths is None:
+            return None
+        from ..cache.store import CachedArtefacts, SCHEMA_VERSION
+
+        # Complete the label-expansion table: every event and aggregate
+        # label, not just the ones consumers happened to ask for.
+        for event in self.rule.events:
+            self.expand_label(event.label)
+        for aggregate in self.rule.aggregates:
+            self.expand_label(aggregate.label)
+        ensures_position = {id(e): i for i, e in enumerate(self.rule.ensures)}
+        constraint_position = {id(c): i for i, c in enumerate(self.rule.constraints)}
+        return CachedArtefacts(
+            schema_version=SCHEMA_VERSION,
+            rule_class=self.rule.class_name,
+            dfa=self._dfa,
+            path_labels=tuple(
+                tuple(event.label for event in path) for path in self._paths
+            ),
+            expansions=dict(self._expansions),
+            ensures_index={
+                name: tuple(ensures_position[id(e)] for e in entries)
+                for name, entries in self.ensures_by_name.items()
+            },
+            event_signatures={
+                signature: event.label
+                for signature, event in self.events_by_signature.items()
+            },
+            constraint_index={
+                name: tuple(constraint_position[id(c)] for c in entries)
+                for name, entries in self._full_constraint_index().items()
+            },
+        )
+
+    def _full_constraint_index(self) -> dict[str, tuple[ast.ConstraintExpr, ...]]:
+        """Force and return the per-object CONSTRAINTS index."""
+        self.constraints_mentioning("")  # force the lazy index
+        assert self._constraint_index is not None
+        return self._constraint_index
 
     # ------------------------------------------------------------------
     # label + predicate tables

@@ -49,7 +49,7 @@ class TokenKind(Enum):
     EOF = auto()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Token:
     kind: TokenKind
     text: str
@@ -58,6 +58,10 @@ class Token:
     def __repr__(self) -> str:
         return f"Token({self.kind.name}, {self.text!r}, {self.location})"
 
+
+#: String-literal escape sequences (module-level: ``_lex_string`` runs
+#: per escape character, and must not rebuild this table every time).
+_ESCAPES = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
 
 _SIMPLE = {
     ";": TokenKind.SEMI,
@@ -88,6 +92,16 @@ def _is_ident_part(ch: str) -> bool:
 class Lexer:
     """Tokenize one CrySL rule file."""
 
+    __slots__ = (
+        "_source",
+        "_filename",
+        "_pos",
+        "_line",
+        "_column",
+        "_lines",
+        "_length",
+    )
+
     def __init__(self, source: str, filename: str = "<rule>"):
         self._source = source
         self._filename = filename
@@ -95,6 +109,7 @@ class Lexer:
         self._line = 1
         self._column = 1
         self._lines = source.splitlines()
+        self._length = len(source)
 
     def _location(self) -> Location:
         return Location(self._line, self._column)
@@ -107,7 +122,7 @@ class Lexer:
 
     def _peek(self, offset: int = 0) -> str:
         index = self._pos + offset
-        return self._source[index] if index < len(self._source) else ""
+        return self._source[index] if index < self._length else ""
 
     def _advance(self, count: int = 1) -> str:
         text = self._source[self._pos : self._pos + count]
@@ -121,18 +136,18 @@ class Lexer:
         return text
 
     def _skip_trivia(self) -> None:
-        while self._pos < len(self._source):
+        while self._pos < self._length:
             ch = self._peek()
             if ch in " \t\r\n":
                 self._advance()
             elif ch == "/" and self._peek(1) == "/":
-                while self._pos < len(self._source) and self._peek() != "\n":
+                while self._pos < self._length and self._peek() != "\n":
                     self._advance()
             elif ch == "/" and self._peek(1) == "*":
                 start = self._location()
                 self._advance(2)
                 while not (self._peek() == "*" and self._peek(1) == "/"):
-                    if self._pos >= len(self._source):
+                    if self._pos >= self._length:
                         raise CrySLSyntaxError(
                             "unterminated block comment", start, self._filename
                         )
@@ -159,10 +174,9 @@ class Lexer:
             if ch == "\\":
                 self._advance()
                 escape = self._advance()
-                mapping = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
-                if escape not in mapping:
+                if escape not in _ESCAPES:
                     raise self._error(f"unknown escape sequence \\{escape}")
-                chars.append(mapping[escape])
+                chars.append(_ESCAPES[escape])
             else:
                 chars.append(self._advance())
         return Token(TokenKind.STRING, "".join(chars), start)
@@ -197,7 +211,7 @@ class Lexer:
         out: list[Token] = []
         while True:
             self._skip_trivia()
-            if self._pos >= len(self._source):
+            if self._pos >= self._length:
                 out.append(Token(TokenKind.EOF, "", self._location()))
                 return out
             ch = self._peek()

@@ -10,13 +10,16 @@ from __future__ import annotations
 
 import importlib.resources
 from pathlib import Path
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from .ast import Rule
 from .compiled import CompiledRule, CompileStats
 from .errors import RuleNotFoundError
 from .parser import parse_rule
 from .typecheck import check_rule
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle guard)
+    from ..cache.store import CacheEvent, DiskRuleCache
 
 
 class FrozenRuleSetError(TypeError):
@@ -43,11 +46,19 @@ class RuleSet:
         self._frozen = False
         self._compiled: dict[str, CompiledRule] = {}
         self._compile_stats = CompileStats()
+        #: qualified class name -> rule source text (disk-cache keying)
+        self._sources: dict[str, str] = {}
+        self._disk_cache: "DiskRuleCache | None" = None
         for rule in rules:
             self.add(rule)
 
-    def add(self, rule: Rule) -> None:
-        """Index one rule, replacing any prior rule for the same class."""
+    def add(self, rule: Rule, source: str | None = None) -> None:
+        """Index one rule, replacing any prior rule for the same class.
+
+        ``source`` is the rule's ``.crysl`` text; when provided it keys
+        the rule's entry in an attached disk cache. Rules added without
+        source are still fully usable — they just never persist.
+        """
         if self._frozen:
             raise FrozenRuleSetError(
                 "this rule set is frozen (it is shared); call .copy() and "
@@ -59,6 +70,14 @@ class RuleSet:
         self._by_qualified[rule.class_name] = rule
         self._by_simple.setdefault(rule.simple_name, []).append(rule)
         self._compiled.pop(rule.class_name, None)
+        if source is not None:
+            self._sources[rule.class_name] = source
+        else:
+            self._sources.pop(rule.class_name, None)
+
+    def rule_source(self, class_name: str) -> str | None:
+        """The recorded ``.crysl`` source for one rule, if known."""
+        return self._sources.get(class_name)
 
     # ------------------------------------------------------------------
     # sharing and mutation control
@@ -74,19 +93,49 @@ class RuleSet:
         return self
 
     def copy(self) -> "RuleSet":
-        """A mutable copy with the same rules and a cold compile cache."""
-        return RuleSet(list(self._by_qualified.values()))
+        """A mutable copy with the same rules and a cold compile cache.
+
+        Rule sources carry over (so an attached disk cache keeps
+        working on the copy); the disk cache itself does not — attach
+        one explicitly if the copy should share it.
+        """
+        fresh = RuleSet()
+        for rule in self._by_qualified.values():
+            fresh.add(rule, source=self._sources.get(rule.class_name))
+        return fresh
 
     # ------------------------------------------------------------------
-    # the compilation cache
+    # the compilation cache (in-memory level + optional disk level)
     # ------------------------------------------------------------------
 
-    def compiled(self, rule_or_name: Rule | str) -> CompiledRule:
+    def attach_disk_cache(self, cache: "DiskRuleCache") -> "RuleSet":
+        """Attach a persistent artefact store (chainable).
+
+        Allowed on frozen sets: attaching a cache changes *when*
+        compilation work happens, never which rules the set holds.
+        Cache misses fall through to a normal compile; the computed
+        artefacts are persisted by :meth:`flush_disk_cache` (called on
+        every ``GenerationContext.run`` exit).
+        """
+        self._disk_cache = cache
+        return self
+
+    @property
+    def disk_cache(self) -> "DiskRuleCache | None":
+        return self._disk_cache
+
+    def compiled(
+        self, rule_or_name: Rule | str, *, max_paths: int | None = None
+    ) -> CompiledRule:
         """The :class:`CompiledRule` for one of this set's rules.
 
         Artefacts are cached per qualified class name; replacing a rule
         via :meth:`add` invalidates its entry. Accepts the rule object
-        or any name :meth:`get` accepts.
+        or any name :meth:`get` accepts. On an in-memory miss, an
+        attached disk cache is consulted before compiling from scratch;
+        a disk hit seeds the entry without a single DFA build or path
+        enumeration. ``max_paths`` applies to entries created by this
+        call (already-cached entries keep their bound).
         """
         rule = (
             self.get(rule_or_name)
@@ -98,9 +147,62 @@ class RuleSet:
             self._compile_stats.hits += 1
             return entry
         self._compile_stats.misses += 1
-        entry = CompiledRule(rule, self._compile_stats)
+        entry = CompiledRule(rule, self._compile_stats, max_paths=max_paths)
+        self._load_from_disk(entry)
         self._compiled[rule.class_name] = entry
         return entry
+
+    def _load_from_disk(self, entry: CompiledRule) -> None:
+        """Try to warm one fresh entry from the attached disk cache."""
+        if self._disk_cache is None:
+            return
+        source = self._sources.get(entry.rule.class_name)
+        if source is None:
+            return
+        entry.disk_key = self._disk_cache.key(source, max_paths=entry.max_paths)
+        result = self._disk_cache.load(entry.disk_key)
+        if result.evicted:
+            self._compile_stats.disk_evictions += 1
+        if result.artefacts is not None:
+            if entry.preload(result.artefacts):
+                self._compile_stats.disk_hits += 1
+                return
+            # Preload refused the entry: it no longer matches the rule.
+            self._disk_cache.evict(
+                entry.disk_key,
+                f"{entry.rule.class_name}: entry does not match the rule; "
+                "recomputing",
+            )
+            self._compile_stats.disk_evictions += 1
+        self._compile_stats.disk_misses += 1
+
+    def flush_disk_cache(self) -> int:
+        """Persist every compiled-but-unwritten entry; returns the count.
+
+        Idempotent and cheap when there is nothing new: entries loaded
+        from disk, or already written, are skipped, as are entries
+        whose expensive artefacts were never forced.
+        """
+        if self._disk_cache is None:
+            return 0
+        written = 0
+        for entry in self._compiled.values():
+            if entry.persisted or entry.disk_key is None:
+                continue
+            artefacts = entry.export_artefacts()
+            if artefacts is None:
+                continue
+            if self._disk_cache.store(entry.disk_key, artefacts):
+                self._compile_stats.disk_writes += 1
+                entry.persisted = True
+                written += 1
+        return written
+
+    def drain_disk_cache_events(self) -> "list[CacheEvent]":
+        """Structured disk-cache observations since the last drain."""
+        if self._disk_cache is None:
+            return []
+        return self._disk_cache.drain_events()
 
     @property
     def compile_stats(self) -> CompileStats:
@@ -149,21 +251,24 @@ class RuleSet:
         directory = Path(directory)
         if not directory.is_dir():
             raise FileNotFoundError(f"rule directory not found: {directory}")
-        rules = []
+        ruleset = cls()
         for path in sorted(directory.glob("*.crysl")):
-            rules.append(load_rule_file(path))
-        return cls(rules)
+            source = path.read_text(encoding="utf-8")
+            ruleset.add(check_rule(parse_rule(source, path.name)), source=source)
+        return ruleset
 
     @classmethod
     def bundled(cls) -> "RuleSet":
         """The rule set shipped in :mod:`repro.rules` (the JCA provider rules)."""
         package_dir = importlib.resources.files("repro.rules")
-        rules = []
+        ruleset = cls()
         for entry in sorted(package_dir.iterdir(), key=lambda e: e.name):
             if entry.name.endswith(".crysl"):
                 source = entry.read_text(encoding="utf-8")
-                rules.append(check_rule(parse_rule(source, entry.name)))
-        return cls(rules)
+                ruleset.add(
+                    check_rule(parse_rule(source, entry.name)), source=source
+                )
+        return ruleset
 
 
 def load_rule_file(path: str | Path) -> Rule:

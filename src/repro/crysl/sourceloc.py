@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Location:
     """A point in a rule file: 1-based line, 1-based column."""
 
@@ -19,7 +19,7 @@ class Location:
 UNKNOWN = Location(0, 0)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Span:
     """A half-open source region [start, end)."""
 

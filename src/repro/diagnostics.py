@@ -30,6 +30,10 @@ COMPILED_HITS = "compiled_rules.hits"
 COMPILED_MISSES = "compiled_rules.misses"
 DFA_BUILDS = "dfa.builds"
 PATH_ENUMERATIONS = "paths.enumerations"
+DISK_HITS = "disk_cache.hits"
+DISK_MISSES = "disk_cache.misses"
+DISK_WRITES = "disk_cache.writes"
+DISK_EVICTIONS = "disk_cache.evictions"
 PATHS_CANDIDATES = "paths.candidates"
 PATHS_KEPT = "paths.kept"
 PATHS_FILTERED = "paths.filtered"

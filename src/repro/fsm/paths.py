@@ -17,66 +17,87 @@ from __future__ import annotations
 from ..crysl import ast
 from .build import rule_dfa
 
-#: Safety valve against pathological ORDER expressions: alternation
-#: inside nested optionals multiplies path counts.
+#: Default safety valve against pathological ORDER expressions:
+#: alternation inside nested optionals multiplies path counts.
+#: Override per call via ``enumerate_paths(..., max_paths=N)`` — the
+#: generator threads ``GenerationContext(max_paths=...)`` through here.
 MAX_PATHS = 4096
 
 
 class PathExplosionError(Exception):
-    """An ORDER expression expands to more than :data:`MAX_PATHS` paths."""
+    """An ORDER expression expands past the ``max_paths`` bound."""
 
 
-def _expand(node: ast.OrderExpr, rule: ast.Rule) -> list[tuple[str, ...]]:
+def _expand(
+    node: ast.OrderExpr, rule: ast.Rule, limit: int
+) -> list[tuple[str, ...]]:
     if isinstance(node, ast.LabelRef):
         return [(label,) for label in rule.expand_label(node.label)]
     if isinstance(node, ast.Seq):
         paths: list[tuple[str, ...]] = [()]
         for part in node.parts:
-            part_paths = _expand(part, rule)
+            part_paths = _expand(part, rule, limit)
             paths = [p + q for p in paths for q in part_paths]
-            if len(paths) > MAX_PATHS:
+            if len(paths) > limit:
                 raise PathExplosionError(
-                    f"{rule.class_name}: ORDER expands past {MAX_PATHS} paths"
+                    f"{rule.class_name}: ORDER expands past {limit} paths"
                 )
         return paths
     if isinstance(node, ast.Alt):
         paths = []
         for option in node.options:
-            paths.extend(_expand(option, rule))
+            paths.extend(_expand(option, rule, limit))
         return paths
     if isinstance(node, (ast.Opt, ast.Star)):
-        return [()] + _expand(node.inner, rule)
+        return [()] + _expand(node.inner, rule, limit)
     if isinstance(node, ast.Plus):
-        return _expand(node.inner, rule)
+        return _expand(node.inner, rule, limit)
     raise TypeError(f"unknown ORDER node: {type(node).__name__}")
 
 
-def enumerate_paths(rule: ast.Rule, dfa=None) -> list[tuple[ast.Event, ...]]:
+def enumerate_paths(
+    rule: ast.Rule,
+    dfa=None,
+    max_paths: int | None = None,
+    validated: set[tuple[str, ...]] | None = None,
+) -> list[tuple[ast.Event, ...]]:
     """All repetition-free accepting call paths of ``rule``, as events.
 
     Paths are deduplicated preserving first-seen order, which mirrors
-    the deterministic traversal the generator relies on. Each label
-    sequence is checked against the rule's DFA; pass a prebuilt ``dfa``
-    (e.g. from :class:`~repro.crysl.compiled.CompiledRule`) to avoid
-    re-deriving it here.
+    the deterministic traversal the generator relies on. Deduplication
+    happens *before* the DFA-acceptance consistency check, so
+    alternation-heavy ORDER expressions (which expand to many duplicate
+    label sequences) pay one ``dfa.accepts`` per unique path, not per
+    expansion.
+
+    Pass a prebuilt ``dfa`` (e.g. from
+    :class:`~repro.crysl.compiled.CompiledRule`) to avoid re-deriving
+    it here; with it, an optional ``validated`` set records which label
+    sequences have already passed the acceptance check for *that* DFA,
+    so repeated enumerations skip the redundant re-validation entirely
+    (the set is updated in place). ``max_paths`` overrides the module
+    default :data:`MAX_PATHS`.
     """
     if rule.order is None:
         # No ORDER: any single event is a valid (degenerate) path.
         return [(event,) for event in rule.events]
-    label_paths = _expand(rule.order, rule)
+    limit = MAX_PATHS if max_paths is None else max_paths
+    # dict.fromkeys: first-seen order, duplicates dropped before any
+    # per-path validation work below.
+    label_paths = list(dict.fromkeys(_expand(rule.order, rule, limit)))
     if dfa is None:
         dfa = rule_dfa(rule)
-    seen: set[tuple[str, ...]] = set()
+        validated = None  # a fresh DFA invalidates any caller-side memo
     result: list[tuple[ast.Event, ...]] = []
     for labels in label_paths:
-        if labels in seen:
-            continue
-        seen.add(labels)
-        if not dfa.accepts(labels):
-            raise AssertionError(
-                f"{rule.class_name}: enumerated path {labels} not accepted by "
-                "the rule's own DFA — expansion and construction disagree"
-            )
+        if validated is None or labels not in validated:
+            if not dfa.accepts(labels):
+                raise AssertionError(
+                    f"{rule.class_name}: enumerated path {labels} not accepted "
+                    "by the rule's own DFA — expansion and construction disagree"
+                )
+            if validated is not None:
+                validated.add(labels)
         events = []
         for label in labels:
             event = rule.event_labelled(label)

@@ -119,6 +119,49 @@ def test_enumerate_paths_accepts_prebuilt_dfa():
     assert labels(enumerate_paths(rule, dfa=dfa)) == labels(enumerate_paths(rule))
 
 
+def test_max_paths_override_tightens_the_bound():
+    """A per-call bound below the expansion count trips the guard even
+    though the module default would allow it (GenerationContext threads
+    this through CompiledRule)."""
+    rule = _rule("(a | b), (a | c)")  # 4 paths
+    assert len(enumerate_paths(rule)) == 4
+    assert len(enumerate_paths(rule, max_paths=4)) == 4
+    with pytest.raises(PathExplosionError) as excinfo:
+        enumerate_paths(rule, max_paths=3)
+    assert "3" in str(excinfo.value)
+
+
+def test_validated_set_skips_revalidation_for_a_cached_dfa():
+    """Paths recorded in ``validated`` bypass ``dfa.accepts`` entirely
+    on later enumerations against the same DFA."""
+    rule = _rule("a, (b | c)")
+    real = rule_dfa(rule)
+    calls = []
+
+    class CountingDFA:
+        def accepts(self, path):
+            calls.append(tuple(path))
+            return real.accepts(path)
+
+    dfa = CountingDFA()
+    validated: set[tuple[str, ...]] = set()
+    first = enumerate_paths(rule, dfa=dfa, validated=validated)
+    assert len(calls) == 2 and validated == {("a", "b"), ("a", "c")}
+    second = enumerate_paths(rule, dfa=dfa, validated=validated)
+    assert len(calls) == 2  # no further accepts() calls
+    assert labels(first) == labels(second)
+
+
+def test_fresh_dfa_ignores_a_stale_validated_set():
+    """Without a caller-supplied DFA the memo must not apply: the set
+    describes acceptance by *some other* automaton."""
+    rule = _rule("a, b")
+    poisoned = {("never", "checked")}
+    assert labels(enumerate_paths(rule, validated=poisoned)) == [("a", "b")]
+    # the stale memo is left untouched, not extended
+    assert poisoned == {("never", "checked")}
+
+
 def test_diagnostics_record_path_counts_under_the_cap():
     """Rules under MAX_PATHS have their enumerated path counts recorded
     in the run diagnostics (one entry per rule, last count wins)."""

@@ -8,6 +8,14 @@ from repro.cli import main
 from repro.usecases import use_case
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_cache(tmp_path_factory, monkeypatch):
+    """Keep the CLI's default persistent cache out of the real home."""
+    monkeypatch.setenv(
+        "REPRO_CACHE_DIR", str(tmp_path_factory.mktemp("cli-cache"))
+    )
+
+
 def test_list_use_cases(capsys):
     assert main(["list-use-cases"]) == 0
     out = capsys.readouterr().out
@@ -68,6 +76,94 @@ def test_generate_keeps_going_after_bad_template(tmp_path, capsys):
     captured = capsys.readouterr()
     assert "error" in captured.err
     assert (tmp_path / "string_hashing_generated.py").exists()
+
+
+def test_generate_no_cache(tmp_path, capsys):
+    template = use_case(11).template_path()
+    assert (
+        main(["generate", str(template), "-o", str(tmp_path), "--no-cache"])
+        == 0
+    )
+    assert (tmp_path / "string_hashing_generated.py").exists()
+
+
+def test_generate_cache_dir_persists_artefacts(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    template = use_case(11).template_path()
+    args = [
+        "generate", str(template),
+        "-o", str(tmp_path), "--cache-dir", str(cache_dir),
+    ]
+    assert main(args) == 0
+    entries = list(cache_dir.glob("*.artefacts.pkl"))
+    assert entries, "no artefacts were persisted"
+    # Second (fresh-process equivalent) run: stats report disk hits and
+    # zero DFA builds — everything loads from the store.
+    assert main(args + ["--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "disk_cache.hits" in out
+
+
+def test_generate_unusable_cache_dir_is_a_clean_error(tmp_path, capsys):
+    blocker = tmp_path / "blocker"
+    blocker.write_text("a file, not a directory")
+    template = use_case(11).template_path()
+    assert (
+        main(
+            [
+                "generate", str(template),
+                "-o", str(tmp_path), "--cache-dir", str(blocker / "cache"),
+            ]
+        )
+        == 1
+    )
+    err = capsys.readouterr().err
+    assert "error: --cache-dir" in err
+    assert "Traceback" not in err
+
+
+def test_generate_jobs_parallel(tmp_path, capsys):
+    first = use_case(11).template_path()
+    second = use_case(1).template_path()
+    assert (
+        main(
+            [
+                "generate", str(first), str(second),
+                "-o", str(tmp_path), "--jobs", "2", "--no-cache",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert out.count("generated ") == 2
+    assert (tmp_path / "string_hashing_generated.py").exists()
+
+
+def test_generate_jobs_keeps_going_after_bad_template(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("class Empty:\n    pass\n")
+    good = use_case(11).template_path()
+    assert (
+        main(
+            [
+                "generate", str(bad), str(good),
+                "-o", str(tmp_path), "--jobs", "2", "--no-cache",
+            ]
+        )
+        == 1
+    )
+    captured = capsys.readouterr()
+    assert "error" in captured.err
+    assert (tmp_path / "string_hashing_generated.py").exists()
+
+
+def test_generate_bad_jobs_value(tmp_path, capsys):
+    template = use_case(11).template_path()
+    assert (
+        main(["generate", str(template), "-o", str(tmp_path), "--jobs", "0"])
+        == 1
+    )
+    assert "error" in capsys.readouterr().err
 
 
 def test_use_case_command(tmp_path, capsys):
