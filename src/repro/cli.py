@@ -3,11 +3,17 @@
 Subcommands::
 
     cognicrypt-gen generate TEMPLATE -o OUTDIR   # run the generator
-    cognicrypt-gen analyze FILE [FILE ...]       # run the SAST checker
+    cognicrypt-gen analyze PATH [PATH ...]       # whole-project SAST checker
     cognicrypt-gen list-use-cases                # Table 1 inventory
     cognicrypt-gen use-case N -o OUTDIR          # generate use case N
     cognicrypt-gen check-rules [DIR]             # parse + check a rule set
+    cognicrypt-gen lint-rules [DIR]              # cross-rule consistency lint
     cognicrypt-gen eval {table1,table2,rq5,all}  # regenerate the paper's tables
+
+``analyze`` accepts files and directories (recursing into ``*.py``) and
+analyzes them as one project, interprocedurally. Exit codes: 0 = no
+findings, 2 = findings reported, 1 = usage or analysis error.
+``lint-rules`` exits 3 when warnings are present.
 """
 
 from __future__ import annotations
@@ -27,7 +33,6 @@ from .codegen import (
     resolve_jobs,
 )
 from .crysl import CrySLError, RuleSet, bundled_ruleset
-from .sast import CrySLAnalyzer
 from .usecases import USE_CASES, generate_use_case, use_case
 
 #: Environment override for the default persistent-cache location.
@@ -110,7 +115,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     # every template on the command line; rules compile once (or load
     # from the persistent cache, see repro.cache).
     jobs = resolve_jobs(args.jobs)
-    generator = CrySLBasedCodeGenerator(context=_build_context(args))
+    generator = CrySLBasedCodeGenerator(
+        context=_build_context(args), verify=args.verify
+    )
     project = TargetProject(args.output)
     exit_code = 0
     if jobs > 1:
@@ -140,23 +147,41 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return exit_code
 
 
-def _cmd_analyze(args: argparse.Namespace) -> int:
-    analyzer = CrySLAnalyzer(_ruleset(args))
-    exit_code = 0
-    json_report: dict[str, dict] = {}
-    for file in args.files:
-        result = analyzer.analyze_file(file)
-        if args.json:
-            json_report[str(file)] = result.to_dict()
+def _expand_analyze_paths(entries: list[str]) -> list[Path]:
+    paths: list[Path] = []
+    for entry in entries:
+        path = Path(entry)
+        if path.is_dir():
+            paths.extend(sorted(p for p in path.rglob("*.py") if p.is_file()))
         else:
-            print(f"{file}: {result.render()}")
-        if not result.is_secure:
-            exit_code = 2
-    if args.json:
+            paths.append(path)
+    return paths
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .sast import ProjectAnalyzer, to_sarif
+
+    if args.json and args.sarif:
+        raise _CLIError("--json and --sarif are mutually exclusive")
+    paths = _expand_analyze_paths(args.paths)
+    if not paths:
+        raise _CLIError("no Python files to analyze")
+    analyzer = ProjectAnalyzer(_ruleset(args))
+    result = analyzer.analyze_paths(paths, jobs=resolve_jobs(args.jobs))
+    if args.sarif:
         import json
 
-        print(json.dumps(json_report, indent=2))
-    return exit_code
+        print(json.dumps(to_sarif(result), indent=2))
+    elif args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.render())
+    if args.stats:
+        # Stats go to stderr so --json / --sarif stdout stays parseable.
+        print(analyzer.diagnostics.render(), file=sys.stderr)
+    return 0 if result.is_secure else 2
 
 
 def _cmd_list_use_cases(_: argparse.Namespace) -> int:
@@ -195,7 +220,7 @@ def _cmd_check_rules(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint_rules(args: argparse.Namespace) -> int:
-    from .crysl.lint import lint_ruleset, render_findings
+    from .crysl.lint import findings_to_dict, lint_ruleset, render_findings
 
     try:
         ruleset = (
@@ -207,8 +232,13 @@ def _cmd_lint_rules(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     findings = lint_ruleset(ruleset)
-    print(render_findings(findings))
-    return 0
+    if args.json:
+        import json
+
+        print(json.dumps(findings_to_dict(findings), indent=2))
+    else:
+        print(render_findings(findings))
+    return 3 if findings else 0
 
 
 def _cmd_eval(args: argparse.Namespace) -> int:
@@ -276,13 +306,49 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the persistent compiled-rule cache",
     )
+    generate.add_argument(
+        "--verify",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="re-analyze every generated module with the whole-project "
+        "analyzer and fail (exit 1) on any finding",
+    )
     generate.set_defaults(handler=_cmd_generate)
 
-    analyze = sub.add_parser("analyze", help="analyze code for crypto misuses")
-    analyze.add_argument("files", nargs="+", help="Python files")
+    analyze = sub.add_parser(
+        "analyze",
+        help="analyze code for crypto misuses (whole-project)",
+        description="Analyze Python files and directories as one project: "
+        "modules are lifted together, a call graph links wrapper methods "
+        "and helpers, and CrySL misuses are reported interprocedurally.",
+        epilog="exit codes: 0 = no findings; 2 = findings reported; "
+        "1 = usage or analysis error",
+    )
+    analyze.add_argument(
+        "paths", nargs="+", metavar="path",
+        help="Python files and/or directories (directories recurse into *.py)",
+    )
     analyze.add_argument("--rules", help="directory of .crysl rules")
     analyze.add_argument(
         "--json", action="store_true", help="machine-readable findings"
+    )
+    analyze.add_argument(
+        "--sarif",
+        action="store_true",
+        help="emit a SARIF 2.1.0 report on stdout (GitHub code scanning)",
+    )
+    analyze.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for project analysis "
+        "(default: $REPRO_JOBS, else 1)",
+    )
+    analyze.add_argument(
+        "--stats",
+        action="store_true",
+        help="print analysis.* counters to stderr",
     )
     analyze.set_defaults(handler=_cmd_analyze)
 
@@ -299,9 +365,15 @@ def build_parser() -> argparse.ArgumentParser:
     rules.set_defaults(handler=_cmd_check_rules)
 
     lint = sub.add_parser(
-        "lint-rules", help="cross-rule consistency warnings for a rule set"
+        "lint-rules",
+        help="cross-rule consistency warnings for a rule set",
+        epilog="exit codes: 0 = consistent; 3 = warnings present; "
+        "1 = rule set failed to parse",
     )
     lint.add_argument("directory", nargs="?", help="directory of .crysl files")
+    lint.add_argument(
+        "--json", action="store_true", help="machine-readable warnings"
+    )
     lint.set_defaults(handler=_cmd_lint_rules)
 
     evaluate = sub.add_parser("eval", help="regenerate the paper's tables")

@@ -10,7 +10,12 @@ from .context import GenerationContext
 from .emitter import ChainEmitter, EmittedChain, PushedParameter
 from .explain import explain_chain, explain_module
 from .fluent import ConsideredRule, CrySLCodeGenerator, GenerationRequest
-from .generator import ChainReport, CrySLBasedCodeGenerator, GeneratedModule
+from .generator import (
+    ChainReport,
+    CrySLBasedCodeGenerator,
+    GeneratedModule,
+    VerificationError,
+)
 from .naming import NameAllocator
 from .parallel import BatchGenerationError, TemplateFailure, resolve_jobs
 from .project import TargetProject
@@ -45,6 +50,7 @@ __all__ = [
     "TargetProject",
     "TemplateError",
     "TemplateFailure",
+    "VerificationError",
     "resolve_jobs",
     "TemplateModel",
     "parse_template_file",

@@ -128,6 +128,7 @@ def _init_worker(
     rules_payload: "tuple[tuple[Rule, str | None], ...]",
     cache_dir: str | None,
     max_paths: int | None,
+    verify: bool = False,
 ) -> None:
     """Build this worker's warm generator (runs once per process).
 
@@ -150,7 +151,7 @@ def _init_worker(
         for rule in ruleset:
             ruleset.compiled(rule, max_paths=max_paths)
     context = GenerationContext(ruleset=ruleset, max_paths=max_paths)
-    _WORKER["generator"] = CrySLBasedCodeGenerator(context=context)
+    _WORKER["generator"] = CrySLBasedCodeGenerator(context=context, verify=verify)
     _WORKER["init_stats"] = ruleset.compile_stats.snapshot()
     _WORKER["init_reported"] = False
 
@@ -218,7 +219,7 @@ def run_parallel(
     with ProcessPoolExecutor(
         max_workers=min(jobs, len(specs)),
         initializer=_init_worker,
-        initargs=(rules_payload, cache_dir, context.max_paths),
+        initargs=(rules_payload, cache_dir, context.max_paths, generator.verify),
     ) as pool:
         futures = [
             pool.submit(_run_task, index, kind, payload, name)

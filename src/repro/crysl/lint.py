@@ -181,3 +181,15 @@ def render_findings(findings: list[LintFinding]) -> str:
     lines = [f"{len(findings)} warning(s):"]
     lines.extend(f"  {finding}" for finding in findings)
     return "\n".join(lines)
+
+
+def findings_to_dict(findings: list[LintFinding]) -> dict:
+    """A JSON-serialisable report, matching ``analyze --json`` conventions."""
+    return {
+        "consistent": not findings,
+        "warnings": [
+            {"kind": finding.kind.value, "rule": finding.rule,
+             "message": finding.message}
+            for finding in findings
+        ],
+    }

@@ -21,8 +21,9 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
-#: Canonical stage names, in pipeline order (the paper's Figure 6).
-STAGES = ("collect", "link", "select", "resolve", "emit")
+#: Canonical stage names, in pipeline order (the paper's Figure 6,
+#: plus the post-emit generate→verify gate).
+STAGES = ("collect", "link", "select", "resolve", "emit", "verify")
 
 # Counter keys. Kept as module constants so producers and consumers
 # (selector, context, tests, the CLI) agree on spelling.
@@ -40,6 +41,14 @@ PATHS_FILTERED = "paths.filtered"
 COMBOS_EVALUATED = "combos.evaluated"
 CHAINS = "chains"
 STATEMENTS_EMITTED = "statements.emitted"
+
+#: Whole-project analysis counters (repro.sast.project).
+ANALYSIS_MODULES = "analysis.modules"
+ANALYSIS_FUNCTIONS = "analysis.functions"
+ANALYSIS_CALL_EDGES = "analysis.call_edges"
+ANALYSIS_SUMMARIES = "analysis.summaries"
+ANALYSIS_OBJECTS = "analysis.objects"
+ANALYSIS_FINDINGS = "analysis.findings"
 
 #: The parameter-resolution cascade of §3.3, tiers a–d.
 TIER_TEMPLATE = "params.tier_a_template"

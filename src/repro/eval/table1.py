@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from statistics import mean
 
 from ..codegen import CrySLBasedCodeGenerator, GenerationContext
-from ..sast import CrySLAnalyzer
+from ..sast import CrySLAnalyzer, ProjectAnalyzer
 from ..usecases import USE_CASES, UseCase
 from .report import render_table
 
@@ -49,11 +49,16 @@ def measure_use_case(
     use_case: UseCase,
     runs: int = 10,
     generator: CrySLBasedCodeGenerator | None = None,
-    analyzer: CrySLAnalyzer | None = None,
+    analyzer: "CrySLAnalyzer | ProjectAnalyzer | None" = None,
 ) -> Table1Row:
-    """Generate + validate one use case and measure time and memory."""
+    """Generate + validate one use case and measure time and memory.
+
+    ``analyzer`` may be the single-module :class:`CrySLAnalyzer` or the
+    interprocedural :class:`ProjectAnalyzer`; the latter is the default
+    and matches what ``generate --verify`` gates on.
+    """
     generator = generator or CrySLBasedCodeGenerator()
-    analyzer = analyzer or CrySLAnalyzer()
+    analyzer = analyzer or ProjectAnalyzer()
 
     module = generator.generate_from_file(use_case.template_path())
     compiles = True
@@ -61,7 +66,12 @@ def measure_use_case(
         module.compile_check()
     except SyntaxError:
         compiles = False
-    sast_clean = analyzer.analyze_source(module.source, use_case.slug).is_secure
+    key = f"{use_case.slug}.py"
+    if hasattr(analyzer, "analyze_sources"):
+        result = analyzer.analyze_sources({key: module.source})
+    else:
+        result = analyzer.analyze_source(module.source, key)
+    sast_clean = result.is_secure
 
     timings = []
     for _ in range(runs):
@@ -111,7 +121,7 @@ def run_table1(
         else:
             context = GenerationContext()
     generator = CrySLBasedCodeGenerator(context=context)
-    analyzer = CrySLAnalyzer(context.ruleset, context.registry)
+    analyzer = ProjectAnalyzer(context.ruleset, context.registry)
     return [
         measure_use_case(use_case, runs, generator, analyzer)
         for use_case in USE_CASES

@@ -4,20 +4,36 @@ The reproduction's stand-in for CogniCrypt_SAST: it checks Python code
 against the same CrySL rules the generator consumes, reporting
 typestate violations, incomplete operations, constraint violations,
 forbidden methods and unsatisfied required predicates.
+
+:class:`CrySLAnalyzer` is the per-module (intraprocedural) checker;
+:class:`ProjectAnalyzer` analyzes whole directories interprocedurally
+via a call graph and per-function summaries, and :func:`to_sarif`
+exports any result as SARIF 2.1.0.
 """
 
 from .analysis import CrySLAnalyzer
-from .ir import ArgFact, CallRecord, FunctionIR, ObjectTrace, lift_module
+from .callgraph import CallGraph, FunctionRef
+from .ir import ArgFact, CallRecord, FunctionIR, HelperCall, ObjectTrace, lift_module
+from .project import ProjectAnalysisResult, ProjectAnalyzer
 from .report import AnalysisResult, Finding, FindingKind
+from .sarif import to_sarif
+from .summaries import FunctionSummary
 
 __all__ = [
     "AnalysisResult",
     "ArgFact",
+    "CallGraph",
     "CallRecord",
     "CrySLAnalyzer",
     "Finding",
     "FindingKind",
     "FunctionIR",
+    "FunctionRef",
+    "FunctionSummary",
+    "HelperCall",
     "ObjectTrace",
+    "ProjectAnalysisResult",
+    "ProjectAnalyzer",
     "lift_module",
+    "to_sarif",
 ]

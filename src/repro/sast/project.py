@@ -1,0 +1,344 @@
+"""Whole-project, interprocedural analysis.
+
+:class:`ProjectAnalyzer` lifts every module of a directory (or any
+mapping of module keys to source text), resolves a call graph over
+functions and wrapper-class methods — including classes instantiated in
+a *different* module than the one defining them, the exact shape the
+generator emits — and analyzes functions callees-first so each call
+site can replay its callee's :class:`~repro.sast.summaries.
+FunctionSummary` instead of waiving the call.
+
+Parallel analysis (``jobs=N``) partitions the project into connected
+components of the module-dependency graph (modules that define or
+reference a shared top-level name always land in the same component),
+so every worker sees exactly the resolution candidates the serial
+analysis would — findings are byte-identical to the serial path and
+land in deterministic order. Workers warm-start the same way the batch
+generator's do: the frozen rule set is rebuilt once per process and the
+compiled-rule disk cache (:mod:`repro.cache`) is attached, so a primed
+cache means zero DFA builds anywhere.
+"""
+
+from __future__ import annotations
+
+import ast as pyast
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from ..diagnostics import (
+    ANALYSIS_CALL_EDGES,
+    ANALYSIS_FINDINGS,
+    ANALYSIS_FUNCTIONS,
+    ANALYSIS_MODULES,
+    ANALYSIS_OBJECTS,
+    ANALYSIS_SUMMARIES,
+    Diagnostics,
+)
+from .analysis import CrySLAnalyzer, SummaryProvider
+from .callgraph import CallGraph, FunctionRef, ref_of
+from .ir import FunctionIR, HelperCall, lift_module
+from .report import AnalysisResult
+from .summaries import FunctionSummary
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..constraints.types import TypeRegistry
+    from ..crysl.ast import Rule
+    from ..crysl.ruleset import RuleSet
+
+
+@dataclass
+class ProjectAnalysisResult:
+    """Per-module results of one whole-project analysis, in input order."""
+
+    modules: dict[str, AnalysisResult] = field(default_factory=dict)
+
+    @property
+    def is_secure(self) -> bool:
+        return all(result.is_secure for result in self.modules.values())
+
+    @property
+    def findings(self) -> list:
+        return [f for result in self.modules.values() for f in result.findings]
+
+    @property
+    def tracked_objects(self) -> int:
+        return sum(result.tracked_objects for result in self.modules.values())
+
+    def render(self) -> str:
+        lines = []
+        for key, result in self.modules.items():
+            lines.append(f"{key}: {result.render()}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """``{module key: per-module report}`` — the ``analyze --json`` shape."""
+        return {key: result.to_dict() for key, result in self.modules.items()}
+
+
+class _GraphSummaries(SummaryProvider):
+    """Serves summaries of already-analyzed callees during the
+    callees-first sweep; calls into an unfinished cycle find nothing
+    and stay opaque."""
+
+    def __init__(
+        self, graph: CallGraph, summaries: dict[FunctionRef, FunctionSummary]
+    ):
+        self._graph = graph
+        self._summaries = summaries
+
+    def summary_for(
+        self, ir: FunctionIR, call: HelperCall
+    ) -> FunctionSummary | None:
+        ref = self._graph.resolve(ir, call)
+        if ref is None:
+            return None
+        return self._summaries.get(ref)
+
+
+class ProjectAnalyzer:
+    """Interprocedural analysis over every module of a project."""
+
+    def __init__(
+        self,
+        ruleset: "RuleSet | None" = None,
+        registry: "TypeRegistry | None" = None,
+        *,
+        analyzer: CrySLAnalyzer | None = None,
+    ):
+        self._analyzer = analyzer or CrySLAnalyzer(ruleset, registry)
+        #: cumulative ``analysis.*`` counters over every run
+        self.diagnostics = Diagnostics()
+
+    @property
+    def analyzer(self) -> CrySLAnalyzer:
+        return self._analyzer
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+
+    def analyze_sources(
+        self, sources: Mapping[str, str], jobs: int = 1
+    ) -> ProjectAnalysisResult:
+        """Analyze a ``{module key: source text}`` mapping as one project."""
+        if jobs > 1 and len(sources) > 1:
+            return self._analyze_parallel(dict(sources), jobs)
+        result, run_diag = self._analyze_serial(dict(sources))
+        self.diagnostics.merge(run_diag)
+        return result
+
+    def analyze_paths(
+        self, paths: Iterable[str | Path], jobs: int = 1
+    ) -> ProjectAnalysisResult:
+        """Analyze a set of files as one project (keys = file paths)."""
+        sources = {
+            str(path): Path(path).read_text(encoding="utf-8") for path in paths
+        }
+        return self.analyze_sources(sources, jobs=jobs)
+
+    def analyze_directory(
+        self, directory: str | Path, jobs: int = 1
+    ) -> ProjectAnalysisResult:
+        """Analyze every ``*.py`` file under a directory, recursively."""
+        root = Path(directory)
+        paths = sorted(p for p in root.rglob("*.py") if p.is_file())
+        return self.analyze_paths(paths, jobs=jobs)
+
+    # ------------------------------------------------------------------
+    # the serial core
+    # ------------------------------------------------------------------
+
+    def _analyze_serial(
+        self, sources: dict[str, str]
+    ) -> tuple[ProjectAnalysisResult, Diagnostics]:
+        analyzer = self._analyzer
+        diag = Diagnostics()
+        parsed = {
+            key: pyast.parse(text, filename=key) for key, text in sources.items()
+        }
+        project_classes = frozenset(
+            node.name
+            for module in parsed.values()
+            for node in module.body
+            if isinstance(node, pyast.ClassDef)
+        )
+        functions: list[FunctionIR] = []
+        for key, module in parsed.items():
+            functions.extend(
+                lift_module(
+                    module,
+                    analyzer.tracked_classes,
+                    analyzer.result_classes,
+                    project_classes=project_classes,
+                    module_name=key,
+                    file=key,
+                )
+            )
+        graph = CallGraph.build(functions)
+        summaries: dict[FunctionRef, FunctionSummary] = {}
+        provider = _GraphSummaries(graph, summaries)
+        results = {key: AnalysisResult() for key in sources}
+        for ref in graph.order():
+            ir = graph.functions[ref]
+            summary = analyzer.analyze_ir(
+                ir,
+                results[ir.module],
+                interproc=provider,
+                defer_returns=graph.has_callers(ref),
+                collect_summary=True,
+            )
+            if summary is not None:
+                summaries[ref] = summary
+        for result in results.values():
+            result.findings.sort(
+                key=lambda f: (f.line, f.column, f.kind.value, f.variable, f.message)
+            )
+        diag.count(ANALYSIS_MODULES, len(sources))
+        diag.count(ANALYSIS_FUNCTIONS, len(functions))
+        diag.count(
+            ANALYSIS_CALL_EDGES, sum(len(edges) for edges in graph.edges.values())
+        )
+        diag.count(ANALYSIS_SUMMARIES, len(summaries))
+        diag.count(
+            ANALYSIS_OBJECTS, sum(r.tracked_objects for r in results.values())
+        )
+        diag.count(
+            ANALYSIS_FINDINGS, sum(len(r.findings) for r in results.values())
+        )
+        return ProjectAnalysisResult(modules=results), diag
+
+    # ------------------------------------------------------------------
+    # the parallel driver
+    # ------------------------------------------------------------------
+
+    def _analyze_parallel(
+        self, sources: dict[str, str], jobs: int
+    ) -> ProjectAnalysisResult:
+        components = _components(sources)
+        if len(components) <= 1:
+            result, run_diag = self._analyze_serial(sources)
+            self.diagnostics.merge(run_diag)
+            return result
+        ruleset = self._analyzer.ruleset
+        rules_payload = tuple(
+            (rule, ruleset.rule_source(rule.class_name)) for rule in ruleset
+        )
+        cache = ruleset.disk_cache
+        cache_dir = str(cache.directory) if cache is not None else None
+        partial: list[dict[str, AnalysisResult] | None] = [None] * len(components)
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(components)),
+            initializer=_project_init_worker,
+            initargs=(rules_payload, cache_dir),
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _project_run_component, index, tuple(component.items())
+                )
+                for index, component in enumerate(components)
+            ]
+            for future in futures:
+                index, items, counters = future.result()
+                partial[index] = dict(items)
+                for key, amount in counters.items():
+                    self.diagnostics.count(key, amount)
+        # Reassemble in the original module order regardless of which
+        # component (or worker) produced each result.
+        merged: dict[str, AnalysisResult] = {}
+        for key in sources:
+            for component_results in partial:
+                if component_results and key in component_results:
+                    merged[key] = component_results[key]
+                    break
+        return ProjectAnalysisResult(modules=merged)
+
+
+# ---------------------------------------------------------------------------
+# module partitioning (shared by serial determinism tests and the driver)
+# ---------------------------------------------------------------------------
+
+
+def _components(sources: dict[str, str]) -> list[dict[str, str]]:
+    """Connected components of the module-dependency over-approximation.
+
+    Modules are joined when one references a top-level name the other
+    defines — or when both define the *same* name, so per-component
+    call-graph resolution sees exactly the candidate sets (including
+    ambiguities) the whole-project graph would.
+    """
+    keys = list(sources)
+    defined: dict[str, set[str]] = {}
+    referenced: dict[str, set[str]] = {}
+    for key, text in sources.items():
+        module = pyast.parse(text, filename=key)
+        defined[key] = {
+            node.name
+            for node in module.body
+            if isinstance(node, (pyast.ClassDef, pyast.FunctionDef))
+        }
+        referenced[key] = {
+            node.id for node in pyast.walk(module) if isinstance(node, pyast.Name)
+        }
+    parent = {key: key for key in keys}
+
+    def find(key: str) -> str:
+        while parent[key] != key:
+            parent[key] = parent[parent[key]]
+            key = parent[key]
+        return key
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    for i, a in enumerate(keys):
+        for b in keys[i + 1 :]:
+            if (
+                defined[a] & referenced[b]
+                or defined[b] & referenced[a]
+                or defined[a] & defined[b]
+            ):
+                union(a, b)
+    groups: dict[str, dict[str, str]] = {}
+    for key in keys:  # insertion order keeps components deterministic
+        groups.setdefault(find(key), {})[key] = sources[key]
+    return list(groups.values())
+
+
+# ---------------------------------------------------------------------------
+# worker-side machinery (module-level so the pool can pickle references)
+# ---------------------------------------------------------------------------
+
+_PROJECT_WORKER: dict = {}
+
+
+def _project_init_worker(
+    rules_payload: "tuple[tuple[Rule, str | None], ...]",
+    cache_dir: str | None,
+) -> None:
+    """Build this worker's warm analyzer (runs once per process)."""
+    from ..crysl.ruleset import RuleSet
+
+    ruleset = RuleSet()
+    for rule, source in rules_payload:
+        ruleset.add(rule, source=source)
+    ruleset.freeze()
+    if cache_dir is not None:
+        from ..cache import DiskRuleCache
+
+        ruleset.attach_disk_cache(DiskRuleCache(cache_dir))
+    # CrySLAnalyzer construction compiles every rule once — straight
+    # from the disk store when it is primed (zero DFA builds).
+    _PROJECT_WORKER["analyzer"] = ProjectAnalyzer(ruleset)
+
+
+def _project_run_component(
+    index: int, items: tuple[tuple[str, str], ...]
+) -> tuple[int, list[tuple[str, AnalysisResult]], dict[str, int]]:
+    """Analyze one module component in this worker."""
+    analyzer: ProjectAnalyzer = _PROJECT_WORKER["analyzer"]
+    result, run_diag = analyzer._analyze_serial(dict(items))
+    return index, list(result.modules.items()), dict(run_diag.counters)

@@ -29,10 +29,21 @@ class Finding:
     variable: str
     rule: str
     function: str = "<module>"
+    #: source file (or module key) the finding belongs to
+    file: str = "<module>"
+    #: 1-based column of the offending expression (0 = unknown)
+    column: int = 0
+    #: last source line of the offending expression
+    end_line: int | None = None
 
     def __str__(self) -> str:
+        where = f"line {self.line}"
+        if self.column:
+            where += f":{self.column}"
+        if self.file != "<module>":
+            where = f"{self.file}, {where}"
         return (
-            f"line {self.line}, {self.function}: [{self.kind.value}] "
+            f"{where}, {self.function}: [{self.kind.value}] "
             f"{self.variable} ({self.rule}): {self.message}"
         )
 
@@ -69,9 +80,12 @@ class AnalysisResult:
                     "kind": finding.kind.value,
                     "message": finding.message,
                     "line": finding.line,
+                    "column": finding.column,
+                    "end_line": finding.end_line,
                     "variable": finding.variable,
                     "rule": finding.rule,
                     "function": finding.function,
+                    "file": finding.file,
                 }
                 for finding in self.findings
             ],

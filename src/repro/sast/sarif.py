@@ -1,0 +1,125 @@
+"""SARIF 2.1.0 export for analysis results.
+
+Serialises a :class:`~repro.sast.project.ProjectAnalysisResult` (or any
+``{module key: AnalysisResult}`` mapping) into the Static Analysis
+Results Interchange Format so ``cognicrypt-gen analyze --sarif`` plugs
+straight into GitHub code scanning and other SARIF consumers. One run,
+one tool (``cognicrypt-gen``), one reporting rule per
+:class:`~repro.sast.report.FindingKind`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .report import AnalysisResult, Finding, FindingKind
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "cognicrypt-gen"
+TOOL_URI = "https://github.com/CROSSINGTUD/CogniCryptGEN"
+
+#: Reporting-rule metadata, one entry per finding kind.
+_RULE_DESCRIPTIONS: dict[FindingKind, str] = {
+    FindingKind.TYPESTATE: (
+        "A method call violates the usage pattern (ORDER clause) of the "
+        "object's CrySL rule."
+    ),
+    FindingKind.INCOMPLETE_OPERATION: (
+        "An object never reaches an accepting state of its usage pattern; "
+        "required calls are missing."
+    ),
+    FindingKind.CONSTRAINT: (
+        "An argument violates a CONSTRAINTS clause of the CrySL rule."
+    ),
+    FindingKind.FORBIDDEN_METHOD: (
+        "A method listed in the rule's FORBIDDEN clause is called."
+    ),
+    FindingKind.REQUIRED_PREDICATE: (
+        "A REQUIRES predicate is not established by any other object's "
+        "ENSURES clause."
+    ),
+}
+
+
+def _rule_entries() -> list[dict]:
+    return [
+        {
+            "id": kind.value,
+            "name": kind.name.title().replace("_", ""),
+            "shortDescription": {"text": description},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for kind, description in _RULE_DESCRIPTIONS.items()
+    ]
+
+
+def _result_entry(finding: Finding) -> dict:
+    region: dict = {"startLine": max(1, finding.line)}
+    if finding.column:
+        region["startColumn"] = finding.column
+    if finding.end_line is not None:
+        region["endLine"] = max(finding.end_line, region["startLine"])
+    return {
+        "ruleId": finding.kind.value,
+        "level": "error",
+        "message": {
+            "text": (
+                f"{finding.variable} ({finding.rule}): {finding.message}"
+            )
+        },
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.file},
+                    "region": region,
+                },
+                "logicalLocations": [
+                    {"name": finding.function, "kind": "function"}
+                ],
+            }
+        ],
+    }
+
+
+def to_sarif(
+    results: "Mapping[str, AnalysisResult] | object",
+    *,
+    tool_version: str = "0.3",
+) -> dict:
+    """Build the SARIF 2.1.0 log document as a JSON-ready dict.
+
+    Accepts a ``{module key: AnalysisResult}`` mapping, a
+    ``ProjectAnalysisResult`` (anything with a ``modules`` mapping), or
+    a single ``AnalysisResult``.
+    """
+    if isinstance(results, AnalysisResult):
+        modules: Mapping[str, AnalysisResult] = {"<module>": results}
+    elif hasattr(results, "modules"):
+        modules = results.modules  # type: ignore[assignment]
+    else:
+        modules = results  # type: ignore[assignment]
+    findings = [f for result in modules.values() for f in result.findings]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "version": tool_version,
+                        "rules": _rule_entries(),
+                    }
+                },
+                "artifacts": [
+                    {"location": {"uri": key}} for key in modules
+                ],
+                "results": [_result_entry(finding) for finding in findings],
+            }
+        ],
+    }

@@ -1,0 +1,102 @@
+"""Per-function summaries for interprocedural analysis.
+
+The whole-project analyzer (:mod:`repro.sast.project`) analyzes
+functions callees-first and condenses each one into a
+:class:`FunctionSummary`: the typestate effect on rule-covered objects
+the function receives or returns, the predicates it grants/negates on
+its parameters, the predicate obligations it could not judge locally,
+and the constraint-relevant event parameters it merely forwards. A
+caller replays the summary at the call site instead of waiving the
+call — this is the CogniCrypt_SAST-style interprocedural step the
+paper's RQ1 validity check relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ParamEffect:
+    """Typestate labels the callee feeds to a rule-covered parameter."""
+
+    index: int
+    rule: str
+    labels: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ParamRequire:
+    """A REQUIRES obligation the callee waived onto its caller.
+
+    Recorded when the callee needed one of ``predicates`` on the value
+    bound to parameter ``index`` but the value's provenance was unknown
+    locally (it was a parameter). The caller checks its own argument.
+    """
+
+    index: int
+    predicates: tuple[str, ...]
+    rule: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class ForwardedBinding:
+    """An event parameter the callee binds straight from its own
+    parameter ``index`` — its constraints can only be judged by a
+    caller that knows the concrete value."""
+
+    index: int
+    rule: str
+    event_param: str
+    labels: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ReturnEffect:
+    """A rule-covered object the function returns.
+
+    ``param_source`` is set (to a parameter index) when the function
+    returns one of its own parameters; the caller then aliases the call
+    result to the argument's existing trace instead of creating a new
+    one.
+    """
+
+    rule: str
+    labels: tuple[str, ...] = ()
+    predicates: frozenset[str] = frozenset()
+    tainted: bool = False
+    param_source: int | None = None
+
+
+@dataclass
+class FunctionSummary:
+    """Everything a caller needs to model one call interprocedurally."""
+
+    module: str
+    qualname: str
+    param_names: tuple[str, ...] = ()
+    #: parameter index -> typestate effect on the object passed there
+    param_effects: dict[int, ParamEffect] = field(default_factory=dict)
+    #: parameter index -> predicates the callee grants on the argument
+    param_grants: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: parameter index -> predicates the callee withdraws, in order
+    param_negates: dict[int, tuple[str, ...]] = field(default_factory=dict)
+    #: obligations pushed up to the caller
+    requires: tuple[ParamRequire, ...] = ()
+    #: constraint facts judgeable only with the caller's values
+    forwarded: tuple[ForwardedBinding, ...] = ()
+    #: rule-covered objects this function returns
+    returns: tuple[ReturnEffect, ...] = ()
+
+    @property
+    def is_identity(self) -> bool:
+        """True when applying the summary is a no-op for every caller."""
+        return not (
+            self.param_effects
+            or self.param_grants
+            or self.param_negates
+            or self.requires
+            or self.forwarded
+            or self.returns
+        )

@@ -89,8 +89,9 @@ def test_generated_module_report_dict(cold_context):
     diagnostics = report["diagnostics"]
     assert set(diagnostics["stages"]) <= set(STAGES)
     assert diagnostics["counters"]["chains"] == len(module.reports)
-    # Every stage of the pipeline actually ran.
-    assert set(diagnostics["stages"]) == set(STAGES)
+    # Every mandatory stage of the pipeline actually ran ("verify" only
+    # runs when the generate→verify gate is enabled).
+    assert set(diagnostics["stages"]) == set(STAGES) - {"verify"}
 
 
 def test_generator_rejects_conflicting_ruleset_and_context(cold_context):

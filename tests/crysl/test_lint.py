@@ -114,5 +114,6 @@ def test_render():
 def test_cli_lint(capsys):
     from repro.cli import main
 
-    assert main(["lint-rules"]) == 0
+    # Warnings present -> the distinct "warnings" exit code 3.
+    assert main(["lint-rules"]) == 3
     assert "dead-ensures" in capsys.readouterr().out

@@ -239,3 +239,133 @@ def test_analyze_json_output(tmp_path, capsys):
     assert entry["secure"] is False
     assert entry["findings"][0]["kind"] == "constraint-violation"
     assert entry["findings"][0]["rule"] == "repro.jca.MessageDigest"
+
+
+def test_analyze_directory_recurses(tmp_path, capsys):
+    package = tmp_path / "proj" / "inner"
+    package.mkdir(parents=True)
+    (tmp_path / "proj" / "clean.py").write_text(
+        "from repro.jca import MessageDigest\n"
+        "def f():\n"
+        "    md = MessageDigest.get_instance('SHA-256')\n"
+        "    digest = md.digest(b'x')\n"
+    )
+    (package / "bad.py").write_text(
+        "from repro.jca import MessageDigest\n"
+        "def g():\n"
+        "    md = MessageDigest.get_instance('MD5')\n"
+        "    digest = md.digest(b'x')\n"
+    )
+    assert main(["analyze", str(tmp_path / "proj")]) == 2
+    out = capsys.readouterr().out
+    assert "clean.py" in out
+    assert "bad.py" in out
+
+
+def test_analyze_cross_file_project(tmp_path, capsys):
+    """Two modules, the misuse only visible interprocedurally."""
+    (tmp_path / "wrapper.py").write_text(
+        "from repro.jca import Cipher\n"
+        "class Factory:\n"
+        "    def make(self, key):\n"
+        "        c = Cipher.get_instance('AES/GCM/NoPadding')\n"
+        "        c.init(1, key)\n"
+        "        return c\n"
+    )
+    (tmp_path / "usage.py").write_text(
+        "from wrapper import Factory\n"
+        "class App:\n"
+        "    def template_usage(self, key):\n"
+        "        cipher = Factory().make(key)\n"
+    )
+    assert main(["analyze", str(tmp_path)]) == 2
+    out = capsys.readouterr().out
+    assert "incomplete-operation" in out
+    assert "make" in out
+
+
+def test_analyze_sarif_output(tmp_path, capsys):
+    import json
+
+    insecure = tmp_path / "bad.py"
+    insecure.write_text(
+        "from repro.jca import MessageDigest\n"
+        "def f():\n"
+        "    md = MessageDigest.get_instance('MD5')\n"
+        "    digest = md.digest(b'x')\n"
+    )
+    assert main(["analyze", str(insecure), "--sarif"]) == 2
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    run = log["runs"][0]
+    assert run["tool"]["driver"]["name"] == "cognicrypt-gen"
+    (result,) = [
+        r for r in run["results"] if r["ruleId"] == "constraint-violation"
+    ]
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] >= 1
+
+
+def test_analyze_sarif_and_json_conflict(tmp_path, capsys):
+    target = tmp_path / "x.py"
+    target.write_text("def f():\n    pass\n")
+    assert main(["analyze", str(target), "--sarif", "--json"]) == 1
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_analyze_empty_directory_is_an_error(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["analyze", str(empty)]) == 1
+    assert "no Python files" in capsys.readouterr().err
+
+
+def test_analyze_stats_on_stderr(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text(
+        "from repro.jca import MessageDigest\n"
+        "def f():\n"
+        "    md = MessageDigest.get_instance('SHA-256')\n"
+        "    digest = md.digest(b'x')\n"
+    )
+    assert main(["analyze", str(clean), "--stats", "--json"]) == 0
+    captured = capsys.readouterr()
+    import json
+
+    json.loads(captured.out)  # stdout stays pure JSON
+    assert "analysis.modules" in captured.err
+
+
+def test_generate_verify_gate_passes_for_use_case(tmp_path, capsys):
+    template = use_case(11).template_path()
+    assert (
+        main(
+            [
+                "generate", str(template),
+                "-o", str(tmp_path), "--verify", "--no-cache",
+            ]
+        )
+        == 0
+    )
+    assert (tmp_path / "string_hashing_generated.py").exists()
+
+
+def test_lint_rules_exit_codes(tmp_path, capsys):
+    # The bundled set intentionally grants predicates nothing consumes
+    # (external consumers), so warnings are present -> exit 3.
+    assert main(["lint-rules"]) == 3
+    assert "warning" in capsys.readouterr().out
+    # A tiny self-consistent set is clean -> exit 0.
+    (tmp_path / "T.crysl").write_text("SPEC x.T\nEVENTS\n e: m();\nORDER\n e")
+    assert main(["lint-rules", str(tmp_path)]) == 0
+    assert "consistent" in capsys.readouterr().out
+
+
+def test_lint_rules_json(capsys):
+    import json
+
+    assert main(["lint-rules", "--json"]) == 3
+    report = json.loads(capsys.readouterr().out)
+    assert report["consistent"] is False
+    assert report["warnings"]
+    assert {"kind", "rule", "message"} <= set(report["warnings"][0])
