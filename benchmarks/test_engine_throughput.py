@@ -1,0 +1,99 @@
+"""Engine service layer: resident-engine vs cold-start throughput.
+
+The point of the :class:`~repro.engine.CryptoGenEngine` refactor is
+that a daemon keeping one engine resident pays rule compilation once
+and serves every later request warm. This benchmark quantifies that:
+requests/second through one resident engine versus fresh cold-started
+engines (the old one-shot CLI shape, one private ruleset per request),
+with the speedup and per-request DFA builds recorded as extra info.
+
+Run with: ``pytest benchmarks/ --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.crysl import RuleSet
+from repro.engine import CryptoGenEngine, GenerateRequest
+from repro.usecases import use_case
+
+TEMPLATE = str(use_case(1).template_path())
+
+#: requests per measured rounds (enough to amortise the cold first one)
+REQUESTS = 10
+
+
+def test_resident_engine_requests(benchmark):
+    """Requests/sec through one resident engine (warm after request 1)."""
+    engine = CryptoGenEngine(ruleset=RuleSet.bundled())
+    # Absorb the one cold compile outside the measured region.
+    first = engine.generate(GenerateRequest(template=TEMPLATE))
+    assert first.ok
+
+    def serve_batch():
+        results = [
+            engine.generate(GenerateRequest(template=TEMPLATE))
+            for _ in range(REQUESTS)
+        ]
+        assert all(r.ok for r in results)
+        return results
+
+    results = benchmark(serve_batch)
+    # Resident means warm: not a single DFA rebuild once serving.
+    assert all(r.dfa_builds == 0 for r in results)
+    benchmark.extra_info["requests_per_second"] = round(
+        REQUESTS / benchmark.stats.stats.mean, 2
+    )
+    benchmark.extra_info["cold_dfa_builds"] = first.dfa_builds
+    engine.close()
+
+
+def test_cold_start_engine_requests(benchmark):
+    """The counterfactual: a fresh engine (and ruleset) per request."""
+
+    def serve_batch():
+        results = []
+        for _ in range(REQUESTS):
+            engine = CryptoGenEngine(ruleset=RuleSet.bundled())
+            results.append(engine.generate(GenerateRequest(template=TEMPLATE)))
+            engine.close()
+        assert all(r.ok for r in results)
+        return results
+
+    results = benchmark(serve_batch)
+    # Every cold request re-pays the compile the resident engine amortises.
+    assert all(r.dfa_builds > 0 for r in results)
+    benchmark.extra_info["requests_per_second"] = round(
+        REQUESTS / benchmark.stats.stats.mean, 2
+    )
+
+
+def test_resident_vs_cold_speedup(benchmark):
+    """One number for the refactor: resident/cold throughput ratio."""
+    engine = CryptoGenEngine(ruleset=RuleSet.bundled())
+    engine.generate(GenerateRequest(template=TEMPLATE))
+
+    def measure():
+        started = time.perf_counter()
+        for _ in range(REQUESTS):
+            assert engine.generate(GenerateRequest(template=TEMPLATE)).ok
+        resident = time.perf_counter() - started
+
+        started = time.perf_counter()
+        for _ in range(REQUESTS):
+            cold = CryptoGenEngine(ruleset=RuleSet.bundled())
+            assert cold.generate(GenerateRequest(template=TEMPLATE)).ok
+            cold.close()
+        return resident, time.perf_counter() - started
+
+    resident_s, cold_s = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = cold_s / resident_s
+    benchmark.extra_info["resident_seconds"] = round(resident_s, 3)
+    benchmark.extra_info["cold_seconds"] = round(cold_s, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    # The resident engine must beat per-request cold starts outright.
+    assert speedup > 1.0
+    engine.close()

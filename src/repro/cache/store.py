@@ -44,6 +44,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from ..trace import span as _trace_span
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fsm -> crysl)
     from ..fsm.automaton import DFA
 
@@ -176,6 +178,10 @@ class DiskRuleCache:
         with ours (belt-and-braces — the key already encodes it) turns
         into an eviction plus a recomputation by the caller.
         """
+        with _trace_span("cache:load"):
+            return self._load(key)
+
+    def _load(self, key: str) -> LoadResult:
         path = self.path_for(key)
         try:
             payload = path.read_bytes()
@@ -220,6 +226,10 @@ class DiskRuleCache:
         directory and moved into place with ``os.replace``, so readers
         and concurrent writers never observe a partial entry.
         """
+        with _trace_span("cache:store"):
+            return self._store(key, artefacts)
+
+    def _store(self, key: str, artefacts: CachedArtefacts) -> bool:
         path = self.path_for(key)
         try:
             fd, temp_name = tempfile.mkstemp(

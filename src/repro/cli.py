@@ -9,11 +9,17 @@ Subcommands::
     cognicrypt-gen check-rules [DIR]             # parse + check a rule set
     cognicrypt-gen lint-rules [DIR]              # cross-rule consistency lint
     cognicrypt-gen eval {table1,table2,rq5,all}  # regenerate the paper's tables
+    cognicrypt-gen serve                         # resident engine daemon (NDJSON)
 
 ``analyze`` accepts files and directories (recursing into ``*.py``) and
 analyzes them as one project, interprocedurally. Exit codes: 0 = no
 findings, 2 = findings reported, 1 = usage or analysis error.
 ``lint-rules`` exits 3 when warnings are present.
+
+Every generating/analyzing subcommand is a thin caller of one
+:class:`~repro.engine.CryptoGenEngine`; ``serve`` keeps that engine
+resident and speaks the newline-delimited JSON protocol of
+:mod:`repro.engine.server` on stdio or a Unix socket.
 """
 
 from __future__ import annotations
@@ -23,16 +29,14 @@ import os
 import sys
 from pathlib import Path
 
-from .codegen import (
-    BatchGenerationError,
-    CrySLBasedCodeGenerator,
-    GenerationContext,
-    GenerationError,
-    TargetProject,
-    TemplateError,
-    resolve_jobs,
-)
+from .codegen import TargetProject, resolve_jobs
 from .crysl import CrySLError, RuleSet, bundled_ruleset
+from .engine import (
+    AnalyzeRequest,
+    CryptoGenEngine,
+    EngineServer,
+    expand_analyze_paths,
+)
 from .usecases import USE_CASES, generate_use_case, use_case
 
 #: Environment override for the default persistent-cache location.
@@ -49,18 +53,27 @@ def default_cache_dir() -> Path:
     return base / "cognicrypt-gen"
 
 
-def _build_context(args: argparse.Namespace) -> GenerationContext:
-    """The generation context for ``generate``: rules + optional disk cache.
+def _build_engine(args: argparse.Namespace) -> CryptoGenEngine:
+    """The resident engine behind a subcommand: rules + optional cache.
 
     An explicitly requested ``--cache-dir`` that cannot be created or
     written is a hard, clean error; the *default* location failing only
     degrades to cache-less operation with a warning (e.g. read-only
-    ``$HOME`` in a sandbox must not break generation).
+    ``$HOME`` in a sandbox must not break generation). Subcommands
+    without cache flags (``analyze``) run cache-less, as before.
     """
     from .cache import CacheDirectoryError, DiskRuleCache
 
-    if args.no_cache:
-        return GenerationContext(ruleset=_ruleset(args))
+    rules_dir = getattr(args, "rules", None) or None
+    verify = bool(getattr(args, "verify", False))
+
+    def engine(cache=None) -> CryptoGenEngine:
+        if rules_dir:
+            return CryptoGenEngine(rules_dir=rules_dir, cache=cache, verify=verify)
+        return CryptoGenEngine(cache=cache, verify=verify)
+
+    if getattr(args, "no_cache", True):
+        return engine()
     explicit = args.cache_dir is not None
     cache_dir = Path(args.cache_dir) if explicit else default_cache_dir()
     try:
@@ -73,16 +86,8 @@ def _build_context(args: argparse.Namespace) -> GenerationContext:
             "continuing without a persistent cache",
             file=sys.stderr,
         )
-        return GenerationContext(ruleset=_ruleset(args))
-    # A disk cache must not be attached to the shared bundled singleton
-    # (other consumers in this process would inherit it), so caching
-    # always gets a private rule set; the disk cache keeps it warm.
-    if getattr(args, "rules", None):
-        ruleset = RuleSet.from_directory(args.rules)
-    else:
-        ruleset = RuleSet.bundled().freeze()
-    ruleset.attach_disk_cache(cache)
-    return GenerationContext(ruleset=ruleset)
+        return engine()
+    return engine(cache)
 
 
 class _CLIError(Exception):
@@ -111,77 +116,87 @@ def _print_module(
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    # One generator — and therefore one warm GenerationContext — serves
-    # every template on the command line; rules compile once (or load
-    # from the persistent cache, see repro.cache).
+    # One engine — and therefore one warm rule set and one cumulative
+    # diagnostics record — serves every template on the command line;
+    # rules compile once (or load from the persistent cache).
     jobs = resolve_jobs(args.jobs)
-    generator = CrySLBasedCodeGenerator(
-        context=_build_context(args), verify=args.verify
-    )
-    project = TargetProject(args.output)
-    exit_code = 0
-    if jobs > 1:
-        modules: list = []
-        try:
-            modules = generator.generate_many(args.templates, jobs=jobs)
-        except BatchGenerationError as exc:
-            for failure in exc.failures:
-                print(f"error: {failure}", file=sys.stderr)
-            modules = exc.modules
-            exit_code = 1
-        for template, module in zip(args.templates, modules):
-            if module is not None:
-                _print_module(module, template, project, args)
-    else:
-        for template in args.templates:
-            try:
-                module = generator.generate_from_file(template)
-            except (GenerationError, CrySLError, TemplateError, OSError) as exc:
-                print(f"error: {exc}", file=sys.stderr)
+    with _build_engine(args) as engine:
+        results = engine.generate_many(args.templates, jobs=jobs)
+        project = TargetProject(args.output)
+        exit_code = 0
+        payloads = []
+        for template, result in zip(args.templates, results):
+            if result.error is not None:
+                print(f"error: {template}: {result.error}", file=sys.stderr)
                 exit_code = 1
                 continue
-            _print_module(module, template, project, args)
-    if args.stats and len(args.templates) > 1:
-        print("cumulative over all templates:")
-        print(generator.context.diagnostics.render())
+            module = result.module
+            module_name = Path(template).stem + "_generated"
+            if args.json:
+                path = project.write(module, module_name)
+                payloads.append({**result.to_dict(), "path": str(path)})
+            else:
+                _print_module(module, template, project, args)
+        if args.json:
+            import json
+
+            print(
+                json.dumps(
+                    {
+                        "results": payloads,
+                        "diagnostics": engine.diagnostics.to_dict(),
+                    },
+                    indent=2,
+                )
+            )
+        elif args.stats and len(args.templates) > 1:
+            print("cumulative over all templates:")
+            print(engine.diagnostics.render())
     return exit_code
 
 
-def _expand_analyze_paths(entries: list[str]) -> list[Path]:
-    paths: list[Path] = []
-    for entry in entries:
-        path = Path(entry)
-        if path.is_dir():
-            paths.extend(sorted(p for p in path.rglob("*.py") if p.is_file()))
-        else:
-            paths.append(path)
-    return paths
-
-
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from .sast import ProjectAnalyzer, to_sarif
+    from .sast import to_sarif
 
     if args.json and args.sarif:
         raise _CLIError("--json and --sarif are mutually exclusive")
-    paths = _expand_analyze_paths(args.paths)
+    paths = expand_analyze_paths(args.paths)
     if not paths:
         raise _CLIError("no Python files to analyze")
-    analyzer = ProjectAnalyzer(_ruleset(args))
-    result = analyzer.analyze_paths(paths, jobs=resolve_jobs(args.jobs))
+    engine = _build_engine(args)
+    result = engine.analyze(
+        AnalyzeRequest(
+            paths=tuple(str(p) for p in paths), jobs=resolve_jobs(args.jobs)
+        )
+    )
+    if result.error is not None:
+        raise _CLIError(str(result.error))
+    analysis = result.analysis
     if args.sarif:
         import json
 
-        print(json.dumps(to_sarif(result), indent=2))
+        print(json.dumps(to_sarif(analysis), indent=2))
     elif args.json:
         import json
 
-        print(json.dumps(result.to_dict(), indent=2))
+        print(json.dumps(analysis.to_dict(), indent=2))
     else:
-        print(result.render())
+        print(analysis.render())
     if args.stats:
         # Stats go to stderr so --json / --sarif stdout stays parseable.
-        print(analyzer.diagnostics.render(), file=sys.stderr)
-    return 0 if result.is_secure else 2
+        print(engine.diagnostics.render(), file=sys.stderr)
+    return 0 if analysis.is_secure else 2
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    engine = _build_engine(args)
+    server = EngineServer(engine, timeout=args.timeout)
+    if args.socket:
+        print(f"serving on {args.socket}", file=sys.stderr)
+        server.serve_socket(args.socket)
+    else:
+        server.serve_stdio()
+    return 0
 
 
 def _cmd_list_use_cases(_: argparse.Namespace) -> int:
@@ -288,6 +303,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-stage timings, cache counters and cascade tiers",
     )
     generate.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable report on stdout (per-template "
+        "results with request traces, plus cumulative diagnostics)",
+    )
+    generate.add_argument(
         "--jobs",
         type=int,
         default=None,
@@ -380,6 +401,51 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("what", choices=("table1", "table2", "rq5", "all"))
     evaluate.add_argument("--runs", type=int, default=10, help="RQ2 timing runs")
     evaluate.set_defaults(handler=_cmd_eval)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a resident engine speaking newline-delimited JSON",
+        description="Keep one warm engine resident and serve generate/"
+        "analyze/refresh-rules requests over stdio (default) or a Unix "
+        "socket. One JSON object per line in, one per line out, "
+        "correlated by 'id'. Malformed requests get a structured error "
+        "response; SIGTERM drains the in-flight request and exits.",
+    )
+    serve.add_argument("--rules", help="directory of .crysl rules (enables "
+                       "the incremental refresh-rules op)")
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent compiled-rule cache location "
+        "(default: $REPRO_CACHE_DIR, else ~/.cache/cognicrypt-gen)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent compiled-rule cache",
+    )
+    serve.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="serve on a Unix domain socket instead of stdio",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request deadline; a request over the deadline gets a "
+        "structured timeout response and the server drains",
+    )
+    serve.add_argument(
+        "--verify",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="re-analyze every generated module before returning it",
+    )
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

@@ -44,6 +44,7 @@ from ..diagnostics import (
     PATH_ENUMERATIONS,
     Diagnostics,
 )
+from ..trace import span as trace_span
 
 
 class GenerationContext:
@@ -56,6 +57,7 @@ class GenerationContext:
         *,
         max_paths: int | None = None,
         cache_dir: str | Path | None = None,
+        diagnostics: Diagnostics | None = None,
     ):
         self.ruleset = ruleset if ruleset is not None else bundled_ruleset()
         self.registry = registry if registry is not None else default_registry()
@@ -66,8 +68,10 @@ class GenerationContext:
         self.max_paths = max_paths
         if cache_dir is not None and self.ruleset.disk_cache is None:
             self.ruleset.attach_disk_cache(DiskRuleCache(cache_dir))
-        #: cumulative diagnostics over every run of this context
-        self.diagnostics = Diagnostics()
+        #: cumulative diagnostics over every run of this context; an
+        #: engine passes its own instance so the cumulative record
+        #: survives context rebuilds (e.g. a rule-repository refresh)
+        self.diagnostics = diagnostics if diagnostics is not None else Diagnostics()
         #: completed runs (one ``generate()`` call each)
         self.runs = 0
 
@@ -90,7 +94,8 @@ class GenerationContext:
         try:
             yield diag
         finally:
-            self.ruleset.flush_disk_cache()
+            with trace_span("cache:flush"):
+                self.ruleset.flush_disk_cache()
             delta = self.ruleset.compile_stats.delta(before)
             diag.count(COMPILED_HITS, delta.hits)
             diag.count(COMPILED_MISSES, delta.misses)

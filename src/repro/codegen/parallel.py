@@ -191,10 +191,64 @@ def _run_task(
 # ---------------------------------------------------------------------------
 
 
+def _pool_initargs(generator: "CrySLBasedCodeGenerator") -> tuple:
+    """The ``_init_worker`` arguments for one generator's configuration."""
+    context = generator.context
+    ruleset = context.ruleset
+    rules_payload = tuple(
+        (rule, ruleset.rule_source(rule.class_name)) for rule in ruleset
+    )
+    cache = ruleset.disk_cache
+    cache_dir = str(cache.directory) if cache is not None else None
+    return (rules_payload, cache_dir, context.max_paths, generator.verify)
+
+
+class WorkerPool:
+    """A persistent, warm-started generation pool.
+
+    ``run_parallel`` tears its executor down after every batch; a
+    resident engine cannot afford that — worker warm-up (rule-set
+    rebuild plus disk-cache touch) would be paid per request instead of
+    per process. A ``WorkerPool`` keeps the ``ProcessPoolExecutor``
+    alive across batches; it is bound to one generator configuration
+    (rules, cache, verify flag), so the owner must :meth:`close` and
+    recreate it when that configuration changes (e.g. after a rule
+    repository refresh).
+    """
+
+    def __init__(self, generator: "CrySLBasedCodeGenerator", jobs: int):
+        self.jobs = resolve_jobs(jobs)
+        self._executor: ProcessPoolExecutor | None = ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=_init_worker,
+            initargs=_pool_initargs(generator),
+        )
+
+    @property
+    def executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            raise RuntimeError("worker pool is closed")
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the executor down; idempotent."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 def run_parallel(
     generator: "CrySLBasedCodeGenerator",
     models: "Iterable[TemplateModel | str | Path]",
     jobs: int,
+    *,
+    pool: WorkerPool | None = None,
 ) -> "list[GeneratedModule]":
     """Generate a batch over ``jobs`` worker processes.
 
@@ -202,27 +256,23 @@ def run_parallel(
     cumulative diagnostics absorb every module's run record plus each
     worker's warm-start counters; ``context.runs`` advances by the
     number of successful modules.
+
+    With ``pool`` (a :class:`WorkerPool` built over the *same*
+    generator configuration) the batch reuses the resident executor and
+    leaves it running; otherwise a transient executor is created and
+    torn down around the batch.
     """
     context = generator.context
     specs = [task_spec(model) for model in models]
     if not specs:
         return []
-    ruleset = context.ruleset
-    rules_payload = tuple(
-        (rule, ruleset.rule_source(rule.class_name)) for rule in ruleset
-    )
-    cache = ruleset.disk_cache
-    cache_dir = str(cache.directory) if cache is not None else None
 
     modules: "list[GeneratedModule | None]" = [None] * len(specs)
     failures: list[TemplateFailure] = []
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(specs)),
-        initializer=_init_worker,
-        initargs=(rules_payload, cache_dir, context.max_paths, generator.verify),
-    ) as pool:
+
+    def drain(executor: ProcessPoolExecutor) -> None:
         futures = [
-            pool.submit(_run_task, index, kind, payload, name)
+            executor.submit(_run_task, index, kind, payload, name)
             for index, (kind, payload, name) in enumerate(specs)
         ]
         for future in futures:
@@ -236,6 +286,16 @@ def run_parallel(
             modules[index] = module
             context.diagnostics.merge(module.diagnostics)
             context.runs += 1
+
+    if pool is not None:
+        drain(pool.executor)
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(specs)),
+            initializer=_init_worker,
+            initargs=_pool_initargs(generator),
+        ) as executor:
+            drain(executor)
     if failures:
         failures.sort(key=lambda f: f.index)
         raise BatchGenerationError(failures, modules)

@@ -31,6 +31,7 @@ from .errors import (
 from .lexer import Lexer, Token, TokenKind, tokenize
 from .lint import LintFinding, LintKind, lint_ruleset, render_findings
 from .parser import Parser, parse_rule
+from .repository import RefreshReport, RuleRepository
 from .ruleset import FrozenRuleSetError, RuleSet, bundled_ruleset, load_rule_file
 from .typecheck import check_rule
 
@@ -45,7 +46,9 @@ __all__ = [
     "LintFinding",
     "LintKind",
     "Parser",
+    "RefreshReport",
     "RuleNotFoundError",
+    "RuleRepository",
     "RuleSet",
     "Token",
     "TokenKind",

@@ -327,6 +327,29 @@ class CompiledRule:
             }
         return self._constraint_index.get(object_name, ())
 
+    def adopt_stats(self, stats: CompileStats) -> None:
+        """Re-home this entry's counters onto another cache's stats.
+
+        Used when a compiled entry is carried from a predecessor rule
+        set into its copy-on-write successor (``RuleSet.evolve``): the
+        predecessor is discarded, so later lazy derivations must count
+        against the successor's :class:`CompileStats`.
+        """
+        self._stats = stats
+
+    def clear_link_memos(self) -> None:
+        """Drop the ENSURES/REQUIRES-derived memo tables.
+
+        Called for rules *dependent* on an edited rule during an
+        incremental refresh: their own automaton and paths are
+        untouched (no recompile), but memoised predicate grants and
+        NEGATES deferrals must be re-derived so the next generation
+        relinks against the edited neighbour.
+        """
+        self._granted.clear()
+        self._invalidating.clear()
+        self._ensures_by_name = None
+
     def granted_predicates(
         self, path_labels: tuple[str, ...]
     ) -> tuple[ast.PredicateUse, ...]:

@@ -1,0 +1,229 @@
+"""An incremental repository over a directory of ``.crysl`` files.
+
+:class:`RuleRepository` is the engine's long-lived view of a rule
+directory. The initial :meth:`load` parses and checks every file once;
+each later :meth:`refresh` stats the directory and recompiles *only*
+what actually changed:
+
+* a file whose ``mtime_ns`` is unchanged is not even re-read;
+* a touched file whose content hash is unchanged updates its recorded
+  mtime and nothing else;
+* an edited/new file is re-parsed and re-checked, and only that rule's
+  compiled artefacts go cold (``compiled_rules.misses`` moves by
+  exactly the number of edited rules);
+* every rule *linked* to an edited rule through ENSURES/REQUIRES
+  predicates keeps its automaton and paths but drops its memoised
+  predicate-link tables (:meth:`~repro.crysl.compiled.CompiledRule.
+  clear_link_memos`), so the next generation relinks against the new
+  neighbour.
+
+Refreshes are copy-on-write (:meth:`RuleSet.evolve`): consumers holding
+the previous frozen set keep a consistent snapshot; the repository's
+:attr:`ruleset` always names the latest one. An attached
+:class:`~repro.cache.DiskRuleCache` travels across refreshes, so edited
+rules that were compiled in an earlier *process* still warm-start from
+disk when their content matches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from .parser import parse_rule
+from .ruleset import RuleSet
+from .typecheck import check_rule
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle guard)
+    from ..cache.store import DiskRuleCache
+
+
+@dataclass(frozen=True)
+class _Fingerprint:
+    """What we knew about one ``.crysl`` file at the last refresh."""
+
+    mtime_ns: int
+    digest: str
+    class_name: str
+
+
+@dataclass(frozen=True)
+class RefreshReport:
+    """What one :meth:`RuleRepository.refresh` actually did."""
+
+    #: qualified class names re-parsed because their file content changed
+    changed: tuple[str, ...] = ()
+    #: qualified class names from files that appeared since the last scan
+    added: tuple[str, ...] = ()
+    #: qualified class names whose files vanished
+    removed: tuple[str, ...] = ()
+    #: untouched rules whose link memos were cleared because a changed
+    #: rule shares an ENSURES/REQUIRES predicate with them
+    relinked: tuple[str, ...] = ()
+    #: files left entirely alone (mtime or content unchanged)
+    unchanged: int = 0
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self.changed or self.added or self.removed)
+
+    def to_dict(self) -> dict:
+        return {
+            "changed": list(self.changed),
+            "added": list(self.added),
+            "removed": list(self.removed),
+            "relinked": list(self.relinked),
+            "unchanged": self.unchanged,
+            "dirty": self.dirty,
+        }
+
+
+def _predicate_names(rule) -> tuple[frozenset[str], frozenset[str]]:
+    """(ENSURES names, REQUIRES names) of one rule."""
+    ensures = frozenset(p.name for p in rule.ensures)
+    requires = frozenset(
+        alt.name for group in rule.requires for alt in group.alternatives
+    )
+    return ensures, requires
+
+
+class RuleRepository:
+    """Tracks a rule directory and recompiles only what changed."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        disk_cache: "DiskRuleCache | None" = None,
+    ):
+        self.directory = Path(directory)
+        if not self.directory.is_dir():
+            raise FileNotFoundError(f"rule directory not found: {self.directory}")
+        self._disk_cache = disk_cache
+        self._fingerprints: dict[str, _Fingerprint] = {}
+        self._ruleset = self._load()
+        #: completed refresh() calls (the engine's repository stage)
+        self.refreshes = 0
+
+    @property
+    def ruleset(self) -> RuleSet:
+        """The latest frozen snapshot."""
+        return self._ruleset
+
+    # ------------------------------------------------------------------
+
+    def _load(self) -> RuleSet:
+        ruleset = RuleSet()
+        for path in sorted(self.directory.glob("*.crysl")):
+            mtime_ns = path.stat().st_mtime_ns
+            source = path.read_text(encoding="utf-8")
+            rule = check_rule(parse_rule(source, path.name))
+            ruleset.add(rule, source=source)
+            self._fingerprints[path.name] = _Fingerprint(
+                mtime_ns, _digest(source), rule.class_name
+            )
+        if self._disk_cache is not None:
+            ruleset.attach_disk_cache(self._disk_cache)
+        return ruleset.freeze()
+
+    def refresh(self) -> RefreshReport:
+        """Rescan the directory; recompile edited rules only.
+
+        Raises :class:`~repro.crysl.errors.CrySLError` when an edited
+        file fails to parse or check — the previous snapshot stays in
+        place, so a broken edit never takes the repository down.
+        """
+        updates: list[tuple] = []  # (rule, source) for evolve()
+        changed: list[str] = []
+        added: list[str] = []
+        unchanged = 0
+        seen: set[str] = set()
+        new_fingerprints: dict[str, _Fingerprint] = {}
+        for path in sorted(self.directory.glob("*.crysl")):
+            seen.add(path.name)
+            mtime_ns = path.stat().st_mtime_ns
+            known = self._fingerprints.get(path.name)
+            if known is not None and known.mtime_ns == mtime_ns:
+                unchanged += 1
+                new_fingerprints[path.name] = known
+                continue
+            source = path.read_text(encoding="utf-8")
+            digest = _digest(source)
+            if known is not None and known.digest == digest:
+                # Touched but identical: remember the new mtime only.
+                unchanged += 1
+                new_fingerprints[path.name] = _Fingerprint(
+                    mtime_ns, digest, known.class_name
+                )
+                continue
+            rule = check_rule(parse_rule(source, path.name))
+            updates.append((rule, source))
+            new_fingerprints[path.name] = _Fingerprint(
+                mtime_ns, digest, rule.class_name
+            )
+            (changed if known is not None else added).append(rule.class_name)
+        removed = sorted(
+            fp.class_name
+            for name, fp in self._fingerprints.items()
+            if name not in seen
+        )
+
+        report_base = dict(
+            changed=tuple(changed),
+            added=tuple(added),
+            removed=tuple(removed),
+            unchanged=unchanged,
+        )
+        if not (updates or removed):
+            self.refreshes += 1
+            self._fingerprints = new_fingerprints
+            return RefreshReport(**report_base)
+
+        relinked = self._relink_candidates(updates, set(removed))
+        successor = self._ruleset.evolve(updates, removals=removed).freeze()
+        for class_name in relinked:
+            entry = successor._compiled.get(class_name)
+            if entry is not None:
+                entry.clear_link_memos()
+        self._ruleset = successor
+        self._fingerprints = new_fingerprints
+        self.refreshes += 1
+        return RefreshReport(relinked=relinked, **report_base)
+
+    def _relink_candidates(
+        self, updates: list[tuple], removed: set[str]
+    ) -> tuple[str, ...]:
+        """Untouched rules sharing a predicate with any changed rule.
+
+        Both directions and both generations count: a rule REQUIRing
+        what the changed rule ENSUREd (before *or* after the edit), or
+        ENSURing what it REQUIREd, must relink.
+        """
+        touched_ensures: set[str] = set()
+        touched_requires: set[str] = set()
+        touched_names = {rule.class_name for rule, _ in updates} | removed
+        for rule, _ in updates:
+            ensures, requires = _predicate_names(rule)
+            touched_ensures |= ensures
+            touched_requires |= requires
+        for class_name in touched_names:
+            if class_name in self._ruleset:
+                ensures, requires = _predicate_names(
+                    self._ruleset.get(class_name)
+                )
+                touched_ensures |= ensures
+                touched_requires |= requires
+        relinked = []
+        for rule in self._ruleset:
+            if rule.class_name in touched_names:
+                continue
+            ensures, requires = _predicate_names(rule)
+            if requires & touched_ensures or ensures & touched_requires:
+                relinked.append(rule.class_name)
+        return tuple(sorted(relinked))
+
+
+def _digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import importlib.resources
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from .ast import Rule
 from .compiled import CompiledRule, CompileStats
@@ -102,6 +102,48 @@ class RuleSet:
         fresh = RuleSet()
         for rule in self._by_qualified.values():
             fresh.add(rule, source=self._sources.get(rule.class_name))
+        return fresh
+
+    def evolve(
+        self,
+        updates: "Iterable[tuple[Rule, str | None]]" = (),
+        removals: "Iterable[str]" = (),
+    ) -> "RuleSet":
+        """A copy-on-write successor: replace/remove some rules, keep
+        every other rule's *compiled artefacts* warm.
+
+        This is the incremental-refresh primitive behind
+        :class:`~repro.crysl.repository.RuleRepository`: unchanged
+        rules carry their :class:`~repro.crysl.compiled.CompiledRule`
+        entries (and the attached disk cache) into the successor, so
+        re-touching them costs a cache hit, not a recompile. Updated
+        rules start cold and recompile on first use.
+
+        The predecessor must be treated as retired after this call:
+        carried entries are re-homed onto the successor's
+        :class:`CompileStats`, so further compilation through the old
+        set would count against the wrong cache. The successor is
+        returned unfrozen; callers decide whether to freeze it.
+        """
+        updates = tuple(updates)
+        removed = set(removals)
+        replaced = {rule.class_name for rule, _ in updates}
+        fresh = RuleSet()
+        for rule in self._by_qualified.values():
+            if rule.class_name in removed or rule.class_name in replaced:
+                continue
+            fresh.add(rule, source=self._sources.get(rule.class_name))
+        for rule, source in updates:
+            if rule.class_name not in removed:
+                fresh.add(rule, source=source)
+        for name, entry in self._compiled.items():
+            if name in removed or name in replaced:
+                continue
+            if name in fresh._by_qualified:
+                entry.adopt_stats(fresh._compile_stats)
+                fresh._compiled[name] = entry
+        if self._disk_cache is not None:
+            fresh._disk_cache = self._disk_cache
         return fresh
 
     # ------------------------------------------------------------------

@@ -21,9 +21,33 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from .trace import span as _trace_span
+
 #: Canonical stage names, in pipeline order (the paper's Figure 6,
 #: plus the post-emit generate→verify gate).
 STAGES = ("collect", "link", "select", "resolve", "emit", "verify")
+
+#: Stages registered beyond the canonical tuple (``register_stage``),
+#: in registration order. Rendering keeps the canonical ordering first.
+_EXTRA_STAGES: list[str] = []
+
+
+def register_stage(name: str) -> str:
+    """Register an additional stage name for :meth:`Diagnostics.stage`.
+
+    The canonical Figure-6 stages are fixed; layers above the pipeline
+    (the engine's ``serve`` loop, the incremental rule ``repository``)
+    register theirs here. Idempotent; returns the name so callers can
+    write ``SERVE = register_stage("serve")``.
+    """
+    if name not in STAGES and name not in _EXTRA_STAGES:
+        _EXTRA_STAGES.append(name)
+    return name
+
+
+def known_stages() -> tuple[str, ...]:
+    """Every accepted stage name, canonical ordering first."""
+    return STAGES + tuple(_EXTRA_STAGES)
 
 # Counter keys. Kept as module constants so producers and consumers
 # (selector, context, tests, the CLI) agree on spelling.
@@ -97,6 +121,9 @@ class Diagnostics:
     #: rule simple name -> number of enumerated repetition-free paths
     path_counts: dict[str, int] = field(default_factory=dict)
     warnings: list[DiagnosticWarning] = field(default_factory=list)
+    #: the request trace this record belongs to, when the run happened
+    #: inside an engine request (:mod:`repro.trace`); never merged.
+    trace: object | None = None
 
     # ------------------------------------------------------------------
     # recording
@@ -104,18 +131,26 @@ class Diagnostics:
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
-        """Time one stage invocation; nests and repeats accumulate."""
-        if name not in STAGES:
+        """Time one stage invocation; nests and repeats accumulate.
+
+        Accepts the canonical :data:`STAGES` plus anything added via
+        :func:`register_stage`. With an active request trace
+        (:mod:`repro.trace`) the invocation also records a
+        ``stage:<name>`` span.
+        """
+        if name not in STAGES and name not in _EXTRA_STAGES:
             raise ValueError(
-                f"unknown pipeline stage {name!r}; expected one of {STAGES}"
+                f"unknown pipeline stage {name!r}; expected one of "
+                f"{known_stages()} (see repro.diagnostics.register_stage)"
             )
         started = time.perf_counter()
-        try:
-            yield
-        finally:
-            timing = self.stages.setdefault(name, StageTiming(name))
-            timing.seconds += time.perf_counter() - started
-            timing.calls += 1
+        with _trace_span(f"stage:{name}"):
+            try:
+                yield
+            finally:
+                timing = self.stages.setdefault(name, StageTiming(name))
+                timing.seconds += time.perf_counter() - started
+                timing.calls += 1
 
     def count(self, key: str, amount: int = 1) -> None:
         self.counters[key] = self.counters.get(key, 0) + amount
@@ -127,14 +162,25 @@ class Diagnostics:
         self.warnings.append(DiagnosticWarning(stage, message, rule))
 
     def merge(self, other: "Diagnostics") -> None:
-        """Fold another run's record into this one (for batch totals)."""
+        """Fold another run's record into this one (for batch totals).
+
+        Timings and counters add; ``path_counts`` keep the per-rule
+        maximum — a rule's enumerated-path count is an invariant of the
+        rule, not a per-run total, so colliding entries across batch
+        runs must agree (and a bounded enumeration in one run must not
+        clobber a fuller one from another).
+        """
         for timing in other.stages.values():
             mine = self.stages.setdefault(timing.name, StageTiming(timing.name))
             mine.seconds += timing.seconds
             mine.calls += timing.calls
         for key, amount in other.counters.items():
             self.count(key, amount)
-        self.path_counts.update(other.path_counts)
+        for rule_name, count in other.path_counts.items():
+            mine = self.path_counts.get(rule_name)
+            self.path_counts[rule_name] = (
+                count if mine is None else max(mine, count)
+            )
         self.warnings.extend(other.warnings)
 
     # ------------------------------------------------------------------
@@ -165,11 +211,17 @@ class Diagnostics:
                 {"stage": w.stage, "rule": w.rule, "message": w.message}
                 for w in self.warnings
             ],
+            **(
+                {"trace": self.trace.to_dict()}
+                if self.trace is not None and hasattr(self.trace, "to_dict")
+                else {}
+            ),
         }
 
     def _ordered_stages(self) -> list[StageTiming]:
-        known = [self.stages[name] for name in STAGES if name in self.stages]
-        extra = [t for name, t in self.stages.items() if name not in STAGES]
+        ordered = known_stages()
+        known = [self.stages[name] for name in ordered if name in self.stages]
+        extra = [t for name, t in self.stages.items() if name not in ordered]
         return known + sorted(extra, key=lambda t: t.name)
 
     def render(self) -> str:

@@ -1,0 +1,36 @@
+"""The long-lived engine service layer.
+
+One :class:`CryptoGenEngine` owns the warm state the rest of the stack
+shares — a frozen rule set (optionally an incremental
+:class:`~repro.crysl.RuleRepository`), a compiled-rule disk cache, a
+persistent worker pool and one cumulative diagnostics record — and
+serves :class:`GenerateRequest`/:class:`AnalyzeRequest` objects. The
+CLI, the batch generator, the project analyzer and the eval harness
+are all thin callers of this facade; :class:`EngineServer` exposes it
+as a daemon speaking newline-delimited JSON (``cognicrypt-gen serve``).
+"""
+
+from .core import (
+    AnalyzeRequest,
+    AnalyzeResult,
+    CryptoGenEngine,
+    EngineError,
+    EngineRequestError,
+    GenerateRequest,
+    GenerateResult,
+    expand_analyze_paths,
+)
+from .server import PROTOCOL_VERSION, EngineServer
+
+__all__ = [
+    "AnalyzeRequest",
+    "AnalyzeResult",
+    "CryptoGenEngine",
+    "EngineError",
+    "EngineRequestError",
+    "EngineServer",
+    "GenerateRequest",
+    "GenerateResult",
+    "PROTOCOL_VERSION",
+    "expand_analyze_paths",
+]

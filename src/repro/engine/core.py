@@ -1,0 +1,478 @@
+"""The long-lived engine service layer.
+
+:class:`CryptoGenEngine` is the resident facade over the whole stack.
+It owns, for its entire lifetime, exactly one of each piece of warm
+state the one-shot CLI used to rebuild per invocation:
+
+* one frozen rule set — bundled, or an incremental
+  :class:`~repro.crysl.repository.RuleRepository` over a directory;
+* one :class:`~repro.cache.DiskRuleCache` (optional);
+* one warm :class:`~repro.codegen.parallel.WorkerPool` (created on the
+  first parallel batch, reused by every later one);
+* one cumulative :class:`~repro.diagnostics.Diagnostics`, shared by
+  the generation context and the project analyzer.
+
+Every caller — the CLI, ``generate_many``, the ``serve`` daemon, the
+eval harness — goes through the same two dataclasses:
+:class:`GenerateRequest` and :class:`AnalyzeRequest`. Requests never
+raise for recoverable pipeline errors; they return a
+:class:`GenerateResult`/:class:`AnalyzeResult` carrying either the
+artefact or a structured :class:`EngineError`, plus the request's
+:class:`~repro.trace.Trace` (span tree over codegen, sast and cache
+layers) and its compile-counter delta, so one request's cost is
+attributable end to end. Unexpected exceptions still propagate.
+
+The engine is not thread-safe: requests must be issued sequentially
+(the serve daemon funnels everything through one worker thread).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+from ..codegen import (
+    BatchGenerationError,
+    CrySLBasedCodeGenerator,
+    GeneratedModule,
+    GenerationContext,
+    GenerationError,
+    TemplateError,
+    WorkerPool,
+)
+from ..crysl import CrySLError, RuleRepository, RuleSet, bundled_ruleset
+from ..crysl.repository import RefreshReport
+from ..diagnostics import Diagnostics, register_stage
+from ..trace import Trace, activate as activate_trace
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..cache import DiskRuleCache
+    from ..constraints.types import TypeRegistry
+    from ..sast import ProjectAnalyzer
+    from ..sast.project import ProjectAnalysisResult
+
+#: Engine-level pipeline stages (beyond the paper's Figure 6).
+SERVE_STAGE = register_stage("serve")
+REPOSITORY_STAGE = register_stage("repository")
+
+class EngineRequestError(ValueError):
+    """A malformed request (missing/conflicting fields)."""
+
+
+#: Error types a request converts into a structured EngineError rather
+#: than letting propagate; mirrors the CLI's historical per-template
+#: handling, plus SyntaxError for analysis targets that fail to parse
+#: and EngineRequestError for malformed requests.
+RECOVERABLE_ERRORS = (
+    GenerationError,
+    CrySLError,
+    TemplateError,
+    OSError,
+    SyntaxError,
+    EngineRequestError,
+)
+
+
+@dataclass(frozen=True)
+class GenerateRequest:
+    """One generation request: a template path or inline source."""
+
+    template: str | None = None
+    source: str | None = None
+    #: module name for inline sources (diagnostics and SAST keys)
+    name: str | None = None
+    #: per-request override of the engine's verify default
+    verify: bool | None = None
+    request_id: str | None = None
+
+
+@dataclass(frozen=True)
+class AnalyzeRequest:
+    """One analysis request: paths on disk and/or inline sources."""
+
+    paths: tuple[str, ...] = ()
+    sources: Mapping[str, str] | None = None
+    jobs: int = 1
+    request_id: str | None = None
+
+
+@dataclass(frozen=True)
+class EngineError:
+    """A structured, recoverable request failure."""
+
+    type: str
+    message: str
+
+    def to_dict(self) -> dict:
+        return {"type": self.type, "message": self.message}
+
+    def __str__(self) -> str:
+        return f"[{self.type}] {self.message}"
+
+
+@dataclass
+class _ResultBase:
+    request_id: str
+    elapsed_seconds: float
+    trace: Trace
+    error: EngineError | None = None
+    #: DFA builds this request caused (0 on every warm request)
+    dfa_builds: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def warm(self) -> bool:
+        """True when the request compiled nothing from scratch."""
+        return self.dfa_builds == 0
+
+    def _base_dict(self, kind: str) -> dict:
+        return {
+            "id": self.request_id,
+            "ok": self.ok,
+            "op": kind,
+            "elapsed_ms": self.elapsed_seconds * 1000.0,
+            "dfa_builds": self.dfa_builds,
+            "warm": self.warm,
+            "trace": self.trace.to_dict(),
+            **({"error": self.error.to_dict()} if self.error else {}),
+        }
+
+
+@dataclass
+class GenerateResult(_ResultBase):
+    """Outcome of one :class:`GenerateRequest`."""
+
+    module: GeneratedModule | None = None
+
+    def to_dict(self) -> dict:
+        payload = self._base_dict("generate")
+        if self.module is not None:
+            payload["result"] = {
+                "source": self.module.source,
+                "template_class": self.module.template_class,
+                "output_class": self.module.output_class,
+                "report": self.module.report_dict(),
+            }
+        return payload
+
+
+@dataclass
+class AnalyzeResult(_ResultBase):
+    """Outcome of one :class:`AnalyzeRequest`."""
+
+    analysis: "ProjectAnalysisResult | None" = None
+
+    @property
+    def is_secure(self) -> bool:
+        return self.analysis is not None and self.analysis.is_secure
+
+    def to_dict(self) -> dict:
+        payload = self._base_dict("analyze")
+        if self.analysis is not None:
+            payload["result"] = {
+                "is_secure": self.analysis.is_secure,
+                "findings": len(self.analysis.findings),
+                "modules": self.analysis.to_dict(),
+            }
+        return payload
+
+
+def expand_analyze_paths(entries: Iterable[str | Path]) -> list[Path]:
+    """Files as-is; directories recurse into ``*.py`` (sorted)."""
+    paths: list[Path] = []
+    for entry in entries:
+        path = Path(entry)
+        if path.is_dir():
+            paths.extend(sorted(p for p in path.rglob("*.py") if p.is_file()))
+        else:
+            paths.append(path)
+    return paths
+
+
+class CryptoGenEngine:
+    """A resident engine: one ruleset, one cache, one pool, one record."""
+
+    def __init__(
+        self,
+        *,
+        rules_dir: str | Path | None = None,
+        ruleset: RuleSet | None = None,
+        cache: "DiskRuleCache | None" = None,
+        cache_dir: str | Path | None = None,
+        registry: "TypeRegistry | None" = None,
+        max_paths: int | None = None,
+        verify: bool = False,
+    ):
+        if rules_dir is not None and ruleset is not None:
+            raise ValueError("pass rules_dir or ruleset, not both")
+        if cache is None and cache_dir is not None:
+            from ..cache import DiskRuleCache
+
+            cache = DiskRuleCache(cache_dir)
+        self._cache = cache
+        self._verify = verify
+        self._max_paths = max_paths
+        self._registry = registry
+        #: the one cumulative record, shared by generation and analysis;
+        #: it survives context rebuilds on repository refreshes
+        self.diagnostics = Diagnostics()
+        #: completed requests (generate + analyze)
+        self.requests = 0
+        self._request_counter = 0
+        self._repository: RuleRepository | None = None
+        if rules_dir is not None:
+            self._repository = RuleRepository(rules_dir, disk_cache=cache)
+            ruleset = self._repository.ruleset
+        elif ruleset is not None:
+            ruleset.freeze()
+            if cache is not None and ruleset.disk_cache is None:
+                ruleset.attach_disk_cache(cache)
+        elif cache is not None:
+            # A disk cache must never be attached to the shared bundled
+            # singleton (other consumers in the process would inherit
+            # it), so caching always gets a private frozen set.
+            ruleset = RuleSet.bundled().freeze()
+            ruleset.attach_disk_cache(cache)
+        else:
+            ruleset = bundled_ruleset()
+        self._pool: WorkerPool | None = None
+        self._build_services(ruleset)
+
+    # ------------------------------------------------------------------
+    # owned services
+    # ------------------------------------------------------------------
+
+    def _build_services(self, ruleset: RuleSet) -> None:
+        """(Re)build generator + analyzer around one frozen rule set."""
+        self.context = GenerationContext(
+            ruleset=ruleset,
+            registry=self._registry,
+            max_paths=self._max_paths,
+            diagnostics=self.diagnostics,
+        )
+        self._generator = CrySLBasedCodeGenerator(
+            context=self.context, verify=self._verify
+        )
+        self._analyzer: "ProjectAnalyzer | None" = None
+        self._close_pool()
+
+    @property
+    def ruleset(self) -> RuleSet:
+        return self.context.ruleset
+
+    @property
+    def generator(self) -> CrySLBasedCodeGenerator:
+        return self._generator
+
+    @property
+    def repository(self) -> RuleRepository | None:
+        return self._repository
+
+    @property
+    def analyzer(self) -> "ProjectAnalyzer":
+        """The lazy project analyzer, sharing the engine's rule set and
+        cumulative diagnostics (so compiled artefacts are reused)."""
+        if self._analyzer is None:
+            from ..sast import ProjectAnalyzer
+
+            self._analyzer = ProjectAnalyzer(
+                self.ruleset,
+                self.context.registry,
+                diagnostics=self.diagnostics,
+            )
+        return self._analyzer
+
+    def pool(self, jobs: int) -> WorkerPool:
+        """The warm worker pool, (re)created when ``jobs`` grows."""
+        if self._pool is not None and self._pool.jobs < jobs:
+            self._close_pool()
+        if self._pool is None:
+            self._pool = WorkerPool(self._generator, jobs)
+        return self._pool
+
+    def _close_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def close(self) -> None:
+        """Release the worker pool and flush pending cache writes."""
+        self._close_pool()
+        self.ruleset.flush_disk_cache()
+
+    def __enter__(self) -> "CryptoGenEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # requests
+    # ------------------------------------------------------------------
+
+    def _next_request_id(self, explicit: str | None) -> str:
+        if explicit is not None:
+            return explicit
+        self._request_counter += 1
+        return f"req-{self._request_counter}"
+
+    def generate(self, request: GenerateRequest) -> GenerateResult:
+        """Serve one generation request; recoverable errors are data."""
+        request_id = self._next_request_id(request.request_id)
+        trace = Trace(request_id)
+        before = self.ruleset.compile_stats.snapshot()
+        module: GeneratedModule | None = None
+        error: EngineError | None = None
+        with activate_trace(trace), trace.span("request:generate"):
+            try:
+                if request.source is not None:
+                    module = self._generator.generate_from_source(
+                        request.source,
+                        request.name or "<template>",
+                        verify=request.verify,
+                    )
+                elif request.template is not None:
+                    module = self._generator.generate_from_file(
+                        request.template, verify=request.verify
+                    )
+                else:
+                    raise EngineRequestError(
+                        "generate request needs a template path or source"
+                    )
+            except RECOVERABLE_ERRORS as exc:
+                error = EngineError(type(exc).__name__, str(exc))
+        if module is not None:
+            module.diagnostics.trace = trace
+        self.requests += 1
+        return GenerateResult(
+            request_id=request_id,
+            elapsed_seconds=trace.total_seconds,
+            trace=trace,
+            error=error,
+            dfa_builds=self.ruleset.compile_stats.delta(before).dfa_builds,
+            module=module,
+        )
+
+    def generate_many(
+        self,
+        templates: Sequence[str | Path],
+        *,
+        jobs: int = 1,
+        verify: bool | None = None,
+    ) -> list[GenerateResult]:
+        """A batch of generation requests, optionally over the warm pool.
+
+        Per-template failures become per-result :class:`EngineError`\\ s
+        (order-preserving), never a batch abort.
+        """
+        if jobs > 1 and len(templates) > 1:
+            return self._generate_many_parallel(templates, jobs)
+        return [
+            self.generate(GenerateRequest(template=str(t), verify=verify))
+            for t in templates
+        ]
+
+    def _generate_many_parallel(
+        self, templates: Sequence[str | Path], jobs: int
+    ) -> list[GenerateResult]:
+        request_id = self._next_request_id(None)
+        trace = Trace(request_id)
+        before = self.ruleset.compile_stats.snapshot()
+        failures_by_index: dict[int, EngineError] = {}
+        with activate_trace(trace), trace.span("request:generate-batch"):
+            try:
+                modules: list[GeneratedModule | None] = list(
+                    self._generator.generate_many(templates, pool=self.pool(jobs))
+                )
+            except BatchGenerationError as exc:
+                modules = exc.modules
+                failures_by_index = {
+                    f.index: EngineError(f.error_type, str(f)) for f in exc.failures
+                }
+        dfa_builds = self.ruleset.compile_stats.delta(before).dfa_builds
+        results: list[GenerateResult] = []
+        for index, module in enumerate(modules):
+            self.requests += 1
+            results.append(
+                GenerateResult(
+                    request_id=f"{request_id}.{index}",
+                    elapsed_seconds=(
+                        module.elapsed_seconds if module is not None else 0.0
+                    ),
+                    trace=trace,
+                    error=failures_by_index.get(index),
+                    dfa_builds=dfa_builds if index == 0 else 0,
+                    module=module,
+                )
+            )
+        return results
+
+    def analyze(self, request: AnalyzeRequest) -> AnalyzeResult:
+        """Serve one whole-project analysis request."""
+        request_id = self._next_request_id(request.request_id)
+        trace = Trace(request_id)
+        before = self.ruleset.compile_stats.snapshot()
+        analysis = None
+        error: EngineError | None = None
+        with activate_trace(trace), trace.span("request:analyze"):
+            try:
+                sources: dict[str, str] = {}
+                for path in expand_analyze_paths(request.paths):
+                    sources[str(path)] = path.read_text(encoding="utf-8")
+                if request.sources:
+                    sources.update(request.sources)
+                if not sources:
+                    raise EngineRequestError(
+                        "analyze request needs paths or sources"
+                    )
+                analysis = self.analyzer.analyze_sources(
+                    sources, jobs=request.jobs
+                )
+            except RECOVERABLE_ERRORS as exc:
+                error = EngineError(type(exc).__name__, str(exc))
+        self.requests += 1
+        return AnalyzeResult(
+            request_id=request_id,
+            elapsed_seconds=trace.total_seconds,
+            trace=trace,
+            error=error,
+            dfa_builds=self.ruleset.compile_stats.delta(before).dfa_builds,
+            analysis=analysis,
+        )
+
+    # ------------------------------------------------------------------
+    # the incremental rule repository
+    # ------------------------------------------------------------------
+
+    def refresh_rules(self) -> RefreshReport:
+        """Re-scan the rule directory; rebuild services only on change.
+
+        Requires the engine to be repository-backed (``rules_dir``).
+        Unchanged rules keep their compiled artefacts; the worker pool
+        is restarted only when the snapshot actually moved.
+        """
+        if self._repository is None:
+            raise EngineRequestError(
+                "engine has no rule repository (constructed without rules_dir)"
+            )
+        with self.diagnostics.stage(REPOSITORY_STAGE):
+            report = self._repository.refresh()
+        self.diagnostics.count("repository.refreshes")
+        if report.dirty:
+            self.diagnostics.count(
+                "repository.recompiled", len(report.changed) + len(report.added)
+            )
+            self.diagnostics.count("repository.relinked", len(report.relinked))
+            self._build_services(self._repository.ruleset)
+        return report
+
+    def __repr__(self) -> str:
+        return (
+            f"<CryptoGenEngine rules={len(self.ruleset)} "
+            f"requests={self.requests} "
+            f"cache={'on' if self._cache is not None else 'off'}>"
+        )

@@ -1,0 +1,304 @@
+"""The ``serve`` daemon: newline-delimited JSON over stdio or a socket.
+
+One :class:`EngineServer` wraps one resident :class:`~repro.engine.
+CryptoGenEngine` and speaks a line-oriented protocol: every request is
+one JSON object on one line, every response is one JSON object on one
+line, correlated by the client-chosen ``id``. Requests:
+
+``{"id": 1, "op": "generate", "template": "path"}``
+    or ``{"op": "generate", "source": "...", "name": "..."}``; the
+    response carries the generated module, its report, per-request
+    trace and the request's DFA-build delta (``"warm": true`` after
+    the first request).
+``{"id": 2, "op": "analyze", "paths": [...]}``
+    or inline ``"sources": {name: text}``.
+``{"op": "ping"}`` / ``{"op": "stats"}`` / ``{"op": "refresh-rules"}``
+    liveness, the engine's cumulative diagnostics, and an incremental
+    rule-repository rescan.
+``{"op": "shutdown"}``
+    drain and exit (the response is still sent).
+
+Malformed input — bad JSON, an unknown op, a missing field — never
+kills the daemon: the client gets a structured error response
+(``"ok": false`` with an ``error`` object; ``"id": null`` when the
+request was unparseable) and the loop continues. ``SIGTERM`` flips a
+drain flag: the in-flight request finishes and the loop exits
+cleanly. Each request runs on a single worker thread with a deadline;
+a request that exceeds the server's ``timeout`` produces a timeout
+error response (the worker is abandoned — the engine is sequential,
+so the server stops accepting work and drains).
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import socket as socketlib
+import sys
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from pathlib import Path
+from typing import IO, Callable, Iterator
+
+from .core import (
+    SERVE_STAGE,
+    AnalyzeRequest,
+    CryptoGenEngine,
+    GenerateRequest,
+)
+
+#: Protocol version reported by ``ping`` and ``stats``.
+PROTOCOL_VERSION = 1
+
+
+class _ProtocolError(Exception):
+    """A request the protocol layer rejects (before the engine runs)."""
+
+    def __init__(self, message: str, *, kind: str = "ProtocolError"):
+        super().__init__(message)
+        self.kind = kind
+
+
+def _error_response(request_id, kind: str, message: str) -> dict:
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": kind, "message": message},
+    }
+
+
+class EngineServer:
+    """A line-oriented JSON front end over one resident engine."""
+
+    def __init__(
+        self,
+        engine: CryptoGenEngine,
+        *,
+        timeout: float | None = None,
+    ):
+        self.engine = engine
+        #: per-request deadline in seconds; ``None`` waits forever
+        self.timeout = timeout
+        #: requests answered (including error responses)
+        self.responses = 0
+        self._draining = False
+        self._ops: dict[str, Callable[[dict], dict]] = {
+            "generate": self._op_generate,
+            "analyze": self._op_analyze,
+            "ping": self._op_ping,
+            "stats": self._op_stats,
+            "refresh-rules": self._op_refresh_rules,
+            "shutdown": self._op_shutdown,
+        }
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+
+    def handle_line(self, line: str) -> dict | None:
+        """One request line -> one response object (None for blanks)."""
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return _error_response(None, "JSONDecodeError", str(exc))
+        if not isinstance(request, dict):
+            return _error_response(
+                None, "ProtocolError", "request must be a JSON object"
+            )
+        request_id = request.get("id")
+        try:
+            op = request.get("op")
+            if not isinstance(op, str):
+                raise _ProtocolError("request needs a string 'op' field")
+            handler = self._ops.get(op)
+            if handler is None:
+                known = ", ".join(sorted(self._ops))
+                raise _ProtocolError(f"unknown op {op!r} (known: {known})")
+            response = handler(request)
+        except _ProtocolError as exc:
+            return _error_response(request_id, exc.kind, str(exc))
+        response.setdefault("id", request_id)
+        response.setdefault("ok", True)
+        return response
+
+    def _op_generate(self, request: dict) -> dict:
+        template = request.get("template")
+        source = request.get("source")
+        if template is None and source is None:
+            raise _ProtocolError("generate needs 'template' or 'source'")
+        result = self.engine.generate(
+            GenerateRequest(
+                template=template,
+                source=source,
+                name=request.get("name"),
+                verify=request.get("verify"),
+            )
+        )
+        payload = result.to_dict()
+        payload["id"] = request.get("id")
+        return payload
+
+    def _op_analyze(self, request: dict) -> dict:
+        paths = request.get("paths") or ()
+        sources = request.get("sources")
+        if not paths and not sources:
+            raise _ProtocolError("analyze needs 'paths' or 'sources'")
+        result = self.engine.analyze(
+            AnalyzeRequest(
+                paths=tuple(str(p) for p in paths),
+                sources=sources,
+                jobs=int(request.get("jobs", 1)),
+            )
+        )
+        payload = result.to_dict()
+        payload["id"] = request.get("id")
+        return payload
+
+    def _op_ping(self, request: dict) -> dict:
+        return {
+            "id": request.get("id"),
+            "ok": True,
+            "op": "ping",
+            "protocol": PROTOCOL_VERSION,
+            "rules": len(self.engine.ruleset),
+            "requests": self.engine.requests,
+        }
+
+    def _op_stats(self, request: dict) -> dict:
+        stats = self.engine.ruleset.compile_stats
+        return {
+            "id": request.get("id"),
+            "ok": True,
+            "op": "stats",
+            "protocol": PROTOCOL_VERSION,
+            "requests": self.engine.requests,
+            "responses": self.responses,
+            "compiled_rules": {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "dfa_builds": stats.dfa_builds,
+                "path_enumerations": stats.path_enumerations,
+                "disk_hits": stats.disk_hits,
+                "disk_misses": stats.disk_misses,
+            },
+            "diagnostics": self.engine.diagnostics.to_dict(),
+        }
+
+    def _op_refresh_rules(self, request: dict) -> dict:
+        if self.engine.repository is None:
+            raise _ProtocolError(
+                "engine has no rule repository (start serve with --rules)"
+            )
+        report = self.engine.refresh_rules()
+        return {
+            "id": request.get("id"),
+            "ok": True,
+            "op": "refresh-rules",
+            "report": report.to_dict(),
+        }
+
+    def _op_shutdown(self, request: dict) -> dict:
+        self._draining = True
+        return {"id": request.get("id"), "ok": True, "op": "shutdown"}
+
+    # ------------------------------------------------------------------
+    # transports
+    # ------------------------------------------------------------------
+
+    def drain(self, *_signal_args) -> None:
+        """Finish the in-flight request, then stop reading (SIGTERM)."""
+        self._draining = True
+
+    def _install_sigterm(self) -> object | None:
+        try:
+            return signal.signal(signal.SIGTERM, self.drain)
+        except ValueError:  # pragma: no cover - non-main thread
+            return None
+
+    def serve_stream(self, lines: Iterator[str], out: IO[str]) -> int:
+        """The core loop: read request lines, write response lines.
+
+        Returns the number of responses written. Every request — even
+        ``shutdown`` and requests that time out — gets its response
+        before the loop considers the drain flag.
+        """
+        previous = self._install_sigterm()
+        worker = ThreadPoolExecutor(max_workers=1)
+        try:
+            for line in lines:
+                response = self._dispatch(worker, line)
+                if response is not None:
+                    with self.engine.diagnostics.stage(SERVE_STAGE):
+                        out.write(json.dumps(response) + "\n")
+                        out.flush()
+                    self.responses += 1
+                if self._draining:
+                    break
+        finally:
+            worker.shutdown(wait=False, cancel_futures=True)
+            self.engine.close()
+            if previous is not None:  # pragma: no branch
+                try:
+                    signal.signal(signal.SIGTERM, previous)
+                except (ValueError, TypeError):  # pragma: no cover
+                    pass
+        return self.responses
+
+    def _dispatch(self, worker: ThreadPoolExecutor, line: str) -> dict | None:
+        """Run one request on the worker thread under the deadline."""
+        future: Future = worker.submit(self.handle_line, line)
+        try:
+            return future.result(timeout=self.timeout)
+        except FutureTimeout:
+            # The engine is sequential; an abandoned request means no
+            # further request can run safely. Answer, then drain.
+            self._draining = True
+            return _error_response(
+                None,
+                "TimeoutError",
+                f"request exceeded {self.timeout:.1f}s; server is draining",
+            )
+
+    def serve_stdio(self) -> int:
+        """Serve on stdin/stdout (the default transport)."""
+        return self.serve_stream(iter(sys.stdin), sys.stdout)
+
+    def serve_socket(self, path: str | Path) -> int:
+        """Serve one client at a time on a Unix domain socket.
+
+        Accepts connections until drained; each connection is a
+        newline-delimited request/response stream. The socket file is
+        created fresh and removed on exit.
+        """
+        path = Path(path)
+        if path.exists():
+            path.unlink()
+        previous = self._install_sigterm()
+        server = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+        total = 0
+        try:
+            server.bind(str(path))
+            server.listen(1)
+            server.settimeout(0.5)  # so the drain flag is polled
+            while not self._draining:
+                try:
+                    connection, _ = server.accept()
+                except socketlib.timeout:
+                    continue
+                with connection:
+                    reader = connection.makefile("r", encoding="utf-8")
+                    writer = connection.makefile("w", encoding="utf-8")
+                    total += self.serve_stream(iter(reader), writer)
+        finally:
+            server.close()
+            if path.exists():
+                path.unlink()
+            if previous is not None:
+                try:
+                    signal.signal(signal.SIGTERM, previous)
+                except (ValueError, TypeError):  # pragma: no cover
+                    pass
+        return total

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from statistics import mean
 
 from ..codegen import CrySLBasedCodeGenerator, GenerationContext
+from ..engine import CryptoGenEngine
 from ..sast import CrySLAnalyzer, ProjectAnalyzer
 from ..usecases import USE_CASES, UseCase
 from .report import render_table
@@ -50,13 +51,22 @@ def measure_use_case(
     runs: int = 10,
     generator: CrySLBasedCodeGenerator | None = None,
     analyzer: "CrySLAnalyzer | ProjectAnalyzer | None" = None,
+    *,
+    engine: CryptoGenEngine | None = None,
 ) -> Table1Row:
     """Generate + validate one use case and measure time and memory.
 
-    ``analyzer`` may be the single-module :class:`CrySLAnalyzer` or the
-    interprocedural :class:`ProjectAnalyzer`; the latter is the default
-    and matches what ``generate --verify`` gates on.
+    With ``engine`` the row is measured through a resident
+    :class:`~repro.engine.CryptoGenEngine` (the ``run_table1`` path);
+    otherwise ``generator``/``analyzer`` are used directly, defaulting
+    to cold instances. ``analyzer`` may be the single-module
+    :class:`CrySLAnalyzer` or the interprocedural
+    :class:`ProjectAnalyzer`; the latter is the default and matches
+    what ``generate --verify`` gates on.
     """
+    if engine is not None:
+        generator = generator or engine.generator
+        analyzer = analyzer or engine.analyzer
     generator = generator or CrySLBasedCodeGenerator()
     analyzer = analyzer or ProjectAnalyzer()
 
@@ -97,33 +107,31 @@ def run_table1(
     runs: int = 10,
     context: GenerationContext | None = None,
     cache_dir: str | None = None,
+    *,
+    engine: CryptoGenEngine | None = None,
 ) -> list[Table1Row]:
-    """Measure all eleven use cases with shared engines (warm rules).
+    """Measure all eleven use cases through one resident engine.
 
-    Generator and analyzer are built over one
-    :class:`~repro.codegen.GenerationContext`, so every DFA, path list
-    and label expansion is compiled once for the whole table; the
-    context's cumulative diagnostics account for all eleven runs.
+    The whole table is a thin caller of one
+    :class:`~repro.engine.CryptoGenEngine`: every DFA, path list and
+    label expansion is compiled once for all eleven rows, and the
+    engine's cumulative diagnostics account for every run.
 
-    ``cache_dir`` attaches a persistent :class:`~repro.cache.
-    DiskRuleCache` to a *private* frozen copy of the bundled rules —
-    never to the shared singleton — so a second table run on the same
-    directory starts warm (zero DFA builds).
+    ``cache_dir`` gives the engine a persistent :class:`~repro.cache.
+    DiskRuleCache` over a *private* frozen copy of the bundled rules —
+    never the shared singleton — so a second table run on the same
+    directory starts warm (zero DFA builds). ``context`` (legacy) wraps
+    an existing :class:`~repro.codegen.GenerationContext` instead.
     """
-    if context is None:
-        if cache_dir is not None:
-            from ..cache import DiskRuleCache
-            from ..crysl import RuleSet
-
-            ruleset = RuleSet.bundled().freeze()
-            ruleset.attach_disk_cache(DiskRuleCache(cache_dir))
-            context = GenerationContext(ruleset=ruleset)
+    if engine is None:
+        if context is not None:
+            engine = CryptoGenEngine(
+                ruleset=context.ruleset, registry=context.registry
+            )
         else:
-            context = GenerationContext()
-    generator = CrySLBasedCodeGenerator(context=context)
-    analyzer = ProjectAnalyzer(context.ruleset, context.registry)
+            engine = CryptoGenEngine(cache_dir=cache_dir)
     return [
-        measure_use_case(use_case, runs, generator, analyzer)
+        measure_use_case(use_case, runs, engine=engine)
         for use_case in USE_CASES
     ]
 

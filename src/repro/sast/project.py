@@ -36,6 +36,7 @@ from ..diagnostics import (
     ANALYSIS_SUMMARIES,
     Diagnostics,
 )
+from ..trace import span as trace_span
 from .analysis import CrySLAnalyzer, SummaryProvider
 from .callgraph import CallGraph, FunctionRef, ref_of
 from .ir import FunctionIR, HelperCall, lift_module
@@ -106,10 +107,13 @@ class ProjectAnalyzer:
         registry: "TypeRegistry | None" = None,
         *,
         analyzer: CrySLAnalyzer | None = None,
+        diagnostics: Diagnostics | None = None,
     ):
         self._analyzer = analyzer or CrySLAnalyzer(ruleset, registry)
-        #: cumulative ``analysis.*`` counters over every run
-        self.diagnostics = Diagnostics()
+        #: cumulative ``analysis.*`` counters over every run; an engine
+        #: passes its own instance so generation and analysis share one
+        #: cumulative record
+        self.diagnostics = diagnostics if diagnostics is not None else Diagnostics()
 
     @property
     def analyzer(self) -> CrySLAnalyzer:
@@ -155,42 +159,46 @@ class ProjectAnalyzer:
     ) -> tuple[ProjectAnalysisResult, Diagnostics]:
         analyzer = self._analyzer
         diag = Diagnostics()
-        parsed = {
-            key: pyast.parse(text, filename=key) for key, text in sources.items()
-        }
-        project_classes = frozenset(
-            node.name
-            for module in parsed.values()
-            for node in module.body
-            if isinstance(node, pyast.ClassDef)
-        )
-        functions: list[FunctionIR] = []
-        for key, module in parsed.items():
-            functions.extend(
-                lift_module(
-                    module,
-                    analyzer.tracked_classes,
-                    analyzer.result_classes,
-                    project_classes=project_classes,
-                    module_name=key,
-                    file=key,
-                )
+        with trace_span("sast:lift"):
+            parsed = {
+                key: pyast.parse(text, filename=key)
+                for key, text in sources.items()
+            }
+            project_classes = frozenset(
+                node.name
+                for module in parsed.values()
+                for node in module.body
+                if isinstance(node, pyast.ClassDef)
             )
-        graph = CallGraph.build(functions)
+            functions: list[FunctionIR] = []
+            for key, module in parsed.items():
+                functions.extend(
+                    lift_module(
+                        module,
+                        analyzer.tracked_classes,
+                        analyzer.result_classes,
+                        project_classes=project_classes,
+                        module_name=key,
+                        file=key,
+                    )
+                )
+        with trace_span("sast:callgraph"):
+            graph = CallGraph.build(functions)
         summaries: dict[FunctionRef, FunctionSummary] = {}
         provider = _GraphSummaries(graph, summaries)
         results = {key: AnalysisResult() for key in sources}
-        for ref in graph.order():
-            ir = graph.functions[ref]
-            summary = analyzer.analyze_ir(
-                ir,
-                results[ir.module],
-                interproc=provider,
-                defer_returns=graph.has_callers(ref),
-                collect_summary=True,
-            )
-            if summary is not None:
-                summaries[ref] = summary
+        with trace_span("sast:analyze"):
+            for ref in graph.order():
+                ir = graph.functions[ref]
+                summary = analyzer.analyze_ir(
+                    ir,
+                    results[ir.module],
+                    interproc=provider,
+                    defer_returns=graph.has_callers(ref),
+                    collect_summary=True,
+                )
+                if summary is not None:
+                    summaries[ref] = summary
         for result in results.values():
             result.findings.sort(
                 key=lambda f: (f.line, f.column, f.kind.value, f.variable, f.message)

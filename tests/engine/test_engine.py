@@ -1,0 +1,234 @@
+"""The resident :class:`CryptoGenEngine` facade."""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.engine import (
+    AnalyzeRequest,
+    CryptoGenEngine,
+    EngineRequestError,
+    GenerateRequest,
+)
+from repro.usecases import use_case
+
+TEMPLATE = str(use_case(1).template_path())
+
+
+@pytest.fixture(scope="module")
+def engine():
+    eng = CryptoGenEngine()
+    yield eng
+    eng.close()
+
+
+class TestGenerate:
+    def test_cold_then_warm(self, engine):
+        first = engine.generate(GenerateRequest(template=TEMPLATE))
+        assert first.ok and first.module is not None
+        second = engine.generate(GenerateRequest(template=TEMPLATE))
+        assert second.ok
+        # Everything the template needs was compiled by the first
+        # request; the second is entirely warm.
+        assert second.dfa_builds == 0
+        assert second.warm
+
+    def test_hundred_requests_one_compile(self):
+        # The acceptance bar: a resident engine serves 100 sequential
+        # requests with exactly one ruleset compile — dfa.builds is
+        # flat after request 1. A private cold ruleset keeps the test
+        # hermetic (the shared bundled singleton may already be warm).
+        from repro.crysl import RuleSet
+
+        engine = CryptoGenEngine(ruleset=RuleSet.bundled())
+        results = [
+            engine.generate(GenerateRequest(template=TEMPLATE))
+            for _ in range(100)
+        ]
+        assert all(r.ok for r in results)
+        after_first = results[0].dfa_builds
+        assert after_first > 0  # the one cold compile
+        assert all(r.dfa_builds == 0 for r in results[1:])
+        assert engine.ruleset.compile_stats.dfa_builds == after_first
+        assert engine.requests == 100
+        engine.close()
+
+    def test_inline_source(self, engine):
+        source = Path(TEMPLATE).read_text(encoding="utf-8")
+        result = engine.generate(
+            GenerateRequest(source=source, name="inline.py")
+        )
+        assert result.ok
+        assert result.module.template_class == use_case(1).template_class
+
+    def test_empty_request_is_structured_error(self, engine):
+        result = engine.generate(GenerateRequest())
+        assert not result.ok
+        assert result.error.type == "EngineRequestError"
+
+    def test_missing_template_is_structured_error(self, engine):
+        result = engine.generate(
+            GenerateRequest(template="/nonexistent/tpl.py")
+        )
+        assert not result.ok
+        assert result.error.type in ("FileNotFoundError", "OSError")
+
+    def test_request_ids_and_trace(self, engine):
+        result = engine.generate(GenerateRequest(template=TEMPLATE))
+        assert result.request_id.startswith("req-")
+        tree = result.trace.to_dict()
+        assert tree["request_id"] == result.request_id
+        names = [span["name"] for span in tree["spans"]]
+        assert names[0] == "request:generate"
+        assert "stage:collect" in names and "stage:emit" in names
+        # Stage spans nest under the request span.
+        root = next(s for s in tree["spans"] if s["name"] == "request:generate")
+        child = next(s for s in tree["spans"] if s["name"] == "stage:collect")
+        assert child["parent_id"] == root["span_id"]
+
+    def test_explicit_request_id_wins(self, engine):
+        result = engine.generate(
+            GenerateRequest(template=TEMPLATE, request_id="mine-7")
+        )
+        assert result.request_id == "mine-7"
+
+    def test_to_dict_shape(self, engine):
+        payload = engine.generate(GenerateRequest(template=TEMPLATE)).to_dict()
+        assert payload["ok"] and payload["op"] == "generate"
+        assert payload["warm"] is True and payload["dfa_builds"] == 0
+        assert "source" in payload["result"]
+        assert payload["trace"]["spans"]
+
+
+class TestGenerateMany:
+    def test_serial_batch(self, engine):
+        results = engine.generate_many([TEMPLATE, TEMPLATE])
+        assert len(results) == 2
+        assert all(r.ok for r in results)
+
+    def test_batch_isolates_failures(self, engine):
+        results = engine.generate_many([TEMPLATE, "/nonexistent/tpl.py"])
+        assert results[0].ok
+        assert not results[1].ok
+
+    def test_parallel_batches_reuse_one_warm_pool(self):
+        engine = CryptoGenEngine()
+        first = engine.generate_many([TEMPLATE, TEMPLATE], jobs=2)
+        assert all(r.ok for r in first)
+        pool = engine._pool
+        assert pool is not None  # created by the first parallel batch
+        second = engine.generate_many([TEMPLATE, TEMPLATE], jobs=2)
+        assert all(r.ok for r in second)
+        assert engine._pool is pool  # resident, not rebuilt per batch
+        engine.close()
+        assert engine._pool is None
+
+
+class TestAnalyze:
+    def test_analyze_generated_module(self, engine):
+        generated = engine.generate(GenerateRequest(template=TEMPLATE))
+        result = engine.analyze(
+            AnalyzeRequest(sources={"m.py": generated.module.source})
+        )
+        assert result.ok
+        assert result.is_secure
+
+    def test_analyze_paths(self, engine, tmp_path):
+        generated = engine.generate(GenerateRequest(template=TEMPLATE))
+        target = tmp_path / "m.py"
+        target.write_text(generated.module.source, encoding="utf-8")
+        result = engine.analyze(AnalyzeRequest(paths=(str(tmp_path),)))
+        assert result.ok and result.is_secure
+
+    def test_syntax_error_is_structured(self, engine):
+        result = engine.analyze(
+            AnalyzeRequest(sources={"bad.py": "def f(:\n"})
+        )
+        assert not result.ok
+        assert result.error.type == "SyntaxError"
+
+    def test_empty_request_is_structured_error(self, engine):
+        result = engine.analyze(AnalyzeRequest())
+        assert not result.ok
+        assert result.error.type == "EngineRequestError"
+
+
+class TestConstruction:
+    def test_rules_dir_and_ruleset_conflict(self, tmp_path):
+        from repro.crysl import RuleSet
+
+        with pytest.raises(ValueError):
+            CryptoGenEngine(
+                rules_dir=tmp_path, ruleset=RuleSet.bundled()
+            )
+
+    def test_cache_dir_engine_warm_starts_second_engine(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        with CryptoGenEngine(cache_dir=cache_dir) as first:
+            assert first.generate(GenerateRequest(template=TEMPLATE)).ok
+        with CryptoGenEngine(cache_dir=cache_dir) as second:
+            result = second.generate(GenerateRequest(template=TEMPLATE))
+            assert result.ok
+            assert result.dfa_builds == 0  # loaded from the disk store
+
+    def test_refresh_without_repository_raises(self):
+        engine = CryptoGenEngine()
+        with pytest.raises(EngineRequestError):
+            engine.refresh_rules()
+
+
+class TestRepositoryBackedEngine:
+    @pytest.fixture()
+    def rules_copy(self, tmp_path):
+        directory = tmp_path / "rules"
+        directory.mkdir()
+        for path in sorted(Path("src/repro/rules").glob("*.crysl")):
+            shutil.copy(path, directory / path.name)
+        return directory
+
+    def test_refresh_recompiles_only_the_edit(self, rules_copy):
+        engine = CryptoGenEngine(rules_dir=rules_copy)
+        first = engine.generate(GenerateRequest(template=TEMPLATE))
+        assert first.ok and first.dfa_builds > 0
+
+        target = rules_copy / "SecureRandom.crysl"
+        text = target.read_text(encoding="utf-8")
+        target.write_text(text.replace("ENSURES", "ENSURES "), encoding="utf-8")
+        report = engine.refresh_rules()
+        assert report.changed == ("repro.jca.SecureRandom",)
+
+        again = engine.generate(GenerateRequest(template=TEMPLATE))
+        assert again.ok
+        # Only the edited rule's automaton is rebuilt; the other rules
+        # carried their artefacts across the refresh.
+        assert again.dfa_builds == 1
+        assert engine.diagnostics.counter("repository.refreshes") == 1
+        engine.close()
+
+    def test_clean_refresh_keeps_services(self, rules_copy):
+        engine = CryptoGenEngine(rules_dir=rules_copy)
+        engine.generate(GenerateRequest(template=TEMPLATE))
+        context_before = engine.context
+        report = engine.refresh_rules()
+        assert not report.dirty
+        assert engine.context is context_before  # no rebuild
+        engine.close()
+
+    def test_cumulative_diagnostics_survive_refresh(self, rules_copy):
+        engine = CryptoGenEngine(rules_dir=rules_copy)
+        engine.generate(GenerateRequest(template=TEMPLATE))
+        runs_before = engine.diagnostics.counter("compiled_rules.misses")
+        assert runs_before > 0
+        target = rules_copy / "SecureRandom.crysl"
+        text = target.read_text(encoding="utf-8")
+        target.write_text(text.replace("ENSURES", "ENSURES "), encoding="utf-8")
+        engine.refresh_rules()
+        engine.generate(GenerateRequest(template=TEMPLATE))
+        # One record across the refresh: counters only ever grow.
+        assert (
+            engine.diagnostics.counter("compiled_rules.misses") > runs_before
+        )
+        engine.close()

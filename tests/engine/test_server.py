@@ -1,0 +1,246 @@
+"""The NDJSON serve protocol (:class:`EngineServer`)."""
+
+from __future__ import annotations
+
+import io
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.engine import CryptoGenEngine, EngineServer, PROTOCOL_VERSION
+from repro.usecases import use_case
+
+TEMPLATE = str(use_case(1).template_path())
+
+
+@pytest.fixture()
+def server():
+    srv = EngineServer(CryptoGenEngine())
+    yield srv
+    srv.engine.close()
+
+
+def _run(server, requests: list) -> list[dict]:
+    """Feed request lines through the real serve loop; parse responses."""
+    lines = [
+        r if isinstance(r, str) else json.dumps(r) for r in requests
+    ]
+    out = io.StringIO()
+    server.serve_stream(iter(line + "\n" for line in lines), out)
+    return [json.loads(line) for line in out.getvalue().splitlines()]
+
+
+class TestProtocol:
+    def test_ping(self, server):
+        [response] = _run(server, [{"id": 1, "op": "ping"}])
+        assert response["ok"] and response["id"] == 1
+        assert response["protocol"] == PROTOCOL_VERSION
+        assert response["rules"] > 0
+
+    def test_generate_then_warm_generate(self, server):
+        responses = _run(
+            server,
+            [
+                {"id": "a", "op": "generate", "template": TEMPLATE},
+                {"id": "b", "op": "generate", "template": TEMPLATE},
+            ],
+        )
+        first, second = responses
+        assert first["ok"] and first["id"] == "a"
+        assert "source" in first["result"]
+        assert first["trace"]["spans"]
+        assert "elapsed_ms" in first
+        assert second["ok"] and second["warm"]
+        assert second["dfa_builds"] == 0
+
+    def test_generate_inline_source(self, server):
+        source = Path(TEMPLATE).read_text(encoding="utf-8")
+        [response] = _run(
+            server,
+            [{"id": 2, "op": "generate", "source": source, "name": "t.py"}],
+        )
+        assert response["ok"]
+
+    def test_analyze(self, server):
+        gen, ana = _run(
+            server,
+            [
+                {"id": 1, "op": "generate", "template": TEMPLATE},
+                {
+                    "id": 2,
+                    "op": "analyze",
+                    "sources": {"m.py": "PLACEHOLDER"},
+                },
+            ],
+        )
+        assert gen["ok"]
+        # Second pass with the real generated source.
+        srv = EngineServer(CryptoGenEngine())
+        [response] = _run(
+            srv,
+            [
+                {
+                    "id": 3,
+                    "op": "analyze",
+                    "sources": {"m.py": gen["result"]["source"]},
+                }
+            ],
+        )
+        assert response["ok"]
+        assert response["result"]["is_secure"]
+        srv.engine.close()
+
+    def test_stats(self, server):
+        _, stats = _run(
+            server,
+            [
+                {"id": 1, "op": "generate", "template": TEMPLATE},
+                {"id": 2, "op": "stats"},
+            ],
+        )
+        assert stats["ok"]
+        assert stats["requests"] == 1
+        assert "dfa_builds" in stats["compiled_rules"]
+        assert "stages" in stats["diagnostics"]
+
+    def test_shutdown_stops_the_loop(self, server):
+        responses = _run(
+            server,
+            [
+                {"id": 1, "op": "shutdown"},
+                {"id": 2, "op": "ping"},  # never reached
+            ],
+        )
+        assert len(responses) == 1
+        assert responses[0]["op"] == "shutdown" and responses[0]["ok"]
+
+
+class TestMalformedInput:
+    def test_bad_json_gets_structured_error_and_loop_survives(self, server):
+        responses = _run(
+            server,
+            [
+                "this is not json {",
+                {"id": 9, "op": "ping"},
+            ],
+        )
+        error, ping = responses
+        assert error["ok"] is False
+        assert error["id"] is None
+        assert error["error"]["type"] == "JSONDecodeError"
+        assert ping["ok"]  # the daemon survived
+
+    def test_non_object_request(self, server):
+        [response] = _run(server, ["[1, 2, 3]"])
+        assert response["ok"] is False
+        assert response["error"]["type"] == "ProtocolError"
+
+    def test_unknown_op(self, server):
+        [response] = _run(server, [{"id": 5, "op": "transmogrify"}])
+        assert response["ok"] is False
+        assert response["id"] == 5
+        assert "unknown op" in response["error"]["message"]
+
+    def test_missing_op(self, server):
+        [response] = _run(server, [{"id": 6}])
+        assert response["ok"] is False
+        assert "op" in response["error"]["message"]
+
+    def test_generate_without_payload(self, server):
+        [response] = _run(server, [{"id": 7, "op": "generate"}])
+        assert response["ok"] is False
+        assert response["error"]["type"] == "ProtocolError"
+
+    def test_blank_lines_are_skipped(self, server):
+        responses = _run(server, ["", "   ", {"id": 1, "op": "ping"}])
+        assert len(responses) == 1
+
+
+class TestTimeout:
+    def test_overdue_request_gets_timeout_response_and_drains(self, monkeypatch):
+        import time
+
+        server = EngineServer(CryptoGenEngine(), timeout=0.05)
+        real_generate = server.engine.generate
+
+        def slow_generate(request):
+            # Deterministically overdue: sleep releases the GIL, so the
+            # dispatcher's deadline always fires (a plain warm generate
+            # can hold the GIL to completion and beat a tiny timeout).
+            time.sleep(0.5)
+            return real_generate(request)
+
+        monkeypatch.setattr(server.engine, "generate", slow_generate)
+        responses = _run(
+            server,
+            [
+                {"id": 1, "op": "generate", "template": TEMPLATE},
+                {"id": 2, "op": "ping"},  # behind the drain
+            ],
+        )
+        assert len(responses) == 1
+        assert responses[0]["ok"] is False
+        assert responses[0]["error"]["type"] == "TimeoutError"
+
+
+class TestRefreshRules:
+    def test_refresh_over_the_protocol(self, tmp_path):
+        rules = tmp_path / "rules"
+        rules.mkdir()
+        for path in sorted(Path("src/repro/rules").glob("*.crysl")):
+            shutil.copy(path, rules / path.name)
+        server = EngineServer(CryptoGenEngine(rules_dir=rules))
+
+        [clean] = _run(server, [{"id": 1, "op": "refresh-rules"}])
+        assert clean["ok"] and clean["report"]["dirty"] is False
+
+        target = rules / "SecureRandom.crysl"
+        text = target.read_text(encoding="utf-8")
+        target.write_text(text.replace("ENSURES", "ENSURES "), encoding="utf-8")
+        [dirty] = _run(server, [{"id": 2, "op": "refresh-rules"}])
+        assert dirty["report"]["changed"] == ["repro.jca.SecureRandom"]
+        server.engine.close()
+
+    def test_refresh_without_repository_is_protocol_error(self, server):
+        [response] = _run(server, [{"id": 1, "op": "refresh-rules"}])
+        assert response["ok"] is False
+        assert "--rules" in response["error"]["message"]
+
+
+class TestServeStage:
+    def test_serve_stage_recorded(self, server):
+        _run(server, [{"id": 1, "op": "ping"}])
+        assert "serve" in server.engine.diagnostics.stages
+
+
+class TestSocketTransport:
+    def test_unix_socket_round_trip(self, tmp_path):
+        import socket as socketlib
+        import threading
+
+        path = tmp_path / "engine.sock"
+        server = EngineServer(CryptoGenEngine())
+        thread = threading.Thread(
+            target=server.serve_socket, args=(path,), daemon=True
+        )
+        thread.start()
+        for _ in range(100):
+            if path.exists():
+                break
+            thread.join(0.05)
+
+        client = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+        client.connect(str(path))
+        client.sendall(b'{"id": 1, "op": "ping"}\n{"id": 2, "op": "shutdown"}\n')
+        reader = client.makefile("r", encoding="utf-8")
+        ping = json.loads(reader.readline())
+        shutdown = json.loads(reader.readline())
+        client.close()
+        thread.join(5.0)
+
+        assert ping["ok"] and ping["op"] == "ping"
+        assert shutdown["ok"] and shutdown["op"] == "shutdown"
+        assert not thread.is_alive()
+        assert not path.exists()  # socket file cleaned up

@@ -9,6 +9,8 @@ from repro.diagnostics import (
     TIER_DERIVED,
     TIER_TEMPLATE,
     Diagnostics,
+    known_stages,
+    register_stage,
 )
 
 
@@ -66,6 +68,65 @@ def test_merge_combines_everything():
     assert a.counter(TIER_TEMPLATE) == 3
     assert a.counter(TIER_DERIVED) == 3
     assert len(a.warnings) == 1
+
+
+def test_merge_keeps_max_path_count_on_collision():
+    # Regression: merge() used to silently overwrite path_counts when
+    # both sides recorded the same rule; the larger count must win.
+    a = Diagnostics()
+    a.record_path_count("Cipher", 16)
+    a.record_path_count("SecureRandom", 4)
+
+    b = Diagnostics()
+    b.record_path_count("Cipher", 9)
+    b.record_path_count("Mac", 2)
+
+    a.merge(b)
+    assert a.path_counts == {"Cipher": 16, "SecureRandom": 4, "Mac": 2}
+
+    # And in the other direction the larger incoming count wins too.
+    c = Diagnostics()
+    c.record_path_count("Cipher", 25)
+    a.merge(c)
+    assert a.path_counts["Cipher"] == 25
+
+
+def test_registered_stage_is_accepted_and_rendered_after_canonical():
+    name = register_stage("transmography")
+    try:
+        assert name == "transmography"
+        assert register_stage("transmography") == name  # idempotent
+        assert known_stages()[: len(STAGES)] == STAGES
+        assert "transmography" in known_stages()
+
+        diag = Diagnostics()
+        with diag.stage("transmography"):
+            pass
+        with diag.stage("collect"):
+            pass
+        assert diag.stages["transmography"].calls == 1
+        # Canonical stages render before registered extras.
+        rendered = diag.render()
+        assert rendered.index("collect") < rendered.index("transmography")
+        ordered = list(diag.to_dict()["stages"])
+        assert ordered == ["collect", "transmography"]
+    finally:
+        from repro import diagnostics as _d
+
+        _d._EXTRA_STAGES.remove("transmography")
+
+
+def test_unregistered_stage_still_rejected_after_registration():
+    register_stage("short-lived")
+    try:
+        diag = Diagnostics()
+        with pytest.raises(ValueError):
+            with diag.stage("never-registered"):
+                pass
+    finally:
+        from repro import diagnostics as _d
+
+        _d._EXTRA_STAGES.remove("short-lived")
 
 
 def test_render_and_to_dict_cover_all_sections():
