@@ -1,0 +1,169 @@
+"""Concurrent serve throughput: requests/sec vs concurrent clients.
+
+The concurrent-serve rework claims the resident daemon scales with
+simultaneous clients: a shared worker pool executes requests in
+parallel and the memoized result cache answers repeated generates at
+dict-lookup cost. This benchmark measures requests/second through a
+real Unix-socket server at 1, 4 and 8 concurrent pipelining clients,
+against the *single-worker, no-result-cache* baseline (the previous
+serial daemon shape), and records ``requests_per_second`` per client
+count plus the measured ``result_cache_hit_rate`` in the JSON
+benchmark artifact.
+
+Run with: ``pytest benchmarks/ --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import json
+import socket as socketlib
+import threading
+import time
+from pathlib import Path
+
+from repro.crysl import RuleSet
+from repro.engine import CryptoGenEngine, EngineServer
+from repro.usecases import use_case
+
+TEMPLATE = str(use_case(1).template_path())
+
+#: concurrency levels measured for the scaling curve
+CLIENT_COUNTS = (1, 4, 8)
+#: pipelined requests per client per measurement
+PER_CLIENT = 10
+
+
+def _start_server(
+    tmp_path: Path, name: str, *, workers: int, cache_size: int
+) -> tuple[EngineServer, Path, threading.Thread]:
+    path = tmp_path / name
+    engine = CryptoGenEngine(
+        ruleset=RuleSet.bundled(), result_cache_size=cache_size
+    )
+    server = EngineServer(engine, workers=workers)
+    thread = threading.Thread(
+        target=server.serve_socket, args=(path,), daemon=True
+    )
+    thread.start()
+    deadline = time.monotonic() + 10.0
+    while not path.exists():
+        assert time.monotonic() < deadline, "server socket never appeared"
+        time.sleep(0.01)
+    return server, path, thread
+
+
+def _roundtrip(path: Path, requests: list[dict]) -> list[dict]:
+    sock = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+    sock.connect(str(path))
+    payload = "".join(json.dumps(r) + "\n" for r in requests)
+    sock.sendall(payload.encode())
+    reader = sock.makefile("r", encoding="utf-8")
+    responses = [json.loads(reader.readline()) for _ in requests]
+    sock.close()
+    return responses
+
+
+def _measure_load(path: Path, clients: int, per_client: int) -> float:
+    """Wall-clock seconds for `clients` pipelining `per_client` generates."""
+    barrier = threading.Barrier(clients + 1)
+    failures: list[str] = []
+
+    def client(tag: int) -> None:
+        requests = [
+            {"id": f"c{tag}-{n}", "op": "generate", "template": TEMPLATE}
+            for n in range(per_client)
+        ]
+        barrier.wait()
+        responses = _roundtrip(path, requests)
+        for response in responses:
+            if not response.get("ok"):
+                failures.append(str(response))
+
+    threads = [
+        threading.Thread(target=client, args=(tag,)) for tag in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=300)
+    elapsed = time.perf_counter() - started
+    assert not failures, failures[:3]
+    return elapsed
+
+
+def _stats(path: Path) -> dict:
+    [response] = _roundtrip(path, [{"id": "stats", "op": "stats"}])
+    assert response["ok"]
+    return response
+
+
+def _shutdown(path: Path, thread: threading.Thread) -> None:
+    _roundtrip(path, [{"id": "bye", "op": "shutdown"}])
+    thread.join(30.0)
+
+
+def test_concurrent_clients_scale_and_hit_the_result_cache(
+    benchmark, tmp_path
+):
+    """Requests/sec at 1/4/8 clients, vs the serial single-worker shape."""
+
+    def measure() -> dict:
+        # Baseline: the pre-rework daemon shape — one worker, no
+        # result cache — loaded by 4 concurrent clients.
+        server, path, thread = _start_server(
+            tmp_path, "baseline.sock", workers=1, cache_size=0
+        )
+        _roundtrip(path, [{"id": "warm", "op": "generate", "template": TEMPLATE}])
+        baseline_elapsed = _measure_load(path, 4, PER_CLIENT)
+        baseline_rps = (4 * PER_CLIENT) / baseline_elapsed
+        _shutdown(path, thread)
+
+        # The concurrent server: shared pool + result cache.
+        rps: dict[int, float] = {}
+        server, path, thread = _start_server(
+            tmp_path, "concurrent.sock", workers=8, cache_size=256
+        )
+        warm = _roundtrip(
+            path, [{"id": "warm", "op": "generate", "template": TEMPLATE}]
+        )[0]
+        for clients in CLIENT_COUNTS:
+            elapsed = _measure_load(path, clients, PER_CLIENT)
+            rps[clients] = (clients * PER_CLIENT) / elapsed
+        stats = _stats(path)
+        _shutdown(path, thread)
+
+        # Serving stayed warm: no DFA rebuilds after the warm-up one.
+        assert stats["compiled_rules"]["dfa_builds"] == warm["dfa_builds"]
+        return {
+            "baseline_rps": baseline_rps,
+            "rps": rps,
+            "hit_rate": stats["result_cache"]["hit_rate"],
+            "hits": stats["result_cache"]["hits"],
+        }
+
+    outcome = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    for clients in CLIENT_COUNTS:
+        benchmark.extra_info[f"requests_per_second_{clients}_clients"] = round(
+            outcome["rps"][clients], 2
+        )
+    benchmark.extra_info["requests_per_second"] = round(
+        outcome["rps"][4], 2
+    )
+    benchmark.extra_info["baseline_requests_per_second"] = round(
+        outcome["baseline_rps"], 2
+    )
+    speedup = outcome["rps"][4] / outcome["baseline_rps"]
+    benchmark.extra_info["speedup_4_clients"] = round(speedup, 2)
+    benchmark.extra_info["result_cache_hit_rate"] = round(
+        outcome["hit_rate"], 4
+    )
+
+    # The acceptance bar: >= 2x requests/sec at 4 concurrent clients
+    # over the single-worker baseline, with the repeat traffic actually
+    # served out of the result cache.
+    assert speedup >= 2.0, f"only {speedup:.2f}x over the serial baseline"
+    assert outcome["hits"] > 0
+    assert outcome["hit_rate"] > 0.0

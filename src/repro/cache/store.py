@@ -40,6 +40,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -135,11 +136,21 @@ class DiskRuleCache:
         self.directory = Path(directory)
         self.schema_version = schema_version
         self.events: list[CacheEvent] = []
+        # Load/store are already safe under concurrency (atomic file
+        # replace, content-addressed keys); the event journal is the
+        # one piece of shared mutable state, so it gets its own lock.
+        self._events_lock = threading.Lock()
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
-            probe = self.directory / ".probe"
-            probe.write_bytes(b"")
-            probe.unlink()
+            # The probe must be unique per construction: parallel batch
+            # workers all open the same cache directory at startup, and
+            # a shared probe name lets one process unlink the file
+            # another just wrote, failing a perfectly writable cache.
+            fd, probe = tempfile.mkstemp(
+                dir=self.directory, prefix=".probe-"
+            )
+            os.close(fd)
+            os.unlink(probe)
         except OSError as exc:
             raise CacheDirectoryError(
                 f"cache directory {self.directory} is not writable: {exc}"
@@ -188,12 +199,12 @@ class DiskRuleCache:
         except FileNotFoundError:
             return LoadResult()
         except OSError as exc:
-            self.events.append(CacheEvent("evicted", key, f"unreadable: {exc}"))
+            self._record(CacheEvent("evicted", key, f"unreadable: {exc}"))
             return LoadResult(evicted=self._evict_file(path))
         try:
             artefacts = pickle.loads(payload)
         except Exception as exc:  # truncated/corrupt pickles raise variously
-            self.events.append(
+            self._record(
                 CacheEvent("evicted", key, f"corrupt entry ({exc!r}); recomputing")
             )
             return LoadResult(evicted=self._evict_file(path))
@@ -201,7 +212,7 @@ class DiskRuleCache:
             not isinstance(artefacts, CachedArtefacts)
             or artefacts.schema_version != self.schema_version
         ):
-            self.events.append(
+            self._record(
                 CacheEvent("evicted", key, "stale entry (schema drift); recomputing")
             )
             return LoadResult(evicted=self._evict_file(path))
@@ -209,7 +220,7 @@ class DiskRuleCache:
 
     def evict(self, key: str, message: str) -> bool:
         """Explicitly drop one entry (e.g. it no longer matches its rule)."""
-        self.events.append(CacheEvent("evicted", key, message))
+        self._record(CacheEvent("evicted", key, message))
         return self._evict_file(self.path_for(key))
 
     def _evict_file(self, path: Path) -> bool:
@@ -243,7 +254,7 @@ class DiskRuleCache:
                 os.unlink(temp_name)
                 raise
         except OSError as exc:
-            self.events.append(CacheEvent("write-failed", key, str(exc)))
+            self._record(CacheEvent("write-failed", key, str(exc)))
             return False
         return True
 
@@ -251,9 +262,14 @@ class DiskRuleCache:
     # diagnostics plumbing
     # ------------------------------------------------------------------
 
+    def _record(self, event: CacheEvent) -> None:
+        with self._events_lock:
+            self.events.append(event)
+
     def drain_events(self) -> list[CacheEvent]:
         """Hand accumulated events to the diagnostics layer (and reset)."""
-        events, self.events = self.events, []
+        with self._events_lock:
+            events, self.events = self.events, []
         return events
 
     def clear(self) -> int:

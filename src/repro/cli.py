@@ -190,7 +190,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     engine = _build_engine(args)
-    server = EngineServer(engine, timeout=args.timeout)
+    server = EngineServer(
+        engine, timeout=args.timeout, workers=args.serve_workers
+    )
     if args.socket:
         print(f"serving on {args.socket}", file=sys.stderr)
         server.serve_socket(args.socket)
@@ -408,8 +410,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Keep one warm engine resident and serve generate/"
         "analyze/refresh-rules requests over stdio (default) or a Unix "
         "socket. One JSON object per line in, one per line out, "
-        "correlated by 'id'. Malformed requests get a structured error "
-        "response; SIGTERM drains the in-flight request and exits.",
+        "correlated by 'id'. The socket transport serves many clients "
+        "concurrently over a shared worker pool (--serve-workers). "
+        "Malformed requests get a structured error response; SIGTERM "
+        "drains in-flight requests and exits.",
     )
     serve.add_argument("--rules", help="directory of .crysl rules (enables "
                        "the incremental refresh-rules op)")
@@ -436,8 +440,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         metavar="SECONDS",
-        help="per-request deadline; a request over the deadline gets a "
-        "structured timeout response and the server drains",
+        help="per-request deadline; an overdue request gets a structured "
+        "timeout response while the server keeps serving",
+    )
+    serve.add_argument(
+        "--serve-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shared worker-pool width for concurrent requests "
+        "(default: the machine's CPU count)",
     )
     serve.add_argument(
         "--verify",

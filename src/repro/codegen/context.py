@@ -17,9 +17,11 @@ exactly once. Each :meth:`run` yields a fresh per-run
 compile-cache counter deltas into it and merges it into the cumulative
 record; with a disk cache attached, run exit also flushes newly
 compiled artefacts to disk and folds cache events into the run's
-warnings. Runs are not thread-safe: two contexts over the same rule
-set must not run concurrently, because cache deltas are read off the
-rule set's shared :class:`~repro.crysl.compiled.CompileStats`.
+warnings. Runs may execute concurrently from many threads over one
+shared rule set: per-run compile-counter movement is captured through
+a context-local delta sink
+(:func:`repro.crysl.compiled.track_compile_deltas`), so one request's
+DFA builds never leak into another request's record.
 """
 
 from __future__ import annotations
@@ -31,7 +33,7 @@ from typing import Iterator
 from ..cache import DiskRuleCache
 from ..constraints.types import TypeRegistry, default_registry
 from ..crysl.ast import Rule
-from ..crysl.compiled import CompiledRule
+from ..crysl.compiled import CompiledRule, track_compile_deltas
 from ..crysl.ruleset import RuleSet, bundled_ruleset
 from ..diagnostics import (
     COMPILED_HITS,
@@ -90,13 +92,14 @@ class GenerationContext:
         any), and the run is merged into :attr:`diagnostics`.
         """
         diag = Diagnostics()
-        before = self.ruleset.compile_stats.snapshot()
         try:
-            yield diag
+            with track_compile_deltas() as delta:
+                try:
+                    yield diag
+                finally:
+                    with trace_span("cache:flush"):
+                        self.ruleset.flush_disk_cache()
         finally:
-            with trace_span("cache:flush"):
-                self.ruleset.flush_disk_cache()
-            delta = self.ruleset.compile_stats.delta(before)
             diag.count(COMPILED_HITS, delta.hits)
             diag.count(COMPILED_MISSES, delta.misses)
             diag.count(DFA_BUILDS, delta.dfa_builds)

@@ -27,13 +27,45 @@ function-level imports below.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, fields, replace
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator
 
 from . import ast
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle guard)
     from ..cache.store import CachedArtefacts
+
+#: Per-context stack of delta sinks (:func:`track_compile_deltas`).
+#: Every :meth:`CompileStats.bump` is mirrored into each active sink,
+#: so a request observes exactly the compilation work *its own thread*
+#: performed — under concurrent requests a ruleset-wide before/after
+#: snapshot would attribute one request's builds to another.
+_DELTA_SINKS: ContextVar["tuple[CompileStats, ...]"] = ContextVar(
+    "repro_compile_delta_sinks", default=()
+)
+
+
+@contextmanager
+def track_compile_deltas() -> Iterator["CompileStats"]:
+    """Collect this context's compile-counter movement into a sink.
+
+    Yields a fresh :class:`CompileStats` that accumulates every counter
+    bump performed by the current thread (more precisely, the current
+    :mod:`contextvars` context) for the duration of the block. Sinks
+    nest: an engine request's sink and the generation run's sink inside
+    it both see the same bumps. Under the single-flight compilation
+    guard the *winning* thread's sink records the build; waiters record
+    nothing — which is exactly their cost.
+    """
+    sink = CompileStats()
+    token = _DELTA_SINKS.set(_DELTA_SINKS.get() + (sink,))
+    try:
+        yield sink
+    finally:
+        _DELTA_SINKS.reset(token)
 
 
 @dataclass
@@ -46,6 +78,10 @@ class CompileStats:
     warm-started a rule (``disk_hits``), loads that fell through to a
     recompute (``disk_misses``), corrupt/stale entries dropped
     (``disk_evictions``) and artefacts persisted (``disk_writes``).
+
+    Mutation goes through :meth:`bump`, which is thread-safe and also
+    feeds any delta sinks active on the calling context
+    (:func:`track_compile_deltas`).
     """
 
     hits: int = 0
@@ -56,6 +92,27 @@ class CompileStats:
     disk_misses: int = 0
     disk_writes: int = 0
     disk_evictions: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Atomically move one counter (and any active delta sinks)."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+        for sink in _DELTA_SINKS.get():
+            if sink is not self:
+                with sink._lock:
+                    setattr(sink, counter, getattr(sink, counter) + amount)
 
     def snapshot(self) -> "CompileStats":
         return replace(self)
@@ -103,7 +160,17 @@ def _mentioned_objects(expr: ast.ConstraintExpr) -> frozenset[str]:
 
 
 class CompiledRule:
-    """One rule's derived artefacts, each computed at most once."""
+    """One rule's derived artefacts, each computed at most once.
+
+    Thread safety: the expensive derivations (:attr:`dfa`,
+    :attr:`paths`, the section indexes) are guarded by one per-entry
+    re-entrant lock with double-checked laziness — N threads racing on
+    an uncompiled rule perform exactly one DFA build and one path
+    enumeration while the rest wait on the lock. The cheap memo tables
+    (label expansions, predicate grants) stay lock-free: their
+    derivations are pure, so a rare duplicate compute is harmless and
+    the GIL makes the dict publication atomic.
+    """
 
     __slots__ = (
         "rule",
@@ -111,6 +178,7 @@ class CompiledRule:
         "disk_key",
         "persisted",
         "_stats",
+        "_lock",
         "_dfa",
         "_paths",
         "_expansions",
@@ -139,6 +207,9 @@ class CompiledRule:
         #: it, or written by ``RuleSet.flush_disk_cache``)
         self.persisted = False
         self._stats = stats if stats is not None else CompileStats()
+        #: per-entry guard for the expensive lazy derivations; re-entrant
+        #: because ``paths`` forces ``dfa`` while holding it
+        self._lock = threading.RLock()
         self._dfa = None
         self._paths: tuple[tuple[ast.Event, ...], ...] | None = None
         self._expansions: dict[str, tuple[str, ...]] = {}
@@ -154,25 +225,35 @@ class CompiledRule:
 
     @property
     def dfa(self):
-        """The rule's ORDER DFA, built on first access."""
-        if self._dfa is None:
-            from ..fsm.build import rule_dfa
+        """The rule's ORDER DFA, built on first access (single-flight)."""
+        dfa = self._dfa
+        if dfa is None:
+            with self._lock:
+                if self._dfa is None:
+                    from ..fsm.build import rule_dfa
 
-            self._dfa = rule_dfa(self.rule)
-            self._stats.dfa_builds += 1
-        return self._dfa
+                    self._dfa = rule_dfa(self.rule)
+                    self._stats.bump("dfa_builds")
+                dfa = self._dfa
+        return dfa
 
     @property
     def paths(self) -> tuple[tuple[ast.Event, ...], ...]:
         """The repetition-free accepting paths, enumerated on first access."""
-        if self._paths is None:
-            from ..fsm.paths import enumerate_paths
+        paths = self._paths
+        if paths is None:
+            with self._lock:
+                if self._paths is None:
+                    from ..fsm.paths import enumerate_paths
 
-            self._paths = tuple(
-                enumerate_paths(self.rule, dfa=self.dfa, max_paths=self.max_paths)
-            )
-            self._stats.path_enumerations += 1
-        return self._paths
+                    self._paths = tuple(
+                        enumerate_paths(
+                            self.rule, dfa=self.dfa, max_paths=self.max_paths
+                        )
+                    )
+                    self._stats.bump("path_enumerations")
+                paths = self._paths
+        return paths
 
     # ------------------------------------------------------------------
     # disk-cache rehydration and export
@@ -189,6 +270,10 @@ class CompiledRule:
         Successful preloads bump **no** build counters: that is the
         point of the disk cache.
         """
+        with self._lock:
+            return self._preload(artefacts)
+
+    def _preload(self, artefacts: "CachedArtefacts") -> bool:
         if artefacts.rule_class != self.rule.class_name:
             return False
         paths: list[tuple[ast.Event, ...]] = []
@@ -235,6 +320,10 @@ class CompiledRule:
         have not been forced yet — there is nothing worth writing. The
         cheap indexes are forced here so a persisted entry is complete.
         """
+        with self._lock:
+            return self._export_artefacts()
+
+    def _export_artefacts(self) -> "CachedArtefacts | None":
         if self._dfa is None or self._paths is None:
             return None
         from ..cache.store import CachedArtefacts, SCHEMA_VERSION
@@ -289,24 +378,32 @@ class CompiledRule:
     @property
     def ensures_by_name(self) -> dict[str, tuple[ast.PredicateUse, ...]]:
         """ENSURES entries indexed by predicate name (for the linker)."""
-        if self._ensures_by_name is None:
-            index: dict[str, list[ast.PredicateUse]] = {}
-            for ensured in self.rule.ensures:
-                index.setdefault(ensured.name, []).append(ensured)
-            self._ensures_by_name = {
-                name: tuple(entries) for name, entries in index.items()
-            }
-        return self._ensures_by_name
+        table = self._ensures_by_name
+        if table is None:
+            with self._lock:
+                if self._ensures_by_name is None:
+                    index: dict[str, list[ast.PredicateUse]] = {}
+                    for ensured in self.rule.ensures:
+                        index.setdefault(ensured.name, []).append(ensured)
+                    self._ensures_by_name = {
+                        name: tuple(entries) for name, entries in index.items()
+                    }
+                table = self._ensures_by_name
+        return table
 
     @property
     def events_by_signature(self) -> dict[tuple[str, int], ast.Event]:
         """``(method name, arity) -> event`` (for the SAST analyzer)."""
-        if self._events_by_signature is None:
-            index: dict[tuple[str, int], ast.Event] = {}
-            for event in self.rule.events:
-                index.setdefault((event.method_name, event.arity), event)
-            self._events_by_signature = index
-        return self._events_by_signature
+        table = self._events_by_signature
+        if table is None:
+            with self._lock:
+                if self._events_by_signature is None:
+                    index: dict[tuple[str, int], ast.Event] = {}
+                    for event in self.rule.events:
+                        index.setdefault((event.method_name, event.arity), event)
+                    self._events_by_signature = index
+                table = self._events_by_signature
+        return table
 
     def constraints_mentioning(
         self, object_name: str
@@ -317,15 +414,19 @@ class CompiledRule:
         candidates for one object — the pre-index replaces a full walk
         of every constraint per derivation.
         """
-        if self._constraint_index is None:
-            index: dict[str, list[ast.ConstraintExpr]] = {}
-            for constraint in self.rule.constraints:
-                for name in _mentioned_objects(constraint):
-                    index.setdefault(name, []).append(constraint)
-            self._constraint_index = {
-                name: tuple(entries) for name, entries in index.items()
-            }
-        return self._constraint_index.get(object_name, ())
+        table = self._constraint_index
+        if table is None:
+            with self._lock:
+                if self._constraint_index is None:
+                    index: dict[str, list[ast.ConstraintExpr]] = {}
+                    for constraint in self.rule.constraints:
+                        for name in _mentioned_objects(constraint):
+                            index.setdefault(name, []).append(constraint)
+                    self._constraint_index = {
+                        name: tuple(entries) for name, entries in index.items()
+                    }
+                table = self._constraint_index
+        return table.get(object_name, ())
 
     def adopt_stats(self, stats: CompileStats) -> None:
         """Re-home this entry's counters onto another cache's stats.
@@ -346,9 +447,10 @@ class CompiledRule:
         NEGATES deferrals must be re-derived so the next generation
         relinks against the edited neighbour.
         """
-        self._granted.clear()
-        self._invalidating.clear()
-        self._ensures_by_name = None
+        with self._lock:
+            self._granted = {}
+            self._invalidating = {}
+            self._ensures_by_name = None
 
     def granted_predicates(
         self, path_labels: tuple[str, ...]

@@ -28,6 +28,7 @@ disk when their content matches.
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -103,6 +104,10 @@ class RuleRepository:
             raise FileNotFoundError(f"rule directory not found: {self.directory}")
         self._disk_cache = disk_cache
         self._fingerprints: dict[str, _Fingerprint] = {}
+        # refresh() swaps the snapshot copy-on-write; the lock only
+        # serializes concurrent refreshers — readers of `ruleset` keep
+        # whatever frozen snapshot they already hold.
+        self._refresh_lock = threading.Lock()
         self._ruleset = self._load()
         #: completed refresh() calls (the engine's repository stage)
         self.refreshes = 0
@@ -135,6 +140,10 @@ class RuleRepository:
         file fails to parse or check — the previous snapshot stays in
         place, so a broken edit never takes the repository down.
         """
+        with self._refresh_lock:
+            return self._refresh()
+
+    def _refresh(self) -> RefreshReport:
         updates: list[tuple] = []  # (rule, source) for evolve()
         changed: list[str] = []
         added: list[str] = []

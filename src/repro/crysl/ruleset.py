@@ -8,7 +8,10 @@ The default rule set shipped with this package lives in
 
 from __future__ import annotations
 
+import hashlib
 import importlib.resources
+import threading
+from concurrent.futures import Future
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator
 
@@ -38,6 +41,14 @@ class RuleSet:
     rule set can be :meth:`frozen <freeze>`, after which :meth:`add`
     raises — the bundled set is shared process-wide and is frozen so
     one caller's additions cannot leak into another's generator.
+
+    Frozen rule sets are safe to share between threads: the compiled-
+    artefact memo is guarded by a set-level lock with a *single-flight*
+    entry per rule — N concurrent consumers racing on one uncompiled
+    rule produce exactly one :class:`CompiledRule` (and, through its
+    per-entry lock, exactly one DFA build); the losers wait on the
+    winner's in-flight future instead of recompiling. Mutable
+    (unfrozen) sets remain single-threaded setup objects.
     """
 
     def __init__(self, rules: list[Rule] | tuple[Rule, ...] = ()):
@@ -49,6 +60,12 @@ class RuleSet:
         #: qualified class name -> rule source text (disk-cache keying)
         self._sources: dict[str, str] = {}
         self._disk_cache: "DiskRuleCache | None" = None
+        #: guards _compiled/_inflight (and index mutation via add())
+        self._lock = threading.RLock()
+        #: class name -> in-flight CompiledRule creation (single-flight)
+        self._inflight: dict[str, "Future[CompiledRule]"] = {}
+        #: memoised content fingerprint (invalidated by add())
+        self._fingerprint: str | None = None
         for rule in rules:
             self.add(rule)
 
@@ -64,20 +81,48 @@ class RuleSet:
                 "this rule set is frozen (it is shared); call .copy() and "
                 "add rules to the private copy instead"
             )
-        previous = self._by_qualified.get(rule.class_name)
-        if previous is not None:
-            self._by_simple[previous.simple_name].remove(previous)
-        self._by_qualified[rule.class_name] = rule
-        self._by_simple.setdefault(rule.simple_name, []).append(rule)
-        self._compiled.pop(rule.class_name, None)
-        if source is not None:
-            self._sources[rule.class_name] = source
-        else:
-            self._sources.pop(rule.class_name, None)
+        with self._lock:
+            previous = self._by_qualified.get(rule.class_name)
+            if previous is not None:
+                self._by_simple[previous.simple_name].remove(previous)
+            self._by_qualified[rule.class_name] = rule
+            self._by_simple.setdefault(rule.simple_name, []).append(rule)
+            self._compiled.pop(rule.class_name, None)
+            self._fingerprint = None
+            if source is not None:
+                self._sources[rule.class_name] = source
+            else:
+                self._sources.pop(rule.class_name, None)
 
     def rule_source(self, class_name: str) -> str | None:
         """The recorded ``.crysl`` source for one rule, if known."""
         return self._sources.get(class_name)
+
+    @property
+    def fingerprint(self) -> str:
+        """A content digest of the whole set (result-cache keying).
+
+        Hashes every rule's qualified name and recorded source, in
+        sorted order, so two sets loaded from the same ``.crysl`` files
+        agree. Rules added without source fall back to an
+        identity-based tag — unique per object, which only ever makes
+        the fingerprint *more* conservative. Memoised until the next
+        :meth:`add`; :meth:`evolve` successors recompute lazily.
+        """
+        fp = self._fingerprint
+        if fp is None:
+            digest = hashlib.sha256()
+            with self._lock:
+                for name in sorted(self._by_qualified):
+                    source = self._sources.get(name)
+                    if source is None:
+                        source = f"<unsourced:{id(self._by_qualified[name])}>"
+                    digest.update(name.encode("utf-8"))
+                    digest.update(b"\x00")
+                    digest.update(source.encode("utf-8"))
+                    digest.update(b"\x01")
+                fp = self._fingerprint = digest.hexdigest()
+        return fp
 
     # ------------------------------------------------------------------
     # sharing and mutation control
@@ -136,7 +181,9 @@ class RuleSet:
         for rule, source in updates:
             if rule.class_name not in removed:
                 fresh.add(rule, source=source)
-        for name, entry in self._compiled.items():
+        with self._lock:
+            carried = list(self._compiled.items())
+        for name, entry in carried:
             if name in removed or name in replaced:
                 continue
             if name in fresh._by_qualified:
@@ -184,15 +231,43 @@ class RuleSet:
             if isinstance(rule_or_name, str)
             else rule_or_name
         )
-        entry = self._compiled.get(rule.class_name)
-        if entry is not None and entry.rule is rule:
-            self._compile_stats.hits += 1
+        with self._lock:
+            entry = self._compiled.get(rule.class_name)
+            if entry is not None and entry.rule is rule:
+                self._compile_stats.bump("hits")
+                return entry
+            flight = self._inflight.get(rule.class_name)
+            owner = flight is None
+            if owner:
+                # This thread wins the flight: it creates (and disk-
+                # loads) the entry outside the set lock; racers wait on
+                # the future instead of compiling again.
+                flight = Future()
+                self._inflight[rule.class_name] = flight
+        if not owner:
+            # Another thread owns the in-flight creation: wait, then
+            # count this call as the cache hit it effectively was.
+            entry = flight.result()
+            if entry.rule is rule:
+                self._compile_stats.bump("hits")
+                return entry
+            # The flight resolved for a different rule object (the rule
+            # was replaced mid-creation on a mutable set): retry.
+            return self.compiled(rule, max_paths=max_paths)
+        try:
+            self._compile_stats.bump("misses")
+            entry = CompiledRule(rule, self._compile_stats, max_paths=max_paths)
+            self._load_from_disk(entry)
+            with self._lock:
+                self._compiled[rule.class_name] = entry
+            flight.set_result(entry)
             return entry
-        self._compile_stats.misses += 1
-        entry = CompiledRule(rule, self._compile_stats, max_paths=max_paths)
-        self._load_from_disk(entry)
-        self._compiled[rule.class_name] = entry
-        return entry
+        except BaseException as exc:
+            flight.set_exception(exc)
+            raise
+        finally:
+            with self._lock:
+                self._inflight.pop(rule.class_name, None)
 
     def _load_from_disk(self, entry: CompiledRule) -> None:
         """Try to warm one fresh entry from the attached disk cache."""
@@ -204,10 +279,10 @@ class RuleSet:
         entry.disk_key = self._disk_cache.key(source, max_paths=entry.max_paths)
         result = self._disk_cache.load(entry.disk_key)
         if result.evicted:
-            self._compile_stats.disk_evictions += 1
+            self._compile_stats.bump("disk_evictions")
         if result.artefacts is not None:
             if entry.preload(result.artefacts):
-                self._compile_stats.disk_hits += 1
+                self._compile_stats.bump("disk_hits")
                 return
             # Preload refused the entry: it no longer matches the rule.
             self._disk_cache.evict(
@@ -215,8 +290,8 @@ class RuleSet:
                 f"{entry.rule.class_name}: entry does not match the rule; "
                 "recomputing",
             )
-            self._compile_stats.disk_evictions += 1
-        self._compile_stats.disk_misses += 1
+            self._compile_stats.bump("disk_evictions")
+        self._compile_stats.bump("disk_misses")
 
     def flush_disk_cache(self) -> int:
         """Persist every compiled-but-unwritten entry; returns the count.
@@ -228,14 +303,16 @@ class RuleSet:
         if self._disk_cache is None:
             return 0
         written = 0
-        for entry in self._compiled.values():
+        with self._lock:
+            entries = list(self._compiled.values())
+        for entry in entries:
             if entry.persisted or entry.disk_key is None:
                 continue
             artefacts = entry.export_artefacts()
             if artefacts is None:
                 continue
             if self._disk_cache.store(entry.disk_key, artefacts):
-                self._compile_stats.disk_writes += 1
+                self._compile_stats.bump("disk_writes")
                 entry.persisted = True
                 written += 1
         return written

@@ -16,6 +16,7 @@ harness) can report totals. ``cognicrypt-gen generate --stats`` prints
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -114,7 +115,14 @@ class DiagnosticWarning:
 
 @dataclass
 class Diagnostics:
-    """Timings, counters, per-rule path counts and warnings for one run."""
+    """Timings, counters, per-rule path counts and warnings for one run.
+
+    Recording is thread-safe: an engine's one cumulative record absorbs
+    stage timings, counters and merges from every concurrently served
+    request under an internal lock (the lock is dropped and recreated
+    across pickling, so worker processes can still ship their records
+    back to the parent).
+    """
 
     stages: dict[str, StageTiming] = field(default_factory=dict)
     counters: dict[str, int] = field(default_factory=dict)
@@ -124,6 +132,18 @@ class Diagnostics:
     #: the request trace this record belongs to, when the run happened
     #: inside an engine request (:mod:`repro.trace`); never merged.
     trace: object | None = None
+
+    def __post_init__(self) -> None:
+        self._lock = threading.RLock()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # recording
@@ -148,18 +168,23 @@ class Diagnostics:
             try:
                 yield
             finally:
-                timing = self.stages.setdefault(name, StageTiming(name))
-                timing.seconds += time.perf_counter() - started
-                timing.calls += 1
+                elapsed = time.perf_counter() - started
+                with self._lock:
+                    timing = self.stages.setdefault(name, StageTiming(name))
+                    timing.seconds += elapsed
+                    timing.calls += 1
 
     def count(self, key: str, amount: int = 1) -> None:
-        self.counters[key] = self.counters.get(key, 0) + amount
+        with self._lock:
+            self.counters[key] = self.counters.get(key, 0) + amount
 
     def record_path_count(self, rule_name: str, count: int) -> None:
-        self.path_counts[rule_name] = count
+        with self._lock:
+            self.path_counts[rule_name] = count
 
     def warn(self, stage: str, message: str, rule: str | None = None) -> None:
-        self.warnings.append(DiagnosticWarning(stage, message, rule))
+        with self._lock:
+            self.warnings.append(DiagnosticWarning(stage, message, rule))
 
     def merge(self, other: "Diagnostics") -> None:
         """Fold another run's record into this one (for batch totals).
@@ -170,18 +195,21 @@ class Diagnostics:
         runs must agree (and a bounded enumeration in one run must not
         clobber a fuller one from another).
         """
-        for timing in other.stages.values():
-            mine = self.stages.setdefault(timing.name, StageTiming(timing.name))
-            mine.seconds += timing.seconds
-            mine.calls += timing.calls
-        for key, amount in other.counters.items():
-            self.count(key, amount)
-        for rule_name, count in other.path_counts.items():
-            mine = self.path_counts.get(rule_name)
-            self.path_counts[rule_name] = (
-                count if mine is None else max(mine, count)
-            )
-        self.warnings.extend(other.warnings)
+        with self._lock:
+            for timing in list(other.stages.values()):
+                mine = self.stages.setdefault(
+                    timing.name, StageTiming(timing.name)
+                )
+                mine.seconds += timing.seconds
+                mine.calls += timing.calls
+            for key, amount in list(other.counters.items()):
+                self.counters[key] = self.counters.get(key, 0) + amount
+            for rule_name, count in list(other.path_counts.items()):
+                mine = self.path_counts.get(rule_name)
+                self.path_counts[rule_name] = (
+                    count if mine is None else max(mine, count)
+                )
+            self.warnings.extend(other.warnings)
 
     # ------------------------------------------------------------------
     # reading

@@ -20,6 +20,7 @@ from .core import (
     GenerateResult,
     expand_analyze_paths,
 )
+from .result_cache import ResultCache, ResultKey
 from .server import PROTOCOL_VERSION, EngineServer
 
 __all__ = [
@@ -32,5 +33,7 @@ __all__ = [
     "GenerateRequest",
     "GenerateResult",
     "PROTOCOL_VERSION",
+    "ResultCache",
+    "ResultKey",
     "expand_analyze_paths",
 ]

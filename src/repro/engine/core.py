@@ -22,12 +22,22 @@ artefact or a structured :class:`EngineError`, plus the request's
 layers) and its compile-counter delta, so one request's cost is
 attributable end to end. Unexpected exceptions still propagate.
 
-The engine is not thread-safe: requests must be issued sequentially
-(the serve daemon funnels everything through one worker thread).
+The engine is thread-safe: many threads (the serve daemon's shared
+worker pool) may issue ``generate``/``analyze`` concurrently. Request
+ids and counters move under an internal lock, per-request compile
+deltas are captured through context-local sinks
+(:func:`repro.crysl.compiled.track_compile_deltas`), rule compilation
+is single-flight on the rule set, and repeated identical generate
+requests are answered from a bounded LRU
+:class:`~repro.engine.result_cache.ResultCache` that ``refresh_rules``
+invalidates. Only ``refresh_rules`` and parallel batches serialize
+against each other (they swap or share the process worker pool).
 """
 
 from __future__ import annotations
 
+import hashlib
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
@@ -41,10 +51,13 @@ from ..codegen import (
     TemplateError,
     WorkerPool,
 )
+from ..cache.store import SCHEMA_VERSION
 from ..crysl import CrySLError, RuleRepository, RuleSet, bundled_ruleset
+from ..crysl.compiled import track_compile_deltas
 from ..crysl.repository import RefreshReport
 from ..diagnostics import Diagnostics, register_stage
 from ..trace import Trace, activate as activate_trace
+from .result_cache import DEFAULT_CAPACITY, ResultCache, ResultKey
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from ..cache import DiskRuleCache
@@ -119,6 +132,8 @@ class _ResultBase:
     error: EngineError | None = None
     #: DFA builds this request caused (0 on every warm request)
     dfa_builds: int = 0
+    #: True when the whole result came out of the engine's result cache
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -137,6 +152,7 @@ class _ResultBase:
             "elapsed_ms": self.elapsed_seconds * 1000.0,
             "dfa_builds": self.dfa_builds,
             "warm": self.warm,
+            "cached": self.cached,
             "trace": self.trace.to_dict(),
             **({"error": self.error.to_dict()} if self.error else {}),
         }
@@ -206,6 +222,7 @@ class CryptoGenEngine:
         registry: "TypeRegistry | None" = None,
         max_paths: int | None = None,
         verify: bool = False,
+        result_cache_size: int = DEFAULT_CAPACITY,
     ):
         if rules_dir is not None and ruleset is not None:
             raise ValueError("pass rules_dir or ruleset, not both")
@@ -223,6 +240,16 @@ class CryptoGenEngine:
         #: completed requests (generate + analyze)
         self.requests = 0
         self._request_counter = 0
+        #: guards request ids, counters and lazy service construction
+        self._lock = threading.RLock()
+        #: serializes refresh_rules against parallel batches — both
+        #: touch the process worker pool, which must not be torn down
+        #: mid-batch. Serial generate/analyze never take it.
+        self._batch_lock = threading.Lock()
+        #: memo of completed generate requests (see engine.result_cache)
+        self.result_cache: "ResultCache[GeneratedModule]" = ResultCache(
+            result_cache_size
+        )
         self._repository: RuleRepository | None = None
         if rules_dir is not None:
             self._repository = RuleRepository(rules_dir, disk_cache=cache)
@@ -247,7 +274,14 @@ class CryptoGenEngine:
     # ------------------------------------------------------------------
 
     def _build_services(self, ruleset: RuleSet) -> None:
-        """(Re)build generator + analyzer around one frozen rule set."""
+        """(Re)build generator + analyzer around one frozen rule set.
+
+        Also invalidates the result cache: memoized modules were
+        generated under the *previous* rule set, and even though the
+        fingerprint key would make them unreachable, dropping them
+        keeps the cache from pinning dead rule-set snapshots.
+        """
+        self.result_cache.clear()
         self.context = GenerationContext(
             ruleset=ruleset,
             registry=self._registry,
@@ -279,11 +313,13 @@ class CryptoGenEngine:
         if self._analyzer is None:
             from ..sast import ProjectAnalyzer
 
-            self._analyzer = ProjectAnalyzer(
-                self.ruleset,
-                self.context.registry,
-                diagnostics=self.diagnostics,
-            )
+            with self._lock:
+                if self._analyzer is None:
+                    self._analyzer = ProjectAnalyzer(
+                        self.ruleset,
+                        self.context.registry,
+                        diagnostics=self.diagnostics,
+                    )
         return self._analyzer
 
     def pool(self, jobs: int) -> WorkerPool:
@@ -317,43 +353,113 @@ class CryptoGenEngine:
     def _next_request_id(self, explicit: str | None) -> str:
         if explicit is not None:
             return explicit
-        self._request_counter += 1
-        return f"req-{self._request_counter}"
+        with self._lock:
+            self._request_counter += 1
+            return f"req-{self._request_counter}"
+
+    def _count_request(self) -> None:
+        with self._lock:
+            self.requests += 1
+
+    def _result_key(self, request: GenerateRequest) -> ResultKey | None:
+        """The request's result-cache identity; None when uncacheable.
+
+        Template files are keyed by *content* digest, so an edited
+        template misses instead of serving stale code; an unreadable
+        file returns None and lets the pipeline produce the structured
+        error (errors are never cached).
+        """
+        if not self.result_cache.enabled:
+            return None
+        if request.source is not None:
+            digest = hashlib.sha256(request.source.encode("utf-8")).hexdigest()
+            name = request.name or "<template>"
+        elif request.template is not None:
+            path = Path(request.template)
+            try:
+                digest = hashlib.sha256(path.read_bytes()).hexdigest()
+            except OSError:
+                return None
+            name = path.stem
+        else:
+            return None
+        verify = self._verify if request.verify is None else request.verify
+        return ResultKey(
+            template_digest=digest,
+            name=name,
+            ruleset_fingerprint=self.ruleset.fingerprint,
+            verify=verify,
+            max_paths=self._max_paths,
+            schema_version=SCHEMA_VERSION,
+        )
+
+    def _cached_result(
+        self, request_id: str, module: GeneratedModule
+    ) -> GenerateResult:
+        """Wrap a memoized module as a fresh (cache-hit) result.
+
+        The module object is shared with every other hit, so it is not
+        mutated here — the hit gets its own id and a minimal trace
+        whose single span marks where the answer came from.
+        """
+        trace = Trace(request_id)
+        with activate_trace(trace), trace.span("request:generate"):
+            with trace.span("result-cache:hit"):
+                pass
+        self.diagnostics.count("result_cache.hits")
+        self._count_request()
+        return GenerateResult(
+            request_id=request_id,
+            elapsed_seconds=trace.total_seconds,
+            trace=trace,
+            error=None,
+            dfa_builds=0,
+            cached=True,
+            module=module,
+        )
 
     def generate(self, request: GenerateRequest) -> GenerateResult:
         """Serve one generation request; recoverable errors are data."""
         request_id = self._next_request_id(request.request_id)
+        key = self._result_key(request)
+        if key is not None:
+            hit = self.result_cache.get(key)
+            if hit is not None:
+                return self._cached_result(request_id, hit)
+            self.diagnostics.count("result_cache.misses")
         trace = Trace(request_id)
-        before = self.ruleset.compile_stats.snapshot()
         module: GeneratedModule | None = None
         error: EngineError | None = None
         with activate_trace(trace), trace.span("request:generate"):
-            try:
-                if request.source is not None:
-                    module = self._generator.generate_from_source(
-                        request.source,
-                        request.name or "<template>",
-                        verify=request.verify,
-                    )
-                elif request.template is not None:
-                    module = self._generator.generate_from_file(
-                        request.template, verify=request.verify
-                    )
-                else:
-                    raise EngineRequestError(
-                        "generate request needs a template path or source"
-                    )
-            except RECOVERABLE_ERRORS as exc:
-                error = EngineError(type(exc).__name__, str(exc))
+            with track_compile_deltas() as delta:
+                try:
+                    if request.source is not None:
+                        module = self._generator.generate_from_source(
+                            request.source,
+                            request.name or "<template>",
+                            verify=request.verify,
+                        )
+                    elif request.template is not None:
+                        module = self._generator.generate_from_file(
+                            request.template, verify=request.verify
+                        )
+                    else:
+                        raise EngineRequestError(
+                            "generate request needs a template path or source"
+                        )
+                except RECOVERABLE_ERRORS as exc:
+                    error = EngineError(type(exc).__name__, str(exc))
         if module is not None:
             module.diagnostics.trace = trace
-        self.requests += 1
+            if key is not None and error is None:
+                self.result_cache.put(key, module)
+        self._count_request()
         return GenerateResult(
             request_id=request_id,
             elapsed_seconds=trace.total_seconds,
             trace=trace,
             error=error,
-            dfa_builds=self.ruleset.compile_stats.delta(before).dfa_builds,
+            dfa_builds=delta.dfa_builds,
             module=module,
         )
 
@@ -381,22 +487,27 @@ class CryptoGenEngine:
     ) -> list[GenerateResult]:
         request_id = self._next_request_id(None)
         trace = Trace(request_id)
-        before = self.ruleset.compile_stats.snapshot()
         failures_by_index: dict[int, EngineError] = {}
-        with activate_trace(trace), trace.span("request:generate-batch"):
-            try:
-                modules: list[GeneratedModule | None] = list(
-                    self._generator.generate_many(templates, pool=self.pool(jobs))
-                )
-            except BatchGenerationError as exc:
-                modules = exc.modules
-                failures_by_index = {
-                    f.index: EngineError(f.error_type, str(f)) for f in exc.failures
-                }
-        dfa_builds = self.ruleset.compile_stats.delta(before).dfa_builds
+        with self._batch_lock, activate_trace(trace), trace.span(
+            "request:generate-batch"
+        ):
+            with track_compile_deltas() as delta:
+                try:
+                    modules: list[GeneratedModule | None] = list(
+                        self._generator.generate_many(
+                            templates, pool=self.pool(jobs)
+                        )
+                    )
+                except BatchGenerationError as exc:
+                    modules = exc.modules
+                    failures_by_index = {
+                        f.index: EngineError(f.error_type, str(f))
+                        for f in exc.failures
+                    }
+        dfa_builds = delta.dfa_builds
         results: list[GenerateResult] = []
         for index, module in enumerate(modules):
-            self.requests += 1
+            self._count_request()
             results.append(
                 GenerateResult(
                     request_id=f"{request_id}.{index}",
@@ -415,32 +526,32 @@ class CryptoGenEngine:
         """Serve one whole-project analysis request."""
         request_id = self._next_request_id(request.request_id)
         trace = Trace(request_id)
-        before = self.ruleset.compile_stats.snapshot()
         analysis = None
         error: EngineError | None = None
         with activate_trace(trace), trace.span("request:analyze"):
-            try:
-                sources: dict[str, str] = {}
-                for path in expand_analyze_paths(request.paths):
-                    sources[str(path)] = path.read_text(encoding="utf-8")
-                if request.sources:
-                    sources.update(request.sources)
-                if not sources:
-                    raise EngineRequestError(
-                        "analyze request needs paths or sources"
+            with track_compile_deltas() as delta:
+                try:
+                    sources: dict[str, str] = {}
+                    for path in expand_analyze_paths(request.paths):
+                        sources[str(path)] = path.read_text(encoding="utf-8")
+                    if request.sources:
+                        sources.update(request.sources)
+                    if not sources:
+                        raise EngineRequestError(
+                            "analyze request needs paths or sources"
+                        )
+                    analysis = self.analyzer.analyze_sources(
+                        sources, jobs=request.jobs
                     )
-                analysis = self.analyzer.analyze_sources(
-                    sources, jobs=request.jobs
-                )
-            except RECOVERABLE_ERRORS as exc:
-                error = EngineError(type(exc).__name__, str(exc))
-        self.requests += 1
+                except RECOVERABLE_ERRORS as exc:
+                    error = EngineError(type(exc).__name__, str(exc))
+        self._count_request()
         return AnalyzeResult(
             request_id=request_id,
             elapsed_seconds=trace.total_seconds,
             trace=trace,
             error=error,
-            dfa_builds=self.ruleset.compile_stats.delta(before).dfa_builds,
+            dfa_builds=delta.dfa_builds,
             analysis=analysis,
         )
 
@@ -459,15 +570,19 @@ class CryptoGenEngine:
             raise EngineRequestError(
                 "engine has no rule repository (constructed without rules_dir)"
             )
-        with self.diagnostics.stage(REPOSITORY_STAGE):
-            report = self._repository.refresh()
-        self.diagnostics.count("repository.refreshes")
-        if report.dirty:
-            self.diagnostics.count(
-                "repository.recompiled", len(report.changed) + len(report.added)
-            )
-            self.diagnostics.count("repository.relinked", len(report.relinked))
-            self._build_services(self._repository.ruleset)
+        with self._batch_lock:
+            with self.diagnostics.stage(REPOSITORY_STAGE):
+                report = self._repository.refresh()
+            self.diagnostics.count("repository.refreshes")
+            if report.dirty:
+                self.diagnostics.count(
+                    "repository.recompiled",
+                    len(report.changed) + len(report.added),
+                )
+                self.diagnostics.count(
+                    "repository.relinked", len(report.relinked)
+                )
+                self._build_services(self._repository.ruleset)
         return report
 
     def __repr__(self) -> str:

@@ -1,0 +1,141 @@
+"""A bounded, thread-safe LRU memo of generation results.
+
+Rule compilation is already memoized twice (the rule set's in-process
+compiled-rule cache, the content-addressed disk cache); this module
+adds the third and cheapest tier: whole-request memoization. A
+resident ``serve`` daemon that receives the same generate request
+twice — same template content, same rule set, same generation options
+— can answer the repeat at dict-lookup cost instead of re-running the
+five-stage pipeline.
+
+Keys are :class:`ResultKey` value objects built by the engine from
+
+* the template identity — a sha256 over the template *content* (inline
+  source or file bytes) plus the module name, so an edited template
+  file misses instead of serving stale code;
+* the rule-set content fingerprint
+  (:attr:`repro.crysl.ruleset.RuleSet.fingerprint`), so any rule
+  change — including a ``refresh-rules`` swap — invalidates;
+* the effective generation options (verify, max-paths) and the
+  compiled-artefact :data:`~repro.cache.store.SCHEMA_VERSION`.
+
+The cache itself is generic: a bounded OrderedDict under one lock with
+LRU eviction and ``hits``/``misses``/``evictions`` counters. Cached
+values are treated as immutable by contract — the engine hands out the
+same :class:`~repro.codegen.generator.GeneratedModule` object to every
+hit — so callers must not mutate what they get back.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, Hashable, TypeVar
+
+#: Default number of memoized results a resident engine keeps.
+DEFAULT_CAPACITY = 256
+
+V = TypeVar("V")
+
+
+@dataclass(frozen=True)
+class ResultKey:
+    """The identity of one generate request, by content not by path."""
+
+    #: sha256 of the template source bytes
+    template_digest: str
+    #: the module name the template was generated under
+    name: str
+    #: sha256 content fingerprint of the serving rule set
+    ruleset_fingerprint: str
+    #: effective verify flag (request override folded in)
+    verify: bool
+    #: effective path-explosion bound (None = pipeline default)
+    max_paths: int | None
+    #: compiled-artefact schema version (pipeline semantics tag)
+    schema_version: int
+
+
+class ResultCache(Generic[V]):
+    """A bounded thread-safe LRU map with hit/miss/eviction counters.
+
+    A non-positive ``capacity`` disables the cache entirely: ``get``
+    always misses and ``put`` is a no-op (the serve daemon's
+    ``--no-result-cache`` / benchmark-baseline mode).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, V]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable) -> V | None:
+        """The memoized value, refreshed to most-recently-used; or None."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: V) -> None:
+        """Memoize one value, evicting the least recently used on overflow."""
+        if not self.enabled:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> int:
+        """Drop every entry (rule-set invalidation); returns the count."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+        return dropped
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups, 0.0 when nothing has been looked up."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return self.hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable counter snapshot (the ``stats`` op)."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"<ResultCache size={len(self)}/{self.capacity} "
+            f"hits={self.hits} misses={self.misses}>"
+        )

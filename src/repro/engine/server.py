@@ -9,35 +9,55 @@ line, correlated by the client-chosen ``id``. Requests:
     or ``{"op": "generate", "source": "...", "name": "..."}``; the
     response carries the generated module, its report, per-request
     trace and the request's DFA-build delta (``"warm": true`` after
-    the first request).
+    the first request, ``"cached": true`` when the engine's result
+    cache answered).
 ``{"id": 2, "op": "analyze", "paths": [...]}``
     or inline ``"sources": {name: text}``.
 ``{"op": "ping"}`` / ``{"op": "stats"}`` / ``{"op": "refresh-rules"}``
-    liveness, the engine's cumulative diagnostics, and an incremental
-    rule-repository rescan.
+    liveness, the engine's cumulative diagnostics plus server metrics
+    (per-op latency percentiles, in-flight gauge, worker utilization,
+    result-cache counters), and an incremental rule-repository rescan.
 ``{"op": "shutdown"}``
     drain and exit (the response is still sent).
 
-Malformed input — bad JSON, an unknown op, a missing field — never
-kills the daemon: the client gets a structured error response
-(``"ok": false`` with an ``error`` object; ``"id": null`` when the
-request was unparseable) and the loop continues. ``SIGTERM`` flips a
-drain flag: the in-flight request finishes and the loop exits
-cleanly. Each request runs on a single worker thread with a deadline;
-a request that exceeds the server's ``timeout`` produces a timeout
-error response (the worker is abandoned — the engine is sequential,
-so the server stops accepting work and drains).
+Concurrency model. The server is concurrent end to end: a Unix-socket
+transport accepts many simultaneous clients (``listen(128)``,
+``selectors``-based readiness, one reader thread per connection) and
+every parsed request is dispatched onto one *shared* worker pool of
+``workers`` threads (default ``os.cpu_count()``). Responses are
+written by a per-connection writer thread in request order — each
+response carries a per-connection ``seq`` number — so pipelined
+clients always read answers in the order they asked.
+
+Deadlines are per request, not per server: a request that exceeds
+``timeout`` produces a structured ``TimeoutError`` response (the
+worker is abandoned; the engine is thread-safe, so later requests are
+unaffected) and the server *keeps serving*. Malformed input — bad
+JSON, an unknown op, a missing field — never kills the daemon either:
+the client gets a structured error response (``"ok": false`` with an
+``error`` object; ``"id": null`` when the request was unparseable) and
+the loop continues; an unexpected handler crash becomes an
+``InternalError`` response. ``SIGTERM`` flips a drain flag: in-flight
+requests finish (or hit their deadline), every connection's read side
+is shut down, and the loops exit cleanly.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import selectors
 import signal
 import socket as socketlib
 import sys
-from concurrent.futures import Future, ThreadPoolExecutor
+import threading
+import time
+from collections import deque
+from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
 from pathlib import Path
+from queue import SimpleQueue
 from typing import IO, Callable, Iterator
 
 from .core import (
@@ -47,8 +67,13 @@ from .core import (
     GenerateRequest,
 )
 
-#: Protocol version reported by ``ping`` and ``stats``.
-PROTOCOL_VERSION = 1
+#: Protocol version reported by ``ping`` and ``stats``. Bumped to 2 by
+#: the concurrent-serve rework: responses gained ``seq``/``cached``
+#: fields and timeouts stopped draining the server.
+PROTOCOL_VERSION = 2
+
+#: Per-op latency samples kept for the percentile estimates.
+LATENCY_WINDOW = 512
 
 
 class _ProtocolError(Exception):
@@ -67,21 +92,136 @@ def _error_response(request_id, kind: str, message: str) -> dict:
     }
 
 
+def _percentile(ordered: list[float], q: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample."""
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class ServerMetrics:
+    """Thread-safe serving counters: latencies, gauges, utilization.
+
+    The latency store keeps the last :data:`LATENCY_WINDOW` samples per
+    op (a sliding window, so percentiles reflect recent behaviour on a
+    long-lived daemon, not its cold start). This lock is a *leaf* in
+    the server's lock hierarchy: nothing else is ever acquired while
+    holding it.
+    """
+
+    def __init__(self, workers: int):
+        self.workers = workers
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self.in_flight = 0
+        self.dispatched = 0
+        self.completed = 0
+        self.timeouts = 0
+        self.busy_seconds = 0.0
+        self._latencies: dict[str, deque[float]] = {}
+
+    def submitted(self) -> None:
+        with self._lock:
+            self.dispatched += 1
+            self.in_flight += 1
+
+    def finished(self, op: str, seconds: float) -> None:
+        with self._lock:
+            self.in_flight -= 1
+            self.completed += 1
+            self.busy_seconds += seconds
+            samples = self._latencies.get(op)
+            if samples is None:
+                samples = self._latencies[op] = deque(maxlen=LATENCY_WINDOW)
+            samples.append(seconds)
+
+    def timed_out(self, op: str) -> None:
+        with self._lock:
+            self.timeouts += 1
+
+    def to_dict(self) -> dict:
+        """A JSON snapshot for the ``stats`` op and the CI artifact."""
+        with self._lock:
+            elapsed = time.monotonic() - self._started
+            capacity_seconds = self.workers * elapsed
+            latency_ms = {}
+            for op, samples in sorted(self._latencies.items()):
+                ordered = sorted(samples)
+                latency_ms[op] = {
+                    "count": len(ordered),
+                    "p50": _percentile(ordered, 0.50) * 1000.0,
+                    "p95": _percentile(ordered, 0.95) * 1000.0,
+                    "p99": _percentile(ordered, 0.99) * 1000.0,
+                }
+            return {
+                "workers": self.workers,
+                "in_flight": self.in_flight,
+                "dispatched": self.dispatched,
+                "completed": self.completed,
+                "timeouts": self.timeouts,
+                "busy_seconds": self.busy_seconds,
+                "utilization": (
+                    self.busy_seconds / capacity_seconds
+                    if capacity_seconds > 0
+                    else 0.0
+                ),
+                "latency_ms": latency_ms,
+            }
+
+
+@dataclass
+class _Pending:
+    """One enqueued response slot, in per-connection sequence order."""
+
+    seq: int
+    request_id: object
+    op: str | None
+    submitted_at: float
+    future: "Future | None" = None
+    #: pre-computed response (parse/protocol errors skip the pool)
+    response: dict | None = field(default=None)
+
+
+class _StreamTotals:
+    """Mutable per-connection response counter for the writer thread."""
+
+    def __init__(self) -> None:
+        self.written = 0
+
+
 class EngineServer:
-    """A line-oriented JSON front end over one resident engine."""
+    """A line-oriented JSON front end over one resident engine.
+
+    Lock hierarchy (outermost first): server state lock → engine lock →
+    rule-set lock → compiled-rule lock → stats/diagnostics/metrics
+    leaves. The server itself only holds its own leaf locks while
+    touching shared counters; request execution happens on the shared
+    pool with no server lock held.
+    """
 
     def __init__(
         self,
         engine: CryptoGenEngine,
         *,
         timeout: float | None = None,
+        workers: int | None = None,
     ):
         self.engine = engine
         #: per-request deadline in seconds; ``None`` waits forever
         self.timeout = timeout
-        #: requests answered (including error responses)
+        #: shared worker-pool width (``--serve-workers``)
+        self.workers = workers if workers is not None else (os.cpu_count() or 4)
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        #: requests answered (including error responses), all connections
         self.responses = 0
+        self.metrics = ServerMetrics(self.workers)
         self._draining = False
+        self._state_lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._connections: set[socketlib.socket] = set()
+        self._wake_write_fd: int | None = None
         self._ops: dict[str, Callable[[dict], dict]] = {
             "generate": self._op_generate,
             "analyze": self._op_analyze,
@@ -96,33 +236,73 @@ class EngineServer:
     # ------------------------------------------------------------------
 
     def handle_line(self, line: str) -> dict | None:
-        """One request line -> one response object (None for blanks)."""
+        """One request line -> one response object (None for blanks).
+
+        The synchronous convenience path (tests, embedding); the serve
+        loops parse and dispatch through the shared pool instead.
+        """
         line = line.strip()
         if not line:
             return None
+        request, parse_error = self._parse(line)
+        if parse_error is not None:
+            return parse_error
+        op = request["op"]
+        self.metrics.submitted()
+        return self._execute(op, request)
+
+    def _parse(self, line: str) -> tuple[dict | None, dict | None]:
+        """Parse one line into ``(request, None)`` or ``(None, error)``.
+
+        A returned request is guaranteed to be a dict whose ``op`` is a
+        known handler name; everything else is already a structured
+        error response.
+        """
         try:
             request = json.loads(line)
         except json.JSONDecodeError as exc:
-            return _error_response(None, "JSONDecodeError", str(exc))
+            return None, _error_response(None, "JSONDecodeError", str(exc))
         if not isinstance(request, dict):
-            return _error_response(
+            return None, _error_response(
                 None, "ProtocolError", "request must be a JSON object"
             )
         request_id = request.get("id")
+        op = request.get("op")
+        if not isinstance(op, str):
+            return None, _error_response(
+                request_id, "ProtocolError", "request needs a string 'op' field"
+            )
+        if op not in self._ops:
+            known = ", ".join(sorted(self._ops))
+            return None, _error_response(
+                request_id, "ProtocolError", f"unknown op {op!r} (known: {known})"
+            )
+        return request, None
+
+    def _execute(self, op: str, request: dict) -> dict:
+        """Run one validated request (on a pool worker) to a response.
+
+        Never raises: protocol rejections and unexpected handler
+        crashes both become structured error responses — a concurrent
+        daemon must not die because one request hit a bug.
+        """
+        started = time.monotonic()
         try:
-            op = request.get("op")
-            if not isinstance(op, str):
-                raise _ProtocolError("request needs a string 'op' field")
-            handler = self._ops.get(op)
-            if handler is None:
-                known = ", ".join(sorted(self._ops))
-                raise _ProtocolError(f"unknown op {op!r} (known: {known})")
-            response = handler(request)
-        except _ProtocolError as exc:
-            return _error_response(request_id, exc.kind, str(exc))
-        response.setdefault("id", request_id)
-        response.setdefault("ok", True)
-        return response
+            try:
+                response = self._ops[op](request)
+            except _ProtocolError as exc:
+                return _error_response(request.get("id"), exc.kind, str(exc))
+            except Exception as exc:  # noqa: BLE001 - kept serving by design
+                return _error_response(
+                    request.get("id"),
+                    "InternalError",
+                    f"{type(exc).__name__}: {exc}",
+                )
+            response.setdefault("id", request.get("id"))
+            response.setdefault("ok", True)
+            return response
+        finally:
+            self.metrics.finished(op, time.monotonic() - started)
 
     def _op_generate(self, request: dict) -> dict:
         template = request.get("template")
@@ -165,6 +345,7 @@ class EngineServer:
             "protocol": PROTOCOL_VERSION,
             "rules": len(self.engine.ruleset),
             "requests": self.engine.requests,
+            "workers": self.workers,
         }
 
     def _op_stats(self, request: dict) -> dict:
@@ -184,6 +365,8 @@ class EngineServer:
                 "disk_hits": stats.disk_hits,
                 "disk_misses": stats.disk_misses,
             },
+            "result_cache": self.engine.result_cache.to_dict(),
+            "server": self.metrics.to_dict(),
             "diagnostics": self.engine.diagnostics.to_dict(),
         }
 
@@ -201,16 +384,50 @@ class EngineServer:
         }
 
     def _op_shutdown(self, request: dict) -> dict:
-        self._draining = True
+        self.drain()
         return {"id": request.get("id"), "ok": True, "op": "shutdown"}
+
+    # ------------------------------------------------------------------
+    # the shared worker pool
+    # ------------------------------------------------------------------
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._state_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="serve-worker",
+                )
+            return self._pool
+
+    def _shutdown_pool(self) -> None:
+        with self._state_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     # ------------------------------------------------------------------
     # transports
     # ------------------------------------------------------------------
 
     def drain(self, *_signal_args) -> None:
-        """Finish the in-flight request, then stop reading (SIGTERM)."""
+        """Stop accepting new work; in-flight requests still answer.
+
+        Invoked by ``SIGTERM`` and by the ``shutdown`` op. Wakes the
+        socket accept loop (if one is running) so drain latency is
+        bounded by readiness, not by a poll interval.
+        """
         self._draining = True
+        self._wake()
+
+    def _wake(self) -> None:
+        with self._state_lock:
+            fd = self._wake_write_fd
+        if fd is not None:
+            try:
+                os.write(fd, b"\0")
+            except OSError:  # pragma: no cover - pipe already closed
+                pass
 
     def _install_sigterm(self) -> object | None:
         try:
@@ -218,48 +435,146 @@ class EngineServer:
         except ValueError:  # pragma: no cover - non-main thread
             return None
 
-    def serve_stream(self, lines: Iterator[str], out: IO[str]) -> int:
-        """The core loop: read request lines, write response lines.
+    def _restore_sigterm(self, previous: object | None) -> None:
+        if previous is not None:
+            try:
+                signal.signal(signal.SIGTERM, previous)
+            except (ValueError, TypeError):  # pragma: no cover
+                pass
 
-        Returns the number of responses written. Every request — even
-        ``shutdown`` and requests that time out — gets its response
-        before the loop considers the drain flag.
+    def serve_stream(self, lines: Iterator[str], out: IO[str]) -> int:
+        """Serve one request/response stream (the stdio transport).
+
+        Returns the cumulative number of responses written. Every
+        request — even ``shutdown`` and requests that exceed the
+        deadline — gets its response, in request order, before the loop
+        exits.
         """
         previous = self._install_sigterm()
-        worker = ThreadPoolExecutor(max_workers=1)
         try:
-            for line in lines:
-                response = self._dispatch(worker, line)
-                if response is not None:
-                    with self.engine.diagnostics.stage(SERVE_STAGE):
-                        out.write(json.dumps(response) + "\n")
-                        out.flush()
-                    self.responses += 1
-                if self._draining:
-                    break
+            self._serve_connection(lines, out)
         finally:
-            worker.shutdown(wait=False, cancel_futures=True)
+            self._shutdown_pool()
             self.engine.close()
-            if previous is not None:  # pragma: no branch
-                try:
-                    signal.signal(signal.SIGTERM, previous)
-                except (ValueError, TypeError):  # pragma: no cover
-                    pass
+            self._restore_sigterm(previous)
         return self.responses
 
-    def _dispatch(self, worker: ThreadPoolExecutor, line: str) -> dict | None:
-        """Run one request on the worker thread under the deadline."""
-        future: Future = worker.submit(self.handle_line, line)
+    def _serve_connection(self, lines: Iterator[str], out: IO[str]) -> int:
+        """Read requests off one stream; a writer thread answers in order.
+
+        The calling thread is the connection's *reader*: it parses each
+        line, submits valid requests to the shared pool, and enqueues a
+        :class:`_Pending` slot per request. The paired *writer* thread
+        drains slots strictly in sequence, waiting each future out
+        under the per-request deadline — so responses come back in
+        request order even though execution is concurrent.
+        """
+        pool = self._ensure_pool()
+        queue: "SimpleQueue[_Pending | None]" = SimpleQueue()
+        totals = _StreamTotals()
+        writer = threading.Thread(
+            target=self._write_responses,
+            args=(queue, out, totals),
+            name="serve-writer",
+            daemon=True,
+        )
+        writer.start()
+        seq = 0
         try:
-            return future.result(timeout=self.timeout)
+            for line in lines:
+                if self._draining:
+                    break
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                request, parse_error = self._parse(stripped)
+                seq += 1
+                if parse_error is not None:
+                    queue.put(
+                        _Pending(
+                            seq=seq,
+                            request_id=parse_error.get("id"),
+                            op=None,
+                            submitted_at=time.monotonic(),
+                            response=parse_error,
+                        )
+                    )
+                    continue
+                op = request["op"]
+                self.metrics.submitted()
+                queue.put(
+                    _Pending(
+                        seq=seq,
+                        request_id=request.get("id"),
+                        op=op,
+                        submitted_at=time.monotonic(),
+                        future=pool.submit(self._execute, op, request),
+                    )
+                )
+                if op == "shutdown":
+                    # Stop reading now: lines after a shutdown request
+                    # are never answered (the drain flag races with the
+                    # handler, so the reader decides synchronously).
+                    break
+        finally:
+            queue.put(None)
+            writer.join()
+        return totals.written
+
+    def _write_responses(
+        self,
+        queue: "SimpleQueue[_Pending | None]",
+        out: IO[str],
+        totals: _StreamTotals,
+    ) -> None:
+        """Drain one connection's response queue in sequence order."""
+        broken = False
+        while True:
+            pending = queue.get()
+            if pending is None:
+                return
+            response = pending.response
+            if response is None:
+                response = self._await_response(pending)
+            response["seq"] = pending.seq
+            if broken:
+                continue  # client is gone; keep draining the queue
+            try:
+                with self.engine.diagnostics.stage(SERVE_STAGE):
+                    out.write(json.dumps(response) + "\n")
+                    out.flush()
+            except (OSError, ValueError):
+                broken = True
+                continue
+            with self._state_lock:
+                self.responses += 1
+            totals.written += 1
+
+    def _await_response(self, pending: _Pending) -> dict:
+        """Wait one future out under the per-request deadline."""
+        remaining: float | None = None
+        if self.timeout is not None:
+            elapsed = time.monotonic() - pending.submitted_at
+            remaining = max(0.0, self.timeout - elapsed)
+        try:
+            return pending.future.result(timeout=remaining)
         except FutureTimeout:
-            # The engine is sequential; an abandoned request means no
-            # further request can run safely. Answer, then drain.
-            self._draining = True
+            # Cancel if still queued; if already running the worker is
+            # abandoned — the engine is thread-safe, so the server just
+            # keeps serving. Only this request pays.
+            pending.future.cancel()
+            self.metrics.timed_out(pending.op or "?")
             return _error_response(
-                None,
+                pending.request_id,
                 "TimeoutError",
-                f"request exceeded {self.timeout:.1f}s; server is draining",
+                f"request exceeded the {self.timeout:.1f}s deadline and was "
+                "abandoned; the server keeps serving",
+            )
+        except CancelledError:
+            return _error_response(
+                pending.request_id,
+                "CancelledError",
+                "request was cancelled during shutdown",
             )
 
     def serve_stdio(self) -> int:
@@ -267,38 +582,85 @@ class EngineServer:
         return self.serve_stream(iter(sys.stdin), sys.stdout)
 
     def serve_socket(self, path: str | Path) -> int:
-        """Serve one client at a time on a Unix domain socket.
+        """Serve many concurrent clients on a Unix domain socket.
 
-        Accepts connections until drained; each connection is a
-        newline-delimited request/response stream. The socket file is
-        created fresh and removed on exit.
+        The accept loop is ``selectors``-driven (no busy polling): it
+        blocks on readiness of the listening socket and a self-pipe
+        that :meth:`drain` writes to, so shutdown latency is bounded by
+        the in-flight work, not a poll interval. Each accepted
+        connection gets its own reader thread; all requests share one
+        worker pool. The socket file is created fresh and removed on
+        exit.
         """
         path = Path(path)
         if path.exists():
             path.unlink()
         previous = self._install_sigterm()
         server = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
-        total = 0
+        selector = selectors.DefaultSelector()
+        wake_read, wake_write = os.pipe()
+        with self._state_lock:
+            self._wake_write_fd = wake_write
+        connection_threads: list[threading.Thread] = []
         try:
             server.bind(str(path))
-            server.listen(1)
-            server.settimeout(0.5)  # so the drain flag is polled
+            server.listen(128)
+            server.setblocking(False)
+            selector.register(server, selectors.EVENT_READ)
+            selector.register(wake_read, selectors.EVENT_READ)
             while not self._draining:
+                for key, _events in selector.select():
+                    if key.fileobj is server:
+                        try:
+                            connection, _ = server.accept()
+                        except (BlockingIOError, OSError):
+                            continue
+                        with self._state_lock:
+                            self._connections.add(connection)
+                        thread = threading.Thread(
+                            target=self._serve_socket_connection,
+                            args=(connection,),
+                            name="serve-conn",
+                            daemon=True,
+                        )
+                        connection_threads.append(thread)
+                        thread.start()
+                    else:
+                        os.read(wake_read, 4096)
+            # Drain: stop every connection's read side so its reader
+            # unblocks; in-flight requests still answer (or time out).
+            with self._state_lock:
+                open_connections = list(self._connections)
+            for connection in open_connections:
                 try:
-                    connection, _ = server.accept()
-                except socketlib.timeout:
-                    continue
-                with connection:
-                    reader = connection.makefile("r", encoding="utf-8")
-                    writer = connection.makefile("w", encoding="utf-8")
-                    total += self.serve_stream(iter(reader), writer)
+                    connection.shutdown(socketlib.SHUT_RD)
+                except OSError:
+                    pass
+            for thread in connection_threads:
+                thread.join(timeout=self.timeout)
         finally:
+            with self._state_lock:
+                self._wake_write_fd = None
+            selector.close()
+            os.close(wake_read)
+            os.close(wake_write)
             server.close()
             if path.exists():
                 path.unlink()
-            if previous is not None:
-                try:
-                    signal.signal(signal.SIGTERM, previous)
-                except (ValueError, TypeError):  # pragma: no cover
-                    pass
-        return total
+            self._shutdown_pool()
+            self.engine.close()
+            self._restore_sigterm(previous)
+        return self.responses
+
+    def _serve_socket_connection(self, connection: socketlib.socket) -> None:
+        """One accepted client: reader loop + ordered writer."""
+        try:
+            with connection:
+                reader = connection.makefile("r", encoding="utf-8")
+                writer = connection.makefile("w", encoding="utf-8")
+                self._serve_connection(iter(reader), writer)
+        except OSError:  # pragma: no cover - client vanished mid-stream
+            pass
+        finally:
+            with self._state_lock:
+                self._connections.discard(connection)

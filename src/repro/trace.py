@@ -15,6 +15,12 @@ order) so traces diff cleanly across runs. Durations come from
 epoch, which makes a trace self-contained and serialisable
 (:meth:`Trace.to_dict` — exported through ``--stats --json`` and the
 ``serve`` protocol).
+
+Thread affinity: a :class:`Trace` is single-threaded by design. The
+ContextVar does not propagate into threads spawned after activation,
+so the concurrent serve daemon's worker threads each activate their
+own per-request trace and never share one — two requests running
+side by side on the shared pool record into disjoint span trees.
 """
 
 from __future__ import annotations

@@ -190,6 +190,29 @@ class TestDirectoryValidation:
         DiskRuleCache(nested)
         assert nested.is_dir()
 
+    def test_concurrent_opens_of_one_directory_all_validate(self, tmp_path):
+        """Pool workers open the same cache directory simultaneously;
+        one opener's writability probe must never delete another's."""
+        shared = tmp_path / "cache"
+        errors: list[Exception] = []
+        barrier = threading.Barrier(8)
+
+        def opener():
+            barrier.wait()
+            try:
+                for _ in range(25):
+                    DiskRuleCache(shared)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=opener) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert not list(shared.glob(".probe*"))  # no probe debris
+
 
 class TestRuleSetIntegration:
     def test_fresh_ruleset_starts_warm_from_disk(self, tmp_path):

@@ -42,7 +42,12 @@ def test_parser_terminates_on_token_soup(source):
         pass  # a clean diagnostic is a valid outcome
 
 
-_IDENTS = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+#: names the checker rejects up front (repro.crysl.typecheck._RESERVED)
+_RESERVED_NAMES = {"this", "_", "after", "in", "true", "false"}
+
+_IDENTS = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda name: name not in _RESERVED_NAMES
+)
 
 
 @settings(max_examples=80, deadline=None)

@@ -1,0 +1,195 @@
+"""Concurrent engine behaviour: thread safety, single-flight, ordering.
+
+These tests pin the concurrency contract of the resident engine layer:
+one :class:`CryptoGenEngine` under many threads never corrupts state
+or raises, N concurrent requests needing the same uncompiled rule
+trigger exactly one DFA build (single-flight), and the socket server
+answers each connection strictly in request order no matter how the
+shared worker pool interleaves execution.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import socket as socketlib
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.crysl import RuleSet
+from repro.engine import (
+    AnalyzeRequest,
+    CryptoGenEngine,
+    EngineServer,
+    GenerateRequest,
+)
+from repro.usecases import use_case
+
+TEMPLATE = str(use_case(1).template_path())
+THREADS = 16
+
+
+def _cold_engine() -> CryptoGenEngine:
+    """A private, cold engine with the result cache out of the way."""
+    return CryptoGenEngine(ruleset=RuleSet.bundled(), result_cache_size=0)
+
+
+class TestSingleFlight:
+    def test_concurrent_cold_requests_compile_each_rule_once(self):
+        # Serial baseline: how many DFA builds one cold generate costs.
+        with _cold_engine() as baseline_engine:
+            baseline = baseline_engine.generate(
+                GenerateRequest(template=TEMPLATE)
+            )
+            assert baseline.ok and baseline.dfa_builds > 0
+
+        engine = _cold_engine()
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            results = list(
+                pool.map(
+                    lambda _: engine.generate(
+                        GenerateRequest(template=TEMPLATE)
+                    ),
+                    range(THREADS),
+                )
+            )
+        assert all(r.ok for r in results)
+        # Single-flight proof: 16 simultaneous cold requests build each
+        # DFA exactly once — the global counter matches the serial run.
+        assert engine.ruleset.compile_stats.dfa_builds == baseline.dfa_builds
+        # Per-request attribution agrees: the winning threads' delta
+        # sinks account for every build, the waiters record zero.
+        assert sum(r.dfa_builds for r in results) == baseline.dfa_builds
+        assert engine.requests == THREADS
+        engine.close()
+
+    def test_result_cache_serves_concurrent_repeats_without_builds(self):
+        engine = CryptoGenEngine(ruleset=RuleSet.bundled())
+        first = engine.generate(GenerateRequest(template=TEMPLATE))
+        assert first.ok
+        builds_before = engine.ruleset.compile_stats.dfa_builds
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            results = list(
+                pool.map(
+                    lambda _: engine.generate(
+                        GenerateRequest(template=TEMPLATE)
+                    ),
+                    range(THREADS),
+                )
+            )
+        assert all(r.ok and r.cached and r.dfa_builds == 0 for r in results)
+        assert engine.ruleset.compile_stats.dfa_builds == builds_before
+        assert engine.result_cache.hits >= THREADS
+        engine.close()
+
+
+class TestMixedStress:
+    @pytest.fixture()
+    def rules_copy(self, tmp_path):
+        directory = tmp_path / "rules"
+        directory.mkdir()
+        for path in sorted(Path("src/repro/rules").glob("*.crysl")):
+            shutil.copy(path, directory / path.name)
+        return directory
+
+    def test_sixteen_threads_mixed_ops(self, rules_copy):
+        engine = CryptoGenEngine(rules_dir=rules_copy)
+        analyze_source = engine.generate(
+            GenerateRequest(template=TEMPLATE)
+        ).module.source
+        errors: list[BaseException] = []
+
+        def worker(index: int) -> None:
+            try:
+                for round_no in range(3):
+                    which = (index + round_no) % 3
+                    if which == 0:
+                        result = engine.generate(
+                            GenerateRequest(template=TEMPLATE)
+                        )
+                        assert result.ok, result.error
+                    elif which == 1:
+                        result = engine.analyze(
+                            AnalyzeRequest(
+                                sources={"m.py": analyze_source}
+                            )
+                        )
+                        assert result.ok, result.error
+                    else:
+                        report = engine.refresh_rules()
+                        assert report is not None
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors
+        # The cumulative record stayed coherent under the stampede.
+        assert engine.diagnostics.counter("repository.refreshes") > 0
+        engine.close()
+
+
+class TestPerConnectionOrdering:
+    def _start_server(self, tmp_path) -> tuple[EngineServer, Path, threading.Thread]:
+        path = tmp_path / "engine.sock"
+        server = EngineServer(CryptoGenEngine(), workers=4)
+        thread = threading.Thread(
+            target=server.serve_socket, args=(path,), daemon=True
+        )
+        thread.start()
+        for _ in range(200):
+            if path.exists():
+                break
+            thread.join(0.05)
+        assert path.exists()
+        return server, path, thread
+
+    def test_two_pipelined_clients_get_ordered_responses(self, tmp_path):
+        server, path, thread = self._start_server(tmp_path)
+        per_client = 10
+
+        def client(tag: str) -> list[dict]:
+            sock = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+            sock.connect(str(path))
+            payload = "".join(
+                json.dumps({"id": f"{tag}-{n}", "op": "ping"}) + "\n"
+                for n in range(per_client)
+            )
+            sock.sendall(payload.encode())
+            reader = sock.makefile("r", encoding="utf-8")
+            responses = [
+                json.loads(reader.readline()) for _ in range(per_client)
+            ]
+            sock.close()
+            return responses
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futures = [pool.submit(client, tag) for tag in ("a", "b")]
+            all_responses = [f.result(timeout=60) for f in futures]
+
+        for tag, responses in zip(("a", "b"), all_responses):
+            # Responses arrive in request order, with per-connection
+            # sequence numbers starting from 1.
+            assert [r["id"] for r in responses] == [
+                f"{tag}-{n}" for n in range(per_client)
+            ]
+            assert [r["seq"] for r in responses] == list(
+                range(1, per_client + 1)
+            )
+            assert all(r["ok"] for r in responses)
+
+        stop = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+        stop.connect(str(path))
+        stop.sendall(b'{"id": "stop", "op": "shutdown"}\n')
+        stop.makefile("r", encoding="utf-8").readline()
+        stop.close()
+        thread.join(10.0)
+        assert not thread.is_alive()

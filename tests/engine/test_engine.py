@@ -32,9 +32,12 @@ class TestGenerate:
         second = engine.generate(GenerateRequest(template=TEMPLATE))
         assert second.ok
         # Everything the template needs was compiled by the first
-        # request; the second is entirely warm.
+        # request; the second is entirely warm — in fact the whole
+        # result comes out of the engine's memoized result cache.
         assert second.dfa_builds == 0
         assert second.warm
+        assert second.cached
+        assert second.module is first.module  # shared memoized module
 
     def test_hundred_requests_one_compile(self):
         # The acceptance bar: a resident engine serves 100 sequential
@@ -77,7 +80,14 @@ class TestGenerate:
         assert result.error.type in ("FileNotFoundError", "OSError")
 
     def test_request_ids_and_trace(self, engine):
-        result = engine.generate(GenerateRequest(template=TEMPLATE))
+        # A never-seen-before source keeps the result cache out of the
+        # way: this test is about the full pipeline's span tree.
+        source = (
+            Path(TEMPLATE).read_text(encoding="utf-8") + "\n# trace probe\n"
+        )
+        result = engine.generate(
+            GenerateRequest(source=source, name="trace_probe.py")
+        )
         assert result.request_id.startswith("req-")
         tree = result.trace.to_dict()
         assert tree["request_id"] == result.request_id

@@ -1,0 +1,150 @@
+"""The bounded LRU result cache (:mod:`repro.engine.result_cache`)."""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.crysl import RuleSet
+from repro.engine import CryptoGenEngine, GenerateRequest, ResultCache
+from repro.usecases import use_case
+
+TEMPLATE = str(use_case(1).template_path())
+
+
+class TestResultCacheUnit:
+    def test_hit_miss_counters(self):
+        cache: ResultCache[str] = ResultCache(capacity=4)
+        assert cache.get("a") is None
+        cache.put("a", "A")
+        assert cache.get("a") == "A"
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache: ResultCache[int] = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh 'a' to most-recent
+        cache.put("c", 3)  # overflows: 'b' is now the LRU victim
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_put_existing_key_updates_in_place(self):
+        cache: ResultCache[int] = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert len(cache) == 1
+        assert cache.get("a") == 2
+        assert cache.evictions == 0
+
+    def test_zero_capacity_disables(self):
+        cache: ResultCache[int] = ResultCache(capacity=0)
+        assert not cache.enabled
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_clear(self):
+        cache: ResultCache[int] = ResultCache(capacity=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_to_dict_shape(self):
+        cache: ResultCache[int] = ResultCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zzz")
+        snapshot = cache.to_dict()
+        assert snapshot["size"] == 1 and snapshot["capacity"] == 4
+        assert snapshot["hits"] == 1 and snapshot["misses"] == 1
+        assert snapshot["hit_rate"] == 0.5
+
+
+class TestEngineIntegration:
+    def test_repeat_generate_is_a_hit_with_zero_builds(self):
+        engine = CryptoGenEngine(ruleset=RuleSet.bundled())
+        first = engine.generate(GenerateRequest(template=TEMPLATE))
+        assert first.ok and not first.cached
+        second = engine.generate(GenerateRequest(template=TEMPLATE))
+        assert second.ok and second.cached
+        assert second.dfa_builds == 0
+        assert second.module is first.module
+        assert engine.result_cache.hits == 1
+        assert engine.diagnostics.counter("result_cache.hits") == 1
+        # The hit's trace says where the answer came from.
+        names = [s["name"] for s in second.trace.to_dict()["spans"]]
+        assert "result-cache:hit" in names
+        engine.close()
+
+    def test_distinct_options_are_distinct_keys(self):
+        engine = CryptoGenEngine(ruleset=RuleSet.bundled())
+        engine.generate(GenerateRequest(template=TEMPLATE))
+        verified = engine.generate(
+            GenerateRequest(template=TEMPLATE, verify=True)
+        )
+        # Same template, different effective options: not a hit.
+        assert not verified.cached
+        engine.close()
+
+    def test_inline_source_keyed_by_content(self):
+        engine = CryptoGenEngine(ruleset=RuleSet.bundled())
+        source = Path(TEMPLATE).read_text(encoding="utf-8")
+        first = engine.generate(GenerateRequest(source=source, name="t.py"))
+        repeat = engine.generate(GenerateRequest(source=source, name="t.py"))
+        edited = engine.generate(
+            GenerateRequest(source=source + "\n# edited\n", name="t.py")
+        )
+        assert first.ok and not first.cached
+        assert repeat.cached
+        assert not edited.cached
+        engine.close()
+
+    def test_errors_are_never_cached(self):
+        engine = CryptoGenEngine(ruleset=RuleSet.bundled())
+        for _ in range(2):
+            result = engine.generate(
+                GenerateRequest(source="not a template", name="bad.py")
+            )
+            assert not result.ok
+            assert not result.cached
+        assert engine.result_cache.hits == 0
+        engine.close()
+
+    def test_refresh_rules_invalidates(self, tmp_path):
+        rules = tmp_path / "rules"
+        rules.mkdir()
+        for path in sorted(Path("src/repro/rules").glob("*.crysl")):
+            shutil.copy(path, rules / path.name)
+        engine = CryptoGenEngine(rules_dir=rules)
+        engine.generate(GenerateRequest(template=TEMPLATE))
+        assert engine.generate(GenerateRequest(template=TEMPLATE)).cached
+
+        target = rules / "SecureRandom.crysl"
+        text = target.read_text(encoding="utf-8")
+        target.write_text(
+            text.replace("ENSURES", "ENSURES "), encoding="utf-8"
+        )
+        report = engine.refresh_rules()
+        assert report.dirty
+        assert len(engine.result_cache) == 0  # dropped on rebuild
+        after = engine.generate(GenerateRequest(template=TEMPLATE))
+        assert after.ok and not after.cached  # regenerated under new rules
+        assert engine.generate(GenerateRequest(template=TEMPLATE)).cached
+        engine.close()
+
+    def test_capacity_zero_engine_never_caches(self):
+        engine = CryptoGenEngine(
+            ruleset=RuleSet.bundled(), result_cache_size=0
+        )
+        engine.generate(GenerateRequest(template=TEMPLATE))
+        repeat = engine.generate(GenerateRequest(template=TEMPLATE))
+        assert not repeat.cached
+        assert engine.result_cache.hits == 0
+        engine.close()

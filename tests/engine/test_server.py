@@ -159,15 +159,22 @@ class TestMalformedInput:
 
 
 class TestTimeout:
-    def test_overdue_request_gets_timeout_response_and_drains(self, monkeypatch):
+    def test_overdue_request_times_out_and_server_keeps_serving(
+        self, monkeypatch
+    ):
+        # The regression this pins down: a timeout used to flip the
+        # drain flag and kill the whole server. Now only the offending
+        # request pays — a slow request followed by a fast one on the
+        # same connection yields a structured TimeoutError and then a
+        # normal answer, in request order.
         import time
 
-        server = EngineServer(CryptoGenEngine(), timeout=0.05)
+        server = EngineServer(CryptoGenEngine(), timeout=0.05, workers=2)
         real_generate = server.engine.generate
 
         def slow_generate(request):
             # Deterministically overdue: sleep releases the GIL, so the
-            # dispatcher's deadline always fires (a plain warm generate
+            # writer's deadline always fires (a plain warm generate
             # can hold the GIL to completion and beat a tiny timeout).
             time.sleep(0.5)
             return real_generate(request)
@@ -177,12 +184,27 @@ class TestTimeout:
             server,
             [
                 {"id": 1, "op": "generate", "template": TEMPLATE},
-                {"id": 2, "op": "ping"},  # behind the drain
+                {"id": 2, "op": "ping"},  # answered after the timeout
             ],
         )
-        assert len(responses) == 1
-        assert responses[0]["ok"] is False
-        assert responses[0]["error"]["type"] == "TimeoutError"
+        assert len(responses) == 2
+        timed_out, ping = responses
+        assert timed_out["ok"] is False
+        assert timed_out["id"] == 1
+        assert timed_out["error"]["type"] == "TimeoutError"
+        assert ping["ok"] and ping["id"] == 2 and ping["op"] == "ping"
+        # Responses come back in request order (per-connection seqs).
+        assert [r["seq"] for r in responses] == [1, 2]
+        assert server.metrics.to_dict()["timeouts"] == 1
+
+    def test_fast_requests_beat_the_deadline(self, monkeypatch):
+        server = EngineServer(CryptoGenEngine(), timeout=30.0, workers=2)
+        responses = _run(
+            server,
+            [{"id": 1, "op": "ping"}, {"id": 2, "op": "ping"}],
+        )
+        assert [r["ok"] for r in responses] == [True, True]
+        assert server.metrics.to_dict()["timeouts"] == 0
 
 
 class TestRefreshRules:
