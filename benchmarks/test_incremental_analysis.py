@@ -1,0 +1,76 @@
+"""Warm-vs-cold analyze throughput under the summary cache.
+
+The acceptance bar for incremental analysis: an analyzer whose summary
+cache is primed answers a repeat whole-project request **without
+re-summarizing a single function** — `analyze_ir` is never entered —
+and the replayed report is byte-identical to the cold one. The
+benchmark pair quantifies the requests/sec gap between that replay
+path and a cache-less pass (both over a shared, already-compiled rule
+set, so the delta isolates summary replay rather than rule compiles).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sast import ProjectAnalyzer
+from repro.usecases import USE_CASES, generate_use_case
+
+
+@pytest.fixture(scope="module")
+def project_sources():
+    """All eleven generated use cases, as one project."""
+    return {
+        f"{case.slug}.py": generate_use_case(case.number).source
+        for case in USE_CASES
+    }
+
+
+@pytest.fixture(scope="module")
+def shared_ruleset(ruleset, project_sources):
+    """A rule set whose compiled artefacts are already resident, so the
+    warm/cold pair below measures summary work, not DFA builds."""
+    ProjectAnalyzer(ruleset).analyze_sources(project_sources)
+    return ruleset
+
+
+def test_warm_replay_skips_summary_construction(
+    shared_ruleset, project_sources, monkeypatch
+):
+    analyzer = ProjectAnalyzer(shared_ruleset)
+    cold = analyzer.analyze_sources(project_sources)
+    assert cold.reanalyzed_functions == cold.total_functions > 0
+
+    def forbidden(*args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("warm replay re-entered analyze_ir")
+
+    monkeypatch.setattr(analyzer.analyzer, "analyze_ir", forbidden)
+    warm = analyzer.analyze_sources(project_sources)
+    assert warm.reanalyzed_functions == 0
+    assert warm.summary_cache_hits == warm.total_functions
+    assert warm.to_dict() == cold.to_dict()
+
+
+def test_analyze_request_warm(benchmark, shared_ruleset, project_sources):
+    """Requests/sec for a repeat analyze request: every function replays
+    from the resident summary cache."""
+    analyzer = ProjectAnalyzer(shared_ruleset)
+    analyzer.analyze_sources(project_sources)  # prime the summary cache
+
+    result = benchmark(analyzer.analyze_sources, project_sources)
+    assert result.reanalyzed_functions == 0
+    assert result.is_secure
+
+
+def test_analyze_request_cold(benchmark, shared_ruleset, project_sources):
+    """The same request with an empty summary cache each round: every
+    function is lifted, keyed, analyzed and stored."""
+    analyzer = ProjectAnalyzer(shared_ruleset)
+
+    def run():
+        analyzer.summary_cache.clear()
+        return analyzer.analyze_sources(project_sources)
+
+    result = benchmark(run)
+    assert result.reanalyzed_functions == result.total_functions
+    assert result.is_secure

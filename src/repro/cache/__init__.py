@@ -27,6 +27,7 @@ from .store import (
     CacheEvent,
     DiskRuleCache,
     LoadResult,
+    PickleStore,
 )
 
 __all__ = [
@@ -36,4 +37,5 @@ __all__ = [
     "CacheEvent",
     "DiskRuleCache",
     "LoadResult",
+    "PickleStore",
 ]

@@ -116,25 +116,34 @@ class CacheDirectoryError(OSError):
     """The cache directory cannot be created or written to."""
 
 
-class DiskRuleCache:
-    """A directory of content-addressed compiled-rule artefacts.
+class PickleStore:
+    """A directory of content-addressed, atomically written pickles.
 
-    The cache validates writability up front (create the directory,
+    The generic machinery behind every persistent cache in the repo:
+    the compiled-rule store (:class:`DiskRuleCache`) and the
+    per-function summary store (:mod:`repro.sast.summary_cache`) both
+    configure one of these with their own file suffix, payload type
+    and schema version. Entries are validated on load — a corrupt,
+    mistyped or schema-drifted pickle is evicted and recomputed by the
+    caller, never surfaced as an exception.
+
+    The store validates writability up front (create the directory,
     write and remove a probe file) so misconfiguration surfaces as one
     clean :class:`CacheDirectoryError` instead of a mid-run traceback.
-    Counter *ownership* lives with the consumer: the
-    :class:`~repro.crysl.ruleset.RuleSet` folds hit/miss/evict/write
-    movement into its :class:`~repro.crysl.compiled.CompileStats`; the
-    cache itself only records structured :class:`CacheEvent`\\ s.
     """
 
     def __init__(
         self,
         directory: str | Path,
-        schema_version: int = SCHEMA_VERSION,
+        *,
+        suffix: str,
+        payload_type: type,
+        schema_version: int,
     ):
         self.directory = Path(directory)
         self.schema_version = schema_version
+        self._suffix = suffix
+        self._payload_type = payload_type
         self.events: list[CacheEvent] = []
         # Load/store are already safe under concurrency (atomic file
         # replace, content-addressed keys); the event journal is the
@@ -160,22 +169,14 @@ class DiskRuleCache:
     # keys and paths
     # ------------------------------------------------------------------
 
-    def key(self, rule_source: str, *, max_paths: int | None = None) -> str:
-        """The content-addressed key for one rule source."""
-        digest = hashlib.sha256()
-        digest.update(f"schema:{self.schema_version}\n".encode())
-        digest.update(f"max_paths:{max_paths}\n".encode())
-        digest.update(rule_source.encode("utf-8"))
-        return digest.hexdigest()
-
     def path_for(self, key: str) -> Path:
-        return self.directory / f"{key}{_SUFFIX}"
+        return self.directory / f"{key}{self._suffix}"
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob(f"*{_SUFFIX}"))
+        return sum(1 for _ in self.directory.glob(f"*{self._suffix}"))
 
     # ------------------------------------------------------------------
     # load / store / evict
@@ -209,8 +210,8 @@ class DiskRuleCache:
             )
             return LoadResult(evicted=self._evict_file(path))
         if (
-            not isinstance(artefacts, CachedArtefacts)
-            or artefacts.schema_version != self.schema_version
+            not isinstance(artefacts, self._payload_type)
+            or getattr(artefacts, "schema_version", None) != self.schema_version
         ):
             self._record(
                 CacheEvent("evicted", key, "stale entry (schema drift); recomputing")
@@ -244,7 +245,7 @@ class DiskRuleCache:
         path = self.path_for(key)
         try:
             fd, temp_name = tempfile.mkstemp(
-                dir=self.directory, prefix=".write-", suffix=_SUFFIX
+                dir=self.directory, prefix=".write-", suffix=self._suffix
             )
             try:
                 with os.fdopen(fd, "wb") as handle:
@@ -275,13 +276,44 @@ class DiskRuleCache:
     def clear(self) -> int:
         """Remove every entry; returns how many were deleted."""
         removed = 0
-        for path in self.directory.glob(f"*{_SUFFIX}"):
+        for path in self.directory.glob(f"*{self._suffix}"):
             if self._evict_file(path):
                 removed += 1
         return removed
 
     def __repr__(self) -> str:
         return (
-            f"<DiskRuleCache {self.directory} schema={self.schema_version} "
-            f"entries={len(self)}>"
+            f"<{type(self).__name__} {self.directory} "
+            f"schema={self.schema_version} entries={len(self)}>"
         )
+
+
+class DiskRuleCache(PickleStore):
+    """The compiled-rule artefact store (a :class:`PickleStore` of
+    :class:`CachedArtefacts`).
+
+    Counter *ownership* lives with the consumer: the
+    :class:`~repro.crysl.ruleset.RuleSet` folds hit/miss/evict/write
+    movement into its :class:`~repro.crysl.compiled.CompileStats`; the
+    cache itself only records structured :class:`CacheEvent`\\ s.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        schema_version: int = SCHEMA_VERSION,
+    ):
+        super().__init__(
+            directory,
+            suffix=_SUFFIX,
+            payload_type=CachedArtefacts,
+            schema_version=schema_version,
+        )
+
+    def key(self, rule_source: str, *, max_paths: int | None = None) -> str:
+        """The content-addressed key for one rule source."""
+        digest = hashlib.sha256()
+        digest.update(f"schema:{self.schema_version}\n".encode())
+        digest.update(f"max_paths:{max_paths}\n".encode())
+        digest.update(rule_source.encode("utf-8"))
+        return digest.hexdigest()

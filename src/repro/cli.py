@@ -59,8 +59,9 @@ def _build_engine(args: argparse.Namespace) -> CryptoGenEngine:
     An explicitly requested ``--cache-dir`` that cannot be created or
     written is a hard, clean error; the *default* location failing only
     degrades to cache-less operation with a warning (e.g. read-only
-    ``$HOME`` in a sandbox must not break generation). Subcommands
-    without cache flags (``analyze``) run cache-less, as before.
+    ``$HOME`` in a sandbox must not break generation). The engine
+    derives its persistent function-summary store from the same
+    directory, so ``analyze`` warm-starts across processes too.
     """
     from .cache import CacheDirectoryError, DiskRuleCache
 
@@ -156,10 +157,18 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from .sast import to_sarif
+    from .sast import (
+        Baseline,
+        BaselineError,
+        baseline_from_results,
+        diff_against_baseline,
+        to_sarif,
+    )
 
     if args.json and args.sarif:
         raise _CLIError("--json and --sarif are mutually exclusive")
+    if args.update_baseline and not args.baseline:
+        raise _CLIError("--update-baseline requires --baseline FILE")
     paths = expand_analyze_paths(args.paths)
     if not paths:
         raise _CLIError("no Python files to analyze")
@@ -184,7 +193,35 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(analysis.render())
     if args.stats:
         # Stats go to stderr so --json / --sarif stdout stays parseable.
+        print(
+            f"request: reanalyzed {result.reanalyzed_functions} of "
+            f"{analysis.total_functions} function(s) "
+            f"({analysis.summary_cache_hits} from summary cache, "
+            f"{result.dfa_builds} DFA builds)",
+            file=sys.stderr,
+        )
         print(engine.diagnostics.render(), file=sys.stderr)
+    if args.update_baseline:
+        baseline = baseline_from_results(analysis.modules)
+        baseline.save(args.baseline)
+        print(
+            f"baseline updated: {len(baseline)} fingerprint(s) -> "
+            f"{args.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except BaselineError as exc:
+            raise _CLIError(str(exc)) from exc
+        diff = diff_against_baseline(analysis.modules, baseline)
+        print(
+            f"baseline: {len(diff.new)} new, {len(diff.baselined)} "
+            f"baselined, {diff.absent} absent",
+            file=sys.stderr,
+        )
+        return 0 if diff.clean else 2
     return 0 if analysis.is_secure else 2
 
 
@@ -344,8 +381,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Analyze Python files and directories as one project: "
         "modules are lifted together, a call graph links wrapper methods "
         "and helpers, and CrySL misuses are reported interprocedurally.",
-        epilog="exit codes: 0 = no findings; 2 = findings reported; "
-        "1 = usage or analysis error",
+        epilog="exit codes: 0 = no active findings (suppressed and "
+        "baselined ones pass); 2 = findings reported (with --baseline: "
+        "new findings only); 1 = usage or analysis error",
     )
     analyze.add_argument(
         "paths", nargs="+", metavar="path",
@@ -371,7 +409,33 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--stats",
         action="store_true",
-        help="print analysis.* counters to stderr",
+        help="print analysis.* and summary_cache.* counters to stderr, "
+        "plus this request's reanalyzed-function delta",
+    )
+    analyze.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent cache location for compiled rules and function "
+        "summaries (default: $REPRO_CACHE_DIR, else "
+        "~/.cache/cognicrypt-gen)",
+    )
+    analyze.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent compiled-rule and summary caches",
+    )
+    analyze.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="JSON baseline of accepted finding fingerprints: findings in "
+        "the baseline pass, new findings exit 2",
+    )
+    analyze.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline FILE from the current findings and exit 0",
     )
     analyze.set_defaults(handler=_cmd_analyze)
 

@@ -74,6 +74,15 @@ ANALYSIS_CALL_EDGES = "analysis.call_edges"
 ANALYSIS_SUMMARIES = "analysis.summaries"
 ANALYSIS_OBJECTS = "analysis.objects"
 ANALYSIS_FINDINGS = "analysis.findings"
+#: functions whose analysis actually ran (summary-cache misses)
+ANALYSIS_REANALYZED = "analysis.reanalyzed_functions"
+ANALYSIS_SUPPRESSED = "analysis.suppressed_findings"
+
+#: Per-function summary cache counters (repro.sast.summary_cache).
+SUMMARY_HITS = "summary_cache.hits"
+SUMMARY_MISSES = "summary_cache.misses"
+SUMMARY_STORES = "summary_cache.stores"
+SUMMARY_INVALIDATIONS = "summary_cache.invalidations"
 
 #: The parameter-resolution cascade of §3.3, tiers a–d.
 TIER_TEMPLATE = "params.tier_a_template"

@@ -55,7 +55,8 @@ from ..cache.store import SCHEMA_VERSION
 from ..crysl import CrySLError, RuleRepository, RuleSet, bundled_ruleset
 from ..crysl.compiled import track_compile_deltas
 from ..crysl.repository import RefreshReport
-from ..diagnostics import Diagnostics, register_stage
+from ..diagnostics import SUMMARY_INVALIDATIONS, Diagnostics, register_stage
+from ..sast.summary_cache import SummaryCache
 from ..trace import Trace, activate as activate_trace
 from .result_cache import DEFAULT_CAPACITY, ResultCache, ResultKey
 
@@ -181,6 +182,10 @@ class AnalyzeResult(_ResultBase):
     """Outcome of one :class:`AnalyzeRequest`."""
 
     analysis: "ProjectAnalysisResult | None" = None
+    #: functions whose analysis actually ran for this request — the
+    #: per-request delta parallel to ``dfa_builds``; 0 on a fully warm
+    #: re-analysis of an unchanged project
+    reanalyzed_functions: int = 0
 
     @property
     def is_secure(self) -> bool:
@@ -188,25 +193,39 @@ class AnalyzeResult(_ResultBase):
 
     def to_dict(self) -> dict:
         payload = self._base_dict("analyze")
+        payload["reanalyzed_functions"] = self.reanalyzed_functions
         if self.analysis is not None:
             payload["result"] = {
                 "is_secure": self.analysis.is_secure,
                 "findings": len(self.analysis.findings),
+                "total_functions": self.analysis.total_functions,
+                "summary_cache_hits": self.analysis.summary_cache_hits,
                 "modules": self.analysis.to_dict(),
             }
         return payload
 
 
 def expand_analyze_paths(entries: Iterable[str | Path]) -> list[Path]:
-    """Files as-is; directories recurse into ``*.py`` (sorted)."""
+    """Files as-is; directories recurse into ``*.py``.
+
+    The result is deduplicated (overlapping entries — a directory plus
+    a file inside it, or the same entry twice — yield each file once)
+    and deterministically sorted, so analysis input order never depends
+    on how the caller spelled the target set.
+    """
+    seen: set[Path] = set()
     paths: list[Path] = []
     for entry in entries:
         path = Path(entry)
         if path.is_dir():
-            paths.extend(sorted(p for p in path.rglob("*.py") if p.is_file()))
+            candidates = [p for p in path.rglob("*.py") if p.is_file()]
         else:
-            paths.append(path)
-    return paths
+            candidates = [path]
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                paths.append(candidate)
+    return sorted(paths, key=str)
 
 
 class CryptoGenEngine:
@@ -223,6 +242,7 @@ class CryptoGenEngine:
         max_paths: int | None = None,
         verify: bool = False,
         result_cache_size: int = DEFAULT_CAPACITY,
+        summary_cache_dir: str | Path | None = None,
     ):
         if rules_dir is not None and ruleset is not None:
             raise ValueError("pass rules_dir or ruleset, not both")
@@ -231,6 +251,15 @@ class CryptoGenEngine:
 
             cache = DiskRuleCache(cache_dir)
         self._cache = cache
+        # The resident per-function summary store. It outlives
+        # _build_services on purpose: entries are keyed by rule-set
+        # fingerprint, so a rule refresh invalidates exactly the dead
+        # fingerprint's entries instead of dropping the whole cache.
+        # With a disk cache, summaries persist beside the compiled-rule
+        # artefacts so a fresh engine starts warm.
+        if summary_cache_dir is None and cache is not None:
+            summary_cache_dir = cache.directory / "summaries"
+        self.summary_cache = SummaryCache(summary_cache_dir)
         self._verify = verify
         self._max_paths = max_paths
         self._registry = registry
@@ -319,6 +348,7 @@ class CryptoGenEngine:
                         self.ruleset,
                         self.context.registry,
                         diagnostics=self.diagnostics,
+                        summary_cache=self.summary_cache,
                     )
         return self._analyzer
 
@@ -553,6 +583,9 @@ class CryptoGenEngine:
             error=error,
             dfa_builds=delta.dfa_builds,
             analysis=analysis,
+            reanalyzed_functions=(
+                analysis.reanalyzed_functions if analysis is not None else 0
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -571,6 +604,7 @@ class CryptoGenEngine:
                 "engine has no rule repository (constructed without rules_dir)"
             )
         with self._batch_lock:
+            old_fingerprint = self.ruleset.fingerprint
             with self.diagnostics.stage(REPOSITORY_STAGE):
                 report = self._repository.refresh()
             self.diagnostics.count("repository.refreshes")
@@ -582,6 +616,14 @@ class CryptoGenEngine:
                 self.diagnostics.count(
                     "repository.relinked", len(report.relinked)
                 )
+                # Function summaries computed under the old rule set are
+                # dead — their keys embed the old fingerprint, so drop
+                # them by that fingerprint (entries for other rule sets,
+                # e.g. a concurrent A/B, are untouched).
+                dropped = self.summary_cache.invalidate_fingerprint(
+                    old_fingerprint
+                )
+                self.diagnostics.count(SUMMARY_INVALIDATIONS, dropped)
                 self._build_services(self._repository.ruleset)
         return report
 

@@ -366,6 +366,7 @@ class EngineServer:
                 "disk_misses": stats.disk_misses,
             },
             "result_cache": self.engine.result_cache.to_dict(),
+            "summary_cache": self.engine.summary_cache.to_dict(),
             "server": self.metrics.to_dict(),
             "diagnostics": self.engine.diagnostics.to_dict(),
         }

@@ -13,6 +13,7 @@ glue — exactly what the intraprocedural analyzer did for every call.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from .ir import FunctionIR, HelperCall
 
@@ -92,14 +93,15 @@ class CallGraph:
     def has_callers(self, ref: FunctionRef) -> bool:
         return bool(self.reverse_edges.get(ref))
 
-    def order(self) -> list[FunctionRef]:
-        """Callees-first (reverse topological) order, deterministic.
+    def condensation(self) -> list[list[FunctionRef]]:
+        """Strongly connected components in callees-first order.
 
-        Strongly connected components are condensed first; members of a
-        cycle appear adjacently in name order. Within the analysis,
-        calls *into* an unfinished component simply find no summary and
-        stay opaque — the same conservative treatment every unresolved
-        call gets.
+        Each component's members come back in name order; components
+        are ordered so every (inter-component) callee appears before
+        its callers. This is the unit of incremental invalidation: a
+        cycle's members summarize each other, so the summary cache
+        keys a whole component together (:mod:`repro.sast.
+        summary_cache`).
         """
         sccs = self._tarjan()
         # Map each ref to its component id, then topologically sort the
@@ -119,7 +121,8 @@ class CallGraph:
         # name for determinism.
         remaining = {i: set(deps) for i, deps in component_edges.items()}
         key_of = {i: min(str(ref) for ref in sccs[i]) for i in remaining}
-        out: list[FunctionRef] = []
+        out: list[list[FunctionRef]] = []
+        emitted: set[int] = set()
         while remaining:
             ready = sorted(
                 (i for i, deps in remaining.items() if not deps),
@@ -128,12 +131,44 @@ class CallGraph:
             if not ready:  # pragma: no cover - tarjan guarantees acyclic
                 ready = sorted(remaining, key=key_of.__getitem__)[:1]
             for i in ready:
-                out.extend(sorted(sccs[i], key=str))
+                out.append(sorted(sccs[i], key=str))
+                emitted.add(i)
                 del remaining[i]
-            done = set(component_of[ref] for ref in out)
             for deps in remaining.values():
-                deps -= done
+                deps -= emitted
         return out
+
+    def order(self) -> list[FunctionRef]:
+        """Callees-first (reverse topological) order, deterministic.
+
+        Strongly connected components are condensed first; members of a
+        cycle appear adjacently in name order. Within the analysis,
+        calls *into* an unfinished component simply find no summary and
+        stay opaque — the same conservative treatment every unresolved
+        call gets.
+        """
+        return [ref for component in self.condensation() for ref in component]
+
+    def invalidation_cone(
+        self, changed: "Iterable[FunctionRef]"
+    ) -> set[FunctionRef]:
+        """Every function whose analysis may depend on ``changed`` ones.
+
+        The cone is the changed functions plus their transitive
+        callers. Members of a strongly connected component are mutual
+        (transitive) callers, so a change to any member pulls in the
+        whole cycle — exactly the set the summary cache re-keys when a
+        file is edited.
+        """
+        cone: set[FunctionRef] = set()
+        frontier = [ref for ref in changed if ref in self.functions]
+        while frontier:
+            ref = frontier.pop()
+            if ref in cone:
+                continue
+            cone.add(ref)
+            frontier.extend(self.reverse_edges.get(ref, ()))
+        return cone
 
     def _tarjan(self) -> list[list[FunctionRef]]:
         """Tarjan's SCC algorithm, iterative, deterministic order."""

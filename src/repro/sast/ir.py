@@ -134,6 +134,8 @@ class FunctionIR:
     module: str = "<module>"
     file: str = "<module>"
     line: int = 0
+    #: last source line of the function definition (0 = unknown)
+    end_line: int = 0
 
 
 class _FunctionLifter:
@@ -168,6 +170,7 @@ class _FunctionLifter:
             module=module_name,
             file=file,
             line=function.lineno,
+            end_line=getattr(function, "end_lineno", None) or function.lineno,
         )
         self._bindings: dict[str, ObjectTrace] = {}  # name -> current object
         self._aliases: dict[str, str] = {}  # alias -> canonical plain name

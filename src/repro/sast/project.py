@@ -33,7 +33,12 @@ from ..diagnostics import (
     ANALYSIS_FUNCTIONS,
     ANALYSIS_MODULES,
     ANALYSIS_OBJECTS,
+    ANALYSIS_REANALYZED,
     ANALYSIS_SUMMARIES,
+    ANALYSIS_SUPPRESSED,
+    SUMMARY_HITS,
+    SUMMARY_MISSES,
+    SUMMARY_STORES,
     Diagnostics,
 )
 from ..trace import span as trace_span
@@ -42,6 +47,12 @@ from .callgraph import CallGraph, FunctionRef, ref_of
 from .ir import FunctionIR, HelperCall, lift_module
 from .report import AnalysisResult
 from .summaries import FunctionSummary
+from .summary_cache import (
+    CachedFunctionAnalysis,
+    SummaryCache,
+    compute_summary_keys,
+)
+from .suppressions import apply_suppressions, parse_suppressions
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from ..constraints.types import TypeRegistry
@@ -54,6 +65,13 @@ class ProjectAnalysisResult:
     """Per-module results of one whole-project analysis, in input order."""
 
     modules: dict[str, AnalysisResult] = field(default_factory=dict)
+    #: functions the call graph contained
+    total_functions: int = 0
+    #: functions whose analysis actually ran this time (summary-cache
+    #: misses); ``total - reanalyzed`` were replayed from cache
+    reanalyzed_functions: int = 0
+    #: summary-cache hits this run
+    summary_cache_hits: int = 0
 
     @property
     def is_secure(self) -> bool:
@@ -108,12 +126,19 @@ class ProjectAnalyzer:
         *,
         analyzer: CrySLAnalyzer | None = None,
         diagnostics: Diagnostics | None = None,
+        summary_cache: SummaryCache | None = None,
     ):
         self._analyzer = analyzer or CrySLAnalyzer(ruleset, registry)
         #: cumulative ``analysis.*`` counters over every run; an engine
         #: passes its own instance so generation and analysis share one
         #: cumulative record
         self.diagnostics = diagnostics if diagnostics is not None else Diagnostics()
+        #: memoized per-function analyses; a resident engine passes its
+        #: own (possibly disk-backed) instance so repeated analyses of a
+        #: mostly-unchanged project replay instead of recompute
+        self.summary_cache = (
+            summary_cache if summary_cache is not None else SummaryCache()
+        )
 
     @property
     def analyzer(self) -> CrySLAnalyzer:
@@ -158,6 +183,7 @@ class ProjectAnalyzer:
         self, sources: dict[str, str]
     ) -> tuple[ProjectAnalysisResult, Diagnostics]:
         analyzer = self._analyzer
+        cache = self.summary_cache
         diag = Diagnostics()
         with trace_span("sast:lift"):
             parsed = {
@@ -184,25 +210,68 @@ class ProjectAnalyzer:
                 )
         with trace_span("sast:callgraph"):
             graph = CallGraph.build(functions)
+        fingerprint = analyzer.ruleset.fingerprint
+        keys = compute_summary_keys(
+            graph, sources, fingerprint, project_classes=project_classes
+        )
         summaries: dict[FunctionRef, FunctionSummary] = {}
         provider = _GraphSummaries(graph, summaries)
         results = {key: AnalysisResult() for key in sources}
+        hits = 0
+        reanalyzed = 0
         with trace_span("sast:analyze"):
             for ref in graph.order():
                 ir = graph.functions[ref]
+                entry = cache.load(keys[ref], fingerprint=fingerprint)
+                if entry is not None and entry.ref == str(ref):
+                    # Replay: the cached findings and summary are what
+                    # analysis would produce — the key covers the source
+                    # slice, the ruleset and everything the function can
+                    # (transitively) call into.
+                    hits += 1
+                    module_result = results[ir.module]
+                    module_result.findings.extend(entry.findings)
+                    module_result.tracked_objects += entry.tracked_objects
+                    if entry.summary is not None:
+                        summaries[ref] = entry.summary
+                    continue
+                reanalyzed += 1
+                scratch = AnalysisResult()
                 summary = analyzer.analyze_ir(
                     ir,
-                    results[ir.module],
+                    scratch,
                     interproc=provider,
                     defer_returns=graph.has_callers(ref),
                     collect_summary=True,
                 )
                 if summary is not None:
                     summaries[ref] = summary
-        for result in results.values():
+                cache.store(
+                    keys[ref],
+                    CachedFunctionAnalysis(
+                        schema_version=cache.schema_version,
+                        ref=str(ref),
+                        findings=tuple(scratch.findings),
+                        tracked_objects=scratch.tracked_objects,
+                        summary=summary,
+                    ),
+                    fingerprint=fingerprint,
+                )
+                module_result = results[ir.module]
+                module_result.findings.extend(scratch.findings)
+                module_result.tracked_objects += scratch.tracked_objects
+        suppressed = 0
+        for key, result in results.items():
             result.findings.sort(
                 key=lambda f: (f.line, f.column, f.kind.value, f.variable, f.message)
             )
+            # Suppressions are applied to the assembled report — cached
+            # entries store raw findings, so toggling a comment never
+            # has to invalidate summaries.
+            marks = parse_suppressions(sources[key])
+            if marks:
+                result.findings[:] = apply_suppressions(result.findings, marks)
+            suppressed += sum(1 for f in result.findings if f.suppressed)
         diag.count(ANALYSIS_MODULES, len(sources))
         diag.count(ANALYSIS_FUNCTIONS, len(functions))
         diag.count(
@@ -215,7 +284,20 @@ class ProjectAnalyzer:
         diag.count(
             ANALYSIS_FINDINGS, sum(len(r.findings) for r in results.values())
         )
-        return ProjectAnalysisResult(modules=results), diag
+        diag.count(ANALYSIS_REANALYZED, reanalyzed)
+        diag.count(ANALYSIS_SUPPRESSED, suppressed)
+        diag.count(SUMMARY_HITS, hits)
+        diag.count(SUMMARY_MISSES, reanalyzed)
+        diag.count(SUMMARY_STORES, reanalyzed)
+        return (
+            ProjectAnalysisResult(
+                modules=results,
+                total_functions=len(functions),
+                reanalyzed_functions=reanalyzed,
+                summary_cache_hits=hits,
+            ),
+            diag,
+        )
 
     # ------------------------------------------------------------------
     # the parallel driver
@@ -235,11 +317,17 @@ class ProjectAnalyzer:
         )
         cache = ruleset.disk_cache
         cache_dir = str(cache.directory) if cache is not None else None
+        summary_dir = (
+            str(self.summary_cache.directory)
+            if self.summary_cache.directory is not None
+            else None
+        )
         partial: list[dict[str, AnalysisResult] | None] = [None] * len(components)
+        run_totals: dict[str, int] = {}
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(components)),
             initializer=_project_init_worker,
-            initargs=(rules_payload, cache_dir),
+            initargs=(rules_payload, cache_dir, summary_dir),
         ) as pool:
             futures = [
                 pool.submit(
@@ -252,6 +340,7 @@ class ProjectAnalyzer:
                 partial[index] = dict(items)
                 for key, amount in counters.items():
                     self.diagnostics.count(key, amount)
+                    run_totals[key] = run_totals.get(key, 0) + amount
         # Reassemble in the original module order regardless of which
         # component (or worker) produced each result.
         merged: dict[str, AnalysisResult] = {}
@@ -260,7 +349,12 @@ class ProjectAnalyzer:
                 if component_results and key in component_results:
                     merged[key] = component_results[key]
                     break
-        return ProjectAnalysisResult(modules=merged)
+        return ProjectAnalysisResult(
+            modules=merged,
+            total_functions=run_totals.get(ANALYSIS_FUNCTIONS, 0),
+            reanalyzed_functions=run_totals.get(ANALYSIS_REANALYZED, 0),
+            summary_cache_hits=run_totals.get(SUMMARY_HITS, 0),
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -326,6 +420,7 @@ _PROJECT_WORKER: dict = {}
 def _project_init_worker(
     rules_payload: "tuple[tuple[Rule, str | None], ...]",
     cache_dir: str | None,
+    summary_dir: str | None = None,
 ) -> None:
     """Build this worker's warm analyzer (runs once per process)."""
     from ..crysl.ruleset import RuleSet
@@ -339,8 +434,13 @@ def _project_init_worker(
 
         ruleset.attach_disk_cache(DiskRuleCache(cache_dir))
     # CrySLAnalyzer construction compiles every rule once — straight
-    # from the disk store when it is primed (zero DFA builds).
-    _PROJECT_WORKER["analyzer"] = ProjectAnalyzer(ruleset)
+    # from the disk store when it is primed (zero DFA builds). When the
+    # parent's summary cache is disk-backed the workers share that
+    # store too, so a primed summary tier replays in parallel mode.
+    summary_cache = SummaryCache(summary_dir) if summary_dir else SummaryCache()
+    _PROJECT_WORKER["analyzer"] = ProjectAnalyzer(
+        ruleset, summary_cache=summary_cache
+    )
 
 
 def _project_run_component(

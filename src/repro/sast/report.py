@@ -35,6 +35,10 @@ class Finding:
     column: int = 0
     #: last source line of the offending expression
     end_line: int | None = None
+    #: silenced by an inline ``# crysl: ignore`` comment — still
+    #: reported (and exported to SARIF as a suppression) but excluded
+    #: from ``is_secure`` and the CLI exit code
+    suppressed: bool = False
 
     def __str__(self) -> str:
         where = f"line {self.line}"
@@ -42,9 +46,10 @@ class Finding:
             where += f":{self.column}"
         if self.file != "<module>":
             where = f"{self.file}, {where}"
+        tag = " (suppressed)" if self.suppressed else ""
         return (
             f"{where}, {self.function}: [{self.kind.value}] "
-            f"{self.variable} ({self.rule}): {self.message}"
+            f"{self.variable} ({self.rule}): {self.message}{tag}"
         )
 
 
@@ -58,15 +63,24 @@ class AnalysisResult:
 
     @property
     def is_secure(self) -> bool:
-        return not self.findings
+        return not self.active_findings
+
+    @property
+    def active_findings(self) -> list[Finding]:
+        """Findings not silenced by an inline suppression."""
+        return [f for f in self.findings if not f.suppressed]
 
     def by_kind(self, kind: FindingKind) -> list[Finding]:
         return [f for f in self.findings if f.kind is kind]
 
     def render(self) -> str:
-        if self.is_secure:
+        if not self.findings:
             return f"no misuses found ({self.tracked_objects} objects tracked)"
-        lines = [f"{len(self.findings)} misuse(s) found:"]
+        suppressed = len(self.findings) - len(self.active_findings)
+        head = f"{len(self.findings)} misuse(s) found"
+        if suppressed:
+            head += f" ({suppressed} suppressed)"
+        lines = [head + ":"]
         lines.extend(f"  {finding}" for finding in self.findings)
         return "\n".join(lines)
 
@@ -86,6 +100,7 @@ class AnalysisResult:
                     "rule": finding.rule,
                     "function": finding.function,
                     "file": finding.file,
+                    "suppressed": finding.suppressed,
                 }
                 for finding in self.findings
             ],

@@ -10,8 +10,10 @@ one tool (``cognicrypt-gen``), one reporting rule per
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Mapping
 
+from .fingerprint import FINGERPRINT_SCHEME, compute_fingerprints
 from .report import AnalysisResult, Finding, FindingKind
 
 SARIF_VERSION = "2.1.0"
@@ -57,13 +59,13 @@ def _rule_entries() -> list[dict]:
     ]
 
 
-def _result_entry(finding: Finding) -> dict:
+def _result_entry(finding: Finding, fingerprint: str | None = None) -> dict:
     region: dict = {"startLine": max(1, finding.line)}
     if finding.column:
         region["startColumn"] = finding.column
     if finding.end_line is not None:
         region["endLine"] = max(finding.end_line, region["startLine"])
-    return {
+    entry = {
         "ruleId": finding.kind.value,
         "level": "error",
         "message": {
@@ -83,18 +85,36 @@ def _result_entry(finding: Finding) -> dict:
             }
         ],
     }
+    if fingerprint is not None:
+        # The same identity GitHub code scanning uses to track a result
+        # across runs; deliberately line-insensitive (see
+        # repro.sast.fingerprint).
+        entry["partialFingerprints"] = {FINGERPRINT_SCHEME: fingerprint}
+    if finding.suppressed:
+        entry["suppressions"] = [
+            {
+                "kind": "inSource",
+                "justification": "crysl: ignore comment",
+            }
+        ]
+    return entry
 
 
 def to_sarif(
     results: "Mapping[str, AnalysisResult] | object",
     *,
     tool_version: str = "0.3",
+    root: "str | Path | None" = None,
 ) -> dict:
     """Build the SARIF 2.1.0 log document as a JSON-ready dict.
 
     Accepts a ``{module key: AnalysisResult}`` mapping, a
     ``ProjectAnalysisResult`` (anything with a ``modules`` mapping), or
-    a single ``AnalysisResult``.
+    a single ``AnalysisResult``. Each result carries a stable
+    ``partialFingerprints`` entry (file paths normalized against
+    ``root``, default the current directory, so fingerprints agree
+    across machines) and suppressed findings carry an ``inSource``
+    suppression.
     """
     if isinstance(results, AnalysisResult):
         modules: Mapping[str, AnalysisResult] = {"<module>": results}
@@ -103,6 +123,7 @@ def to_sarif(
     else:
         modules = results  # type: ignore[assignment]
     findings = [f for result in modules.values() for f in result.findings]
+    fingerprints = compute_fingerprints(findings, root=root)
     return {
         "$schema": SARIF_SCHEMA,
         "version": SARIF_VERSION,
@@ -119,7 +140,10 @@ def to_sarif(
                 "artifacts": [
                     {"location": {"uri": key}} for key in modules
                 ],
-                "results": [_result_entry(finding) for finding in findings],
+                "results": [
+                    _result_entry(finding, fingerprint)
+                    for finding, fingerprint in zip(findings, fingerprints)
+                ],
             }
         ],
     }

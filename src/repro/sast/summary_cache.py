@@ -1,0 +1,312 @@
+"""The persistent per-function summary cache behind incremental analysis.
+
+Whole-project analysis spends almost all of its time in the
+per-function engine (:mod:`repro.sast.analysis`): replaying typestate
+walkers, evaluating constraints and building
+:class:`~repro.sast.summaries.FunctionSummary` records. For a resident
+``serve`` daemon — or CI runs over a mostly-unchanged project — that
+work is overwhelmingly redundant, the same way rule compilation was
+before the compiled-rule caches. This module memoizes it.
+
+Key anatomy
+-----------
+
+A cached entry is the complete analysis outcome of one function — its
+findings, its tracked-object count and its summary — addressed by a
+content key with three layers:
+
+* a **node digest** per function: the :data:`SUMMARY_SCHEMA_VERSION`
+  (semantics tag, bump on any analyzer change), the serving rule set's
+  content fingerprint, the function's module key and qualified name,
+  its start line (findings carry absolute line numbers, so a shifted
+  function must miss), whether the call graph gives it callers (that
+  flag flips deferred-return finalization), the project-defined class
+  names the function can see, and the exact source slice of its
+  definition;
+* a **component digest** per strongly connected component of the call
+  graph: the sorted node digests of every member plus the component
+  keys of every callee component. Members of a cycle summarize each
+  other, so they share fate; callers embed their callees' keys, so a
+  callee edit transitively re-keys exactly the caller cone —
+  *callgraph-aware invalidation by construction*, mirroring how
+  :meth:`~repro.crysl.repository.RuleRepository` recompiles exactly
+  the edited rule;
+* the per-function **cache key**: the component digest salted with the
+  member's own name.
+
+Because invalidation is content-addressed, no dirty-tracking is
+needed: when a file changes, only its functions and their caller/SCC
+cone compute new keys and miss; everything else hits. The cache has a
+bounded in-memory tier (per resident engine) and an optional
+persistent tier backed by the same atomic pickle machinery as the
+compiled-rule store (:class:`repro.cache.PickleStore`), so a fresh
+process starts warm too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from ..cache.store import PickleStore
+from .callgraph import CallGraph, FunctionRef
+from .report import Finding
+from .summaries import FunctionSummary
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    pass
+
+#: Version of the cached per-function analysis payload *and* of the
+#: analyzer semantics baked into it. Bump on any change to the
+#: per-function engine, the summary shapes, the lifter, or the Finding
+#: dataclass; old entries then miss and are recomputed.
+SUMMARY_SCHEMA_VERSION = 1
+
+_SUFFIX = ".summary.pkl"
+
+#: In-memory entries a resident engine keeps (LRU beyond this).
+DEFAULT_MEMORY_ENTRIES = 8192
+
+
+@dataclass(frozen=True)
+class CachedFunctionAnalysis:
+    """The complete, replayable outcome of analyzing one function."""
+
+    schema_version: int
+    #: ``module:qualname`` the entry was recorded for (sanity tag)
+    ref: str
+    findings: tuple[Finding, ...]
+    tracked_objects: int
+    summary: FunctionSummary | None
+
+
+def compute_summary_keys(
+    graph: CallGraph,
+    sources: Mapping[str, str],
+    ruleset_fingerprint: str,
+    *,
+    project_classes: Iterable[str] = (),
+    schema_version: int = SUMMARY_SCHEMA_VERSION,
+) -> dict[FunctionRef, str]:
+    """Content-addressed cache keys for every function in the graph.
+
+    Walks the call graph's condensation callees-first so each
+    component's digest can fold in the (already computed) keys of the
+    components it calls into.
+    """
+    class_names = sorted(set(project_classes))
+    lines_of = {
+        key: text.splitlines() for key, text in sources.items()
+    }
+    node_digest: dict[FunctionRef, str] = {}
+    for ref, ir in graph.functions.items():
+        lines = lines_of.get(ir.module, [])
+        end = ir.end_line or ir.line
+        body = "\n".join(lines[max(0, ir.line - 1): end])
+        digest = hashlib.sha256()
+        digest.update(f"schema:{schema_version}\n".encode())
+        digest.update(f"ruleset:{ruleset_fingerprint}\n".encode())
+        digest.update(f"function:{ref}\n".encode())
+        digest.update(f"line:{ir.line}\n".encode())
+        digest.update(f"has_callers:{int(graph.has_callers(ref))}\n".encode())
+        digest.update(f"classes:{','.join(class_names)}\n".encode())
+        digest.update(body.encode("utf-8"))
+        node_digest[ref] = digest.hexdigest()
+
+    keys: dict[FunctionRef, str] = {}
+    component_key: dict[FunctionRef, str] = {}
+    for component in graph.condensation():
+        members = set(component)
+        digest = hashlib.sha256()
+        for member in component:  # already in name order
+            digest.update(node_digest[member].encode())
+            digest.update(b"\n")
+        callee_keys = sorted(
+            {
+                component_key[callee]
+                for member in component
+                for callee in graph.edges.get(member, ())
+                if callee not in members
+            }
+        )
+        for callee_key in callee_keys:
+            digest.update(callee_key.encode())
+            digest.update(b"\n")
+        scc_key = digest.hexdigest()
+        for member in component:
+            component_key[member] = scc_key
+            keys[member] = hashlib.sha256(
+                f"{scc_key}|{member}".encode()
+            ).hexdigest()
+    return keys
+
+
+class SummaryCache:
+    """A two-tier (memory + optional disk) store of function analyses.
+
+    Thread-safe: a resident engine's concurrently served ``analyze``
+    requests share one instance. The in-memory tier is a bounded LRU;
+    the disk tier (when a directory is given) uses the same
+    atomic-pickle, validate-on-load machinery as the compiled-rule
+    store, so corrupt or schema-drifted entries are evicted and
+    recomputed, never surfaced.
+
+    ``invalidate_fingerprint`` drops every in-memory entry recorded
+    under one rule-set fingerprint — the ``refresh-rules`` hook. (Disk
+    entries of a dead fingerprint are simply unreachable: the
+    fingerprint is part of every key.)
+    """
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        *,
+        memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+        schema_version: int = SUMMARY_SCHEMA_VERSION,
+    ):
+        self.schema_version = schema_version
+        self.memory_entries = memory_entries
+        self._lock = threading.Lock()
+        self._memory: "OrderedDict[str, CachedFunctionAnalysis]" = OrderedDict()
+        #: fingerprint -> keys recorded under it (for invalidation)
+        self._by_fingerprint: dict[str, set[str]] = {}
+        self._store: PickleStore | None = None
+        if directory is not None:
+            self._store = PickleStore(
+                directory,
+                suffix=_SUFFIX,
+                payload_type=CachedFunctionAnalysis,
+                schema_version=schema_version,
+            )
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.invalidations = 0
+        self.evictions = 0
+        self.disk_hits = 0
+
+    @property
+    def directory(self) -> Path | None:
+        return self._store.directory if self._store is not None else None
+
+    @property
+    def persistent(self) -> bool:
+        return self._store is not None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    # ------------------------------------------------------------------
+    # load / store
+    # ------------------------------------------------------------------
+
+    def load(
+        self, key: str, *, fingerprint: str
+    ) -> CachedFunctionAnalysis | None:
+        """The cached analysis for one key, or None (a miss)."""
+        with self._lock:
+            entry = self._memory.get(key)
+            if entry is not None:
+                self._memory.move_to_end(key)
+                self.hits += 1
+                return entry
+        if self._store is not None:
+            result = self._store.load(key)
+            if result.hit:
+                entry = result.artefacts
+                with self._lock:
+                    self.hits += 1
+                    self.disk_hits += 1
+                    self._remember(key, fingerprint, entry)
+                return entry
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def store(
+        self, key: str, entry: CachedFunctionAnalysis, *, fingerprint: str
+    ) -> None:
+        """Record one function's analysis under its content key."""
+        with self._lock:
+            self.stores += 1
+            self._remember(key, fingerprint, entry)
+        if self._store is not None:
+            self._store.store(key, entry)
+
+    def _remember(
+        self, key: str, fingerprint: str, entry: CachedFunctionAnalysis
+    ) -> None:
+        """Insert into the LRU tier (caller holds the lock)."""
+        self._memory[key] = entry
+        self._memory.move_to_end(key)
+        self._by_fingerprint.setdefault(fingerprint, set()).add(key)
+        while len(self._memory) > self.memory_entries > 0:
+            evicted, _ = self._memory.popitem(last=False)
+            self.evictions += 1
+            for keys in self._by_fingerprint.values():
+                keys.discard(evicted)
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Drop every in-memory entry keyed under one rule-set
+        fingerprint (``refresh-rules``); returns how many were dropped."""
+        with self._lock:
+            keys = self._by_fingerprint.pop(fingerprint, set())
+            dropped = 0
+            for key in keys:
+                if self._memory.pop(key, None) is not None:
+                    dropped += 1
+            self.invalidations += dropped
+            return dropped
+
+    def clear(self) -> int:
+        """Drop every in-memory entry (the disk tier is left alone)."""
+        with self._lock:
+            dropped = len(self._memory)
+            self._memory.clear()
+            self._by_fingerprint.clear()
+            self.invalidations += dropped
+            return dropped
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups, 0.0 when nothing has been looked up."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return self.hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable counter snapshot (the ``stats`` op)."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "entries": len(self._memory),
+                "memory_entries": self.memory_entries,
+                "persistent": self._store is not None,
+                "hits": self.hits,
+                "misses": self.misses,
+                "disk_hits": self.disk_hits,
+                "stores": self.stores,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"<SummaryCache entries={len(self)} hits={self.hits} "
+            f"misses={self.misses} "
+            f"disk={'on' if self._store is not None else 'off'}>"
+        )

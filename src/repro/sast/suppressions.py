@@ -1,0 +1,87 @@
+"""Inline ``# crysl: ignore`` suppression comments.
+
+A developer who has reviewed a reported misuse and decided it is
+acceptable (test fixture, known-weak legacy interop, a false positive
+pending an analyzer fix) marks the offending line::
+
+    cipher.encrypt(data)  # crysl: ignore
+    digest = hashlib.md5(blob)  # crysl: ignore[constraint-violation]
+    aes = AES.new(key)  # crysl: ignore[AES, incomplete-operation]
+
+A bare ``ignore`` silences every finding on that line; a bracketed list
+restricts it to specific finding kinds (``constraint-violation``) or
+rule names (``AES``), case-insensitively. Suppressed findings are not
+deleted — they stay in the report flagged ``suppressed`` and surface in
+SARIF as ``suppressions: [{"kind": "inSource"}]`` so dashboards can
+track them — but they no longer fail the build: the CLI's exit code and
+``AnalysisResult.is_secure`` consider only *active* findings.
+
+Suppressions are a presentation-layer concern: they are applied to the
+assembled report after analysis (and after summary-cache replay), so
+adding or removing a comment never invalidates cached summaries whose
+source slice did not change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Mapping
+
+from .report import Finding
+
+#: ``# crysl: ignore`` or ``# crysl: ignore[id, id2]`` — anywhere in a
+#: line, typically trailing code. The bracket list is free-form; ids
+#: are matched against finding kinds and rule names.
+_PATTERN = re.compile(
+    r"#\s*crysl:\s*ignore(?:\[(?P<ids>[^\]]*)\])?", re.IGNORECASE
+)
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Per-line suppression sets for one module's source text.
+
+    Maps 1-based line numbers to the lowercased ids the comment names;
+    an empty set means "ignore everything on this line".
+    """
+    suppressions: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PATTERN.search(line)
+        if match is None:
+            continue
+        ids = match.group("ids")
+        if ids is None:
+            suppressions[lineno] = frozenset()
+        else:
+            suppressions[lineno] = frozenset(
+                part.strip().lower() for part in ids.split(",") if part.strip()
+            )
+    return suppressions
+
+
+def suppresses(ids: frozenset[str], finding: Finding) -> bool:
+    """Whether one comment's id set silences one finding."""
+    if not ids:
+        return True
+    return finding.kind.value.lower() in ids or finding.rule.lower() in ids
+
+
+def apply_suppressions(
+    findings: list[Finding], suppressions: Mapping[int, frozenset[str]]
+) -> list[Finding]:
+    """Findings with ``suppressed`` set where a comment matches.
+
+    A comment applies to findings *reported on its line* — for
+    multi-line expressions the analyzer reports the line of the
+    offending call, which is where the comment goes.
+    """
+    if not suppressions:
+        return findings
+    out: list[Finding] = []
+    for finding in findings:
+        ids = suppressions.get(finding.line)
+        if ids is not None and suppresses(ids, finding):
+            out.append(dataclasses.replace(finding, suppressed=True))
+        else:
+            out.append(finding)
+    return out

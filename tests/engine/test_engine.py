@@ -227,6 +227,29 @@ class TestRepositoryBackedEngine:
         assert engine.context is context_before  # no rebuild
         engine.close()
 
+    def test_refresh_invalidates_stale_summaries(self, rules_copy, tmp_path):
+        """Summaries computed under the old rule set are dropped on a
+        dirty refresh; the next analyze re-summarizes under the new
+        fingerprint (and keys under the old one are unreachable)."""
+        engine = CryptoGenEngine(rules_dir=rules_copy)
+        target = tmp_path / "m.py"
+        target.write_text("def f():\n    return 1\n", encoding="utf-8")
+        first = engine.analyze(AnalyzeRequest(paths=(str(target),)))
+        assert first.ok and first.reanalyzed_functions > 0
+        warm = engine.analyze(AnalyzeRequest(paths=(str(target),)))
+        assert warm.reanalyzed_functions == 0
+
+        rule = rules_copy / "SecureRandom.crysl"
+        text = rule.read_text(encoding="utf-8")
+        rule.write_text(text.replace("ENSURES", "ENSURES "), encoding="utf-8")
+        report = engine.refresh_rules()
+        assert report.dirty
+        assert engine.summary_cache.invalidations > 0
+
+        after = engine.analyze(AnalyzeRequest(paths=(str(target),)))
+        assert after.ok and after.reanalyzed_functions > 0
+        engine.close()
+
     def test_cumulative_diagnostics_survive_refresh(self, rules_copy):
         engine = CryptoGenEngine(rules_dir=rules_copy)
         engine.generate(GenerateRequest(template=TEMPLATE))
@@ -242,3 +265,88 @@ class TestRepositoryBackedEngine:
             engine.diagnostics.counter("compiled_rules.misses") > runs_before
         )
         engine.close()
+
+
+class TestIncrementalAnalyze:
+    SOURCES = {
+        "helpers.py": "def make_iv():\n    return b'0' * 16\n",
+        "app.py": (
+            "from helpers import make_iv\n"
+            "def run():\n"
+            "    iv = make_iv()\n"
+            "    return iv\n"
+        ),
+        "other.py": "def standalone():\n    return 1\n",
+    }
+
+    def test_second_analyze_reanalyzes_nothing(self):
+        engine = CryptoGenEngine()
+        cold = engine.analyze(AnalyzeRequest(sources=self.SOURCES))
+        assert cold.reanalyzed_functions == cold.analysis.total_functions > 0
+        warm = engine.analyze(AnalyzeRequest(sources=self.SOURCES))
+        assert warm.reanalyzed_functions == 0
+        assert warm.analysis.to_dict() == cold.analysis.to_dict()
+        # the resident cache answered every lookup of the second request
+        stats = engine.summary_cache.to_dict()
+        assert stats["hits"] == warm.analysis.total_functions
+        assert stats["hit_rate"] == 0.5  # cold misses + warm hits
+        engine.close()
+
+    def test_edit_reanalyzes_only_the_cone(self):
+        engine = CryptoGenEngine()
+        engine.analyze(AnalyzeRequest(sources=self.SOURCES))
+        edited = {
+            **self.SOURCES,
+            "helpers.py": "def make_iv():\n    return b'1' * 16\n",
+        }
+        after = engine.analyze(AnalyzeRequest(sources=edited))
+        # helpers.make_iv plus its caller app.run; other.standalone hits
+        assert 0 < after.reanalyzed_functions < after.analysis.total_functions
+        engine.close()
+
+    def test_reanalyzed_functions_in_to_dict(self):
+        engine = CryptoGenEngine()
+        result = engine.analyze(AnalyzeRequest(sources=self.SOURCES))
+        payload = result.to_dict()
+        assert payload["reanalyzed_functions"] == result.reanalyzed_functions
+        assert (
+            payload["result"]["total_functions"]
+            == result.analysis.total_functions
+        )
+        engine.close()
+
+    def test_disk_backed_summary_cache_warms_a_fresh_engine(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        with CryptoGenEngine(cache_dir=cache_dir) as first:
+            cold = first.analyze(AnalyzeRequest(sources=self.SOURCES))
+            assert cold.reanalyzed_functions > 0
+            assert first.summary_cache.persistent
+        with CryptoGenEngine(cache_dir=cache_dir) as second:
+            warm = second.analyze(AnalyzeRequest(sources=self.SOURCES))
+            assert warm.reanalyzed_functions == 0
+            assert second.summary_cache.to_dict()["disk_hits"] > 0
+
+
+class TestExpandAnalyzePaths:
+    def test_deduplicates_overlapping_entries(self, tmp_path):
+        from repro.engine import expand_analyze_paths
+
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "b.py").write_text("y = 2\n")
+        expanded = expand_analyze_paths(
+            [tmp_path, tmp_path / "a.py", tmp_path]
+        )
+        assert expanded == sorted(
+            [tmp_path / "a.py", tmp_path / "b.py"], key=str
+        )
+
+    def test_result_is_sorted_regardless_of_argument_order(self, tmp_path):
+        from repro.engine import expand_analyze_paths
+
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (tmp_path / "z.py").write_text("z = 1\n")
+        (sub / "a.py").write_text("a = 1\n")
+        forward = expand_analyze_paths([tmp_path / "z.py", sub])
+        backward = expand_analyze_paths([sub, tmp_path / "z.py"])
+        assert forward == backward == sorted(forward, key=str)

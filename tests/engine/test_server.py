@@ -104,6 +104,36 @@ class TestProtocol:
         assert stats["requests"] == 1
         assert "dfa_builds" in stats["compiled_rules"]
         assert "stages" in stats["diagnostics"]
+        assert "hit_rate" in stats["summary_cache"]
+
+    def test_repeat_analyze_reuses_resident_summaries(self, server):
+        sources = {
+            "helpers.py": "def make_iv():\n    return b'0' * 16\n",
+            "app.py": (
+                "from helpers import make_iv\n"
+                "def run():\n"
+                "    iv = make_iv()\n"
+                "    return iv\n"
+            ),
+        }
+        cold, warm, stats = _run(
+            server,
+            [
+                {"id": 1, "op": "analyze", "sources": sources},
+                {"id": 2, "op": "analyze", "sources": sources},
+                {"id": 3, "op": "stats"},
+            ],
+        )
+        assert cold["ok"] and warm["ok"]
+        assert cold["reanalyzed_functions"] == cold["result"]["total_functions"]
+        # the resident cache answers the entire second request
+        assert warm["reanalyzed_functions"] == 0
+        assert (
+            warm["result"]["summary_cache_hits"]
+            == warm["result"]["total_functions"]
+        )
+        assert warm["result"]["modules"] == cold["result"]["modules"]
+        assert stats["summary_cache"]["hit_rate"] == 0.5
 
     def test_shutdown_stops_the_loop(self, server):
         responses = _run(

@@ -336,6 +336,122 @@ def test_analyze_stats_on_stderr(tmp_path, capsys):
     assert "analysis.modules" in captured.err
 
 
+INSECURE_MD5 = (
+    "from repro.jca import MessageDigest\n"
+    "def f():\n"
+    "    md = MessageDigest.get_instance('MD5')\n"
+    "    digest = md.digest(b'x')\n"
+)
+
+
+def test_analyze_update_baseline_then_gate(tmp_path, capsys):
+    insecure = tmp_path / "bad.py"
+    insecure.write_text(INSECURE_MD5)
+    baseline = tmp_path / "baseline.json"
+
+    # Recording the baseline succeeds even though findings exist.
+    assert (
+        main(
+            [
+                "analyze", str(insecure),
+                "--baseline", str(baseline), "--update-baseline",
+            ]
+        )
+        == 0
+    )
+    assert baseline.exists()
+    assert "baseline" in capsys.readouterr().err
+
+    # Same findings against the baseline: gate passes.
+    assert main(["analyze", str(insecure), "--baseline", str(baseline)]) == 0
+    assert "0 new" in capsys.readouterr().err
+
+
+def test_analyze_baseline_fails_on_new_findings(tmp_path, capsys):
+    insecure = tmp_path / "bad.py"
+    insecure.write_text(INSECURE_MD5)
+    baseline = tmp_path / "baseline.json"
+    assert (
+        main(
+            [
+                "analyze", str(insecure),
+                "--baseline", str(baseline), "--update-baseline",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+
+    # A fresh misuse appears: only the new finding trips the gate.
+    insecure.write_text(
+        INSECURE_MD5
+        + "def g():\n"
+        "    md = MessageDigest.get_instance('SHA-1')\n"
+        "    digest = md.digest(b'y')\n"
+    )
+    assert main(["analyze", str(insecure), "--baseline", str(baseline)]) == 2
+    err = capsys.readouterr().err
+    assert "1 new" in err and "1 baselined" in err
+
+
+def test_analyze_baseline_rejects_garbage_file(tmp_path, capsys):
+    target = tmp_path / "x.py"
+    target.write_text(INSECURE_MD5)
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text("not json at all")
+    assert main(["analyze", str(target), "--baseline", str(baseline)]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_analyze_update_baseline_requires_baseline_path(tmp_path, capsys):
+    target = tmp_path / "x.py"
+    target.write_text("def f():\n    pass\n")
+    assert main(["analyze", str(target), "--update-baseline"]) == 1
+    assert "--baseline" in capsys.readouterr().err
+
+
+def test_analyze_inline_suppressions_pass_the_gate(tmp_path, capsys):
+    marked = tmp_path / "marked.py"
+    marked.write_text(
+        INSECURE_MD5.replace(
+            "get_instance('MD5')",
+            "get_instance('MD5')  # crysl: ignore",
+        )
+    )
+    assert main(["analyze", str(marked)]) == 0
+    assert "suppressed" in capsys.readouterr().out
+
+
+def test_analyze_stats_report_reanalyzed_delta(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text(
+        "from repro.jca import MessageDigest\n"
+        "def f():\n"
+        "    md = MessageDigest.get_instance('SHA-256')\n"
+        "    digest = md.digest(b'x')\n"
+    )
+    cache = tmp_path / "cache"
+    args = [
+        "analyze", str(clean),
+        "--cache-dir", str(cache), "--stats", "--json",
+    ]
+    assert main(args) == 0
+    cold = capsys.readouterr().err
+    assert "reanalyzed 1 of 1 function(s)" in cold
+
+    # A second process over the same cache replays the stored summary.
+    assert main(args) == 0
+    warm = capsys.readouterr().err
+    assert "reanalyzed 0 of 1 function(s)" in warm
+    assert "1 from summary cache" in warm
+
+
+def test_analyze_no_cache_disables_persistence(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("def f():\n    pass\n")
+    assert main(["analyze", str(clean), "--no-cache"]) == 0
+
+
 def test_generate_verify_gate_passes_for_use_case(tmp_path, capsys):
     template = use_case(11).template_path()
     assert (

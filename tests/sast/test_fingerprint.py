@@ -1,0 +1,147 @@
+"""Stable finding fingerprints and the baseline/diff gate."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.sast.fingerprint import (
+    Baseline,
+    BaselineError,
+    baseline_from_results,
+    compute_fingerprints,
+    diff_against_baseline,
+    fingerprint_identity,
+    normalize_file,
+)
+from repro.sast.report import AnalysisResult, Finding, FindingKind
+
+
+def finding(**overrides) -> Finding:
+    defaults = dict(
+        kind=FindingKind.CONSTRAINT,
+        message="key too short",
+        line=10,
+        variable="key",
+        rule="SecretKeySpec",
+        function="make_key",
+        file="src/app.py",
+        column=5,
+    )
+    defaults.update(overrides)
+    return Finding(**defaults)
+
+
+class TestNormalizeFile:
+    def test_module_keys_pass_through(self):
+        assert normalize_file("<module>") == "<module>"
+
+    def test_relative_paths_keep_posix_form(self, tmp_path):
+        assert normalize_file("src/app.py", root=tmp_path) == "src/app.py"
+
+    def test_paths_under_root_become_relative(self, tmp_path):
+        target = tmp_path / "pkg" / "mod.py"
+        assert normalize_file(str(target), root=tmp_path) == "pkg/mod.py"
+
+    def test_absolute_paths_outside_root_reduce_to_basename(self, tmp_path):
+        other = tmp_path / "elsewhere" / "deep" / "mod.py"
+        root = tmp_path / "project"
+        root.mkdir()
+        assert normalize_file(str(other), root=root) == "mod.py"
+
+
+class TestFingerprints:
+    def test_stable_across_line_shifts(self):
+        a = finding(line=10)
+        b = finding(line=99, column=1)
+        assert fingerprint_identity(a) == fingerprint_identity(b)
+
+    def test_sensitive_to_rule_kind_and_message(self):
+        base = finding()
+        assert fingerprint_identity(base) != fingerprint_identity(
+            finding(rule="Cipher")
+        )
+        assert fingerprint_identity(base) != fingerprint_identity(
+            finding(kind=FindingKind.TYPESTATE)
+        )
+        assert fingerprint_identity(base) != fingerprint_identity(
+            finding(message="other")
+        )
+
+    def test_duplicates_get_distinct_but_stable_fingerprints(self):
+        pair = [finding(line=10), finding(line=20)]
+        first = compute_fingerprints(pair)
+        assert len(set(first)) == 2
+        assert compute_fingerprints(pair) == first
+
+    def test_absolute_path_never_reaches_the_fingerprint(self, tmp_path):
+        # the same finding reported from two different checkouts agrees
+        a = finding(file=str(tmp_path / "host-a" / "app.py"))
+        b = finding(file=str(tmp_path / "host-b" / "app.py"))
+        assert fingerprint_identity(
+            a, root=tmp_path / "nowhere"
+        ) == fingerprint_identity(b, root=tmp_path / "nowhere")
+
+
+def results_of(*findings: Finding) -> dict[str, AnalysisResult]:
+    return {"m": AnalysisResult(findings=list(findings))}
+
+
+class TestBaseline:
+    def test_save_load_round_trip(self, tmp_path):
+        baseline = Baseline(fingerprints={"b", "a"})
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.fingerprints == {"a", "b"}
+        # the file itself is deterministic (sorted)
+        payload = json.loads(path.read_text())
+        assert payload["fingerprints"] == ["a", "b"]
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("not json")
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+        path.write_text(json.dumps({"schema_version": 999, "fingerprints": []}))
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+        with pytest.raises(BaselineError):
+            Baseline.load(tmp_path / "missing.json")
+
+    def test_diff_partitions_new_and_baselined(self):
+        old = finding(message="known issue")
+        new = finding(message="fresh issue")
+        baseline = baseline_from_results(results_of(old))
+        diff = diff_against_baseline(results_of(old, new), baseline)
+        assert [f.message for f in diff.baselined] == ["known issue"]
+        assert [f.message for f in diff.new] == ["fresh issue"]
+        assert not diff.clean
+
+    def test_diff_is_clean_when_all_findings_are_baselined(self):
+        old = finding()
+        baseline = baseline_from_results(results_of(old))
+        diff = diff_against_baseline(results_of(old), baseline)
+        assert diff.clean and diff.absent == 0
+
+    def test_fixed_findings_show_as_absent(self):
+        old = finding()
+        baseline = baseline_from_results(results_of(old))
+        diff = diff_against_baseline(results_of(), baseline)
+        assert diff.clean and diff.absent == 1
+
+    def test_suppressed_findings_are_out_of_scope(self):
+        suppressed = dataclasses.replace(finding(), suppressed=True)
+        baseline = baseline_from_results(results_of(suppressed))
+        assert len(baseline) == 0
+        diff = diff_against_baseline(results_of(suppressed), Baseline())
+        assert diff.clean
+
+    def test_line_shift_keeps_a_finding_baselined(self):
+        baseline = baseline_from_results(results_of(finding(line=10)))
+        diff = diff_against_baseline(
+            results_of(finding(line=42, column=3)), baseline
+        )
+        assert diff.clean

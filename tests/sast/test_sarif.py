@@ -107,6 +107,22 @@ SARIF_SUBSET_SCHEMA = {
                     "type": "array",
                     "items": {"$ref": "#/definitions/location"},
                 },
+                "partialFingerprints": {
+                    "type": "object",
+                    "additionalProperties": {"type": "string"},
+                },
+                "suppressions": {
+                    "type": "array",
+                    "items": {"$ref": "#/definitions/suppression"},
+                },
+            },
+        },
+        "suppression": {
+            "type": "object",
+            "required": ["kind"],
+            "properties": {
+                "kind": {"enum": ["inSource", "external"]},
+                "justification": {"type": "string"},
             },
         },
         "message": {
@@ -255,3 +271,64 @@ class TestContent:
 
         _, log = sarif_log
         assert json.loads(json.dumps(log)) == log
+
+
+class TestFingerprints:
+    def test_every_result_carries_a_partial_fingerprint(self, sarif_log):
+        from repro.sast.fingerprint import FINGERPRINT_SCHEME
+
+        _, log = sarif_log
+        for entry in log["runs"][0]["results"]:
+            fingerprint = entry["partialFingerprints"][FINGERPRINT_SCHEME]
+            assert isinstance(fingerprint, str) and len(fingerprint) == 64
+
+    def test_fingerprints_are_stable_across_runs(self):
+        first = to_sarif(
+            ProjectAnalyzer().analyze_sources({"broken.py": BROKEN})
+        )
+        second = to_sarif(
+            ProjectAnalyzer().analyze_sources({"broken.py": BROKEN})
+        )
+        prints = lambda log: [
+            r["partialFingerprints"] for r in log["runs"][0]["results"]
+        ]
+        assert prints(first) == prints(second)
+
+    def test_fingerprints_survive_line_shifts(self):
+        shifted = "# a leading comment\n\n" + BROKEN
+        a = to_sarif(ProjectAnalyzer().analyze_sources({"broken.py": BROKEN}))
+        b = to_sarif(ProjectAnalyzer().analyze_sources({"broken.py": shifted}))
+        prints = lambda log: [
+            r["partialFingerprints"] for r in log["runs"][0]["results"]
+        ]
+        assert prints(a) == prints(b)
+
+    def test_fingerprints_are_unique_within_a_run(self, sarif_log):
+        from repro.sast.fingerprint import FINGERPRINT_SCHEME
+
+        _, log = sarif_log
+        values = [
+            r["partialFingerprints"][FINGERPRINT_SCHEME]
+            for r in log["runs"][0]["results"]
+        ]
+        assert len(values) == len(set(values))
+
+
+class TestSuppressions:
+    def test_suppressed_findings_carry_in_source_suppressions(self):
+        marked = BROKEN.replace(
+            "md = MessageDigest.get_instance('MD5')",
+            "md = MessageDigest.get_instance('MD5')  # crysl: ignore",
+        )
+        result = ProjectAnalyzer().analyze_sources({"broken.py": marked})
+        log = to_sarif(result)
+        validate(log)
+        suppressed = [
+            r for r in log["runs"][0]["results"] if r.get("suppressions")
+        ]
+        active = [
+            r for r in log["runs"][0]["results"] if not r.get("suppressions")
+        ]
+        assert suppressed and active
+        for entry in suppressed:
+            assert entry["suppressions"][0]["kind"] == "inSource"

@@ -1,0 +1,143 @@
+"""Inline ``# crysl: ignore`` suppression comments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sast import ProjectAnalyzer
+from repro.sast.report import AnalysisResult, Finding, FindingKind
+from repro.sast.suppressions import (
+    apply_suppressions,
+    parse_suppressions,
+    suppresses,
+)
+
+
+def finding(line=3, kind=FindingKind.TYPESTATE, rule="Cipher") -> Finding:
+    return Finding(
+        kind=kind,
+        message="m",
+        line=line,
+        variable="v",
+        rule=rule,
+        file="m.py",
+    )
+
+
+class TestParse:
+    def test_bare_ignore(self):
+        marks = parse_suppressions("x = 1\ny = f()  # crysl: ignore\n")
+        assert marks == {2: frozenset()}
+
+    def test_bracketed_ids_are_lowercased_and_split(self):
+        marks = parse_suppressions(
+            "y = f()  # crysl: ignore[Typestate-Error, AES]\n"
+        )
+        assert marks == {1: frozenset({"typestate-error", "aes"})}
+
+    def test_spacing_and_case_variants(self):
+        for comment in (
+            "#crysl:ignore",
+            "# CRYSL: IGNORE",
+            "#  crysl:  ignore",
+        ):
+            assert parse_suppressions(f"y = f()  {comment}\n"), comment
+
+    def test_unrelated_comments_do_not_match(self):
+        assert parse_suppressions("x = 1  # crysl rules are neat\n") == {}
+        assert parse_suppressions("x = 1  # ignore\n") == {}
+
+
+class TestMatching:
+    def test_bare_set_suppresses_everything(self):
+        assert suppresses(frozenset(), finding())
+
+    def test_kind_id_matches(self):
+        assert suppresses(frozenset({"typestate-error"}), finding())
+        assert not suppresses(frozenset({"constraint-violation"}), finding())
+
+    def test_rule_id_matches_case_insensitively(self):
+        assert suppresses(frozenset({"cipher"}), finding(rule="Cipher"))
+
+    def test_apply_marks_only_matching_lines(self):
+        findings = [finding(line=3), finding(line=5)]
+        out = apply_suppressions(findings, {3: frozenset()})
+        assert [f.suppressed for f in out] == [True, False]
+
+
+class TestReportSemantics:
+    def test_suppressed_findings_do_not_fail_is_secure(self):
+        result = AnalysisResult(findings=[finding()])
+        assert not result.is_secure
+        result.findings[:] = apply_suppressions(
+            result.findings, {3: frozenset()}
+        )
+        assert result.is_secure
+        assert result.findings  # still reported
+        assert not result.active_findings
+
+    def test_render_counts_suppressed(self):
+        result = AnalysisResult(
+            findings=apply_suppressions([finding()], {3: frozenset()})
+        )
+        assert "(1 suppressed)" in result.render()
+        assert "(suppressed)" in str(result.findings[0])
+
+    def test_to_dict_carries_the_flag(self):
+        result = AnalysisResult(
+            findings=apply_suppressions([finding()], {3: frozenset()})
+        )
+        assert result.to_dict()["findings"][0]["suppressed"] is True
+        assert result.to_dict()["secure"] is True
+
+
+INSECURE = (
+    "from cryptography.hazmat.primitives.ciphers import "
+    "Cipher, algorithms, modes\n"
+    "def broken(key, iv, data):\n"
+    "    cipher = Cipher(algorithms.AES(key), modes.CBC(iv)){mark1}\n"
+    "    enc = cipher.encryptor(){mark2}\n"
+    "    enc.update(data)\n"
+    "    return enc\n"
+)
+
+
+class TestEndToEnd:
+    @pytest.fixture()
+    def project_analyzer(self, ruleset):
+        return ProjectAnalyzer(ruleset)
+
+    def test_unsuppressed_module_is_insecure(self, project_analyzer):
+        source = INSECURE.format(mark1="", mark2="")
+        result = project_analyzer.analyze_sources({"bad.py": source})
+        assert not result.is_secure
+
+    def test_suppressing_every_finding_makes_it_pass(self, project_analyzer):
+        source = INSECURE.format(
+            mark1="  # crysl: ignore", mark2="  # crysl: ignore"
+        )
+        result = project_analyzer.analyze_sources({"bad.py": source})
+        assert result.is_secure
+        assert result.findings  # reported, flagged
+        assert all(f.suppressed for f in result.findings)
+
+    def test_selective_suppression_keeps_other_findings_active(
+        self, project_analyzer
+    ):
+        source = INSECURE.format(mark1="  # crysl: ignore", mark2="")
+        result = project_analyzer.analyze_sources({"bad.py": source})
+        assert not result.is_secure
+        assert any(f.suppressed for f in result.findings)
+        assert any(not f.suppressed for f in result.findings)
+
+    def test_suppression_applies_on_warm_cache_replay(self, project_analyzer):
+        """Cached entries store raw findings; the comment is applied at
+        assembly, so a warm run reports the same suppressed shape."""
+        source = INSECURE.format(
+            mark1="  # crysl: ignore", mark2="  # crysl: ignore"
+        )
+        cold = project_analyzer.analyze_sources({"bad.py": source})
+        warm = project_analyzer.analyze_sources({"bad.py": source})
+        assert warm.reanalyzed_functions == 0
+        assert warm.is_secure
+        assert cold.to_dict() == warm.to_dict()
