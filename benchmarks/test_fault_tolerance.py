@@ -1,0 +1,165 @@
+"""Overload behaviour: bounded queue, fast rejections, bounded p99.
+
+The admission-control claim: with ``max_pending`` set, a thundering
+herd does not queue without bound — overflow is rejected *immediately*
+with a retryable ``OverloadedError`` (carrying ``retry_after_ms``),
+admitted requests finish normally, and the p99 time-to-*any*-response
+stays bounded because rejections do not wait for the queue. This
+benchmark throws 32 concurrent clients at a 2-worker server with
+``max_pending=4`` and a deliberately slow generate, and records the
+admitted/rejected split plus response-time percentiles in the JSON
+benchmark artifact.
+
+Run with: ``pytest benchmarks/ --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import json
+import socket as socketlib
+import threading
+import time
+from pathlib import Path
+
+from repro.crysl import RuleSet
+from repro.engine import CryptoGenEngine, EngineServer
+from repro.usecases import use_case
+
+TEMPLATE = str(use_case(1).template_path())
+
+CLIENTS = 32
+MAX_PENDING = 4
+WORKERS = 2
+#: artificial service time per admitted generate, seconds
+SERVICE_SECONDS = 0.05
+
+
+def _start_overloaded_server(
+    tmp_path: Path,
+) -> tuple[EngineServer, Path, threading.Thread]:
+    path = tmp_path / "overload.sock"
+    engine = CryptoGenEngine(ruleset=RuleSet.bundled(), result_cache_size=0)
+    server = EngineServer(
+        engine, workers=WORKERS, max_pending=MAX_PENDING, timeout=30.0
+    )
+    real_generate = engine.generate
+
+    def slow_generate(request):
+        time.sleep(SERVICE_SECONDS)
+        return real_generate(request)
+
+    engine.generate = slow_generate  # type: ignore[method-assign]
+    thread = threading.Thread(
+        target=server.serve_socket, args=(path,), daemon=True
+    )
+    thread.start()
+    deadline = time.monotonic() + 10.0
+    while not path.exists():
+        assert time.monotonic() < deadline, "server socket never appeared"
+        time.sleep(0.01)
+    return server, path, thread
+
+
+def _one_request(path: Path, tag: int) -> tuple[dict, float]:
+    """One client, one generate; returns (response, seconds-to-response)."""
+    sock = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+    sock.connect(str(path))
+    started = time.perf_counter()
+    request = {"id": f"c{tag}", "op": "generate", "template": TEMPLATE}
+    sock.sendall((json.dumps(request) + "\n").encode())
+    reader = sock.makefile("r", encoding="utf-8")
+    response = json.loads(reader.readline())
+    elapsed = time.perf_counter() - started
+    sock.close()
+    return response, elapsed
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def test_overload_rejects_fast_with_bounded_p99(benchmark, tmp_path):
+    """32 clients vs max_pending=4: structured rejections, bounded p99."""
+
+    def measure() -> dict:
+        server, path, thread = _start_overloaded_server(tmp_path)
+        # Warm the engine so admitted requests measure queueing, not
+        # cold DFA builds.
+        _one_request(path, -1)
+
+        barrier = threading.Barrier(CLIENTS + 1)
+        results: list[tuple[dict, float]] = []
+        lock = threading.Lock()
+
+        def client(tag: int) -> None:
+            barrier.wait()
+            outcome = _one_request(path, tag)
+            with lock:
+                results.append(outcome)
+
+        threads = [
+            threading.Thread(target=client, args=(tag,))
+            for tag in range(CLIENTS)
+        ]
+        for worker in threads:
+            worker.start()
+        barrier.wait()
+        for worker in threads:
+            worker.join(timeout=120)
+            assert not worker.is_alive(), "client hung under overload"
+
+        _one_request(path, -2)  # the server still serves after the herd
+        sock = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+        sock.connect(str(path))
+        sock.sendall(b'{"id": "bye", "op": "shutdown"}\n')
+        sock.makefile("r", encoding="utf-8").readline()
+        sock.close()
+        thread.join(30.0)
+
+        admitted, rejected, malformed = [], [], []
+        for response, elapsed in results:
+            if response.get("ok"):
+                admitted.append(elapsed)
+            elif (
+                response.get("error", {}).get("type") == "OverloadedError"
+                and response["error"].get("retry_after_ms", 0) > 0
+                and response["error"].get("retryable") is True
+            ):
+                rejected.append(elapsed)
+            else:
+                malformed.append(response)
+        assert not malformed, malformed[:3]
+        return {
+            "admitted": admitted,
+            "rejected": rejected,
+            "overloads": server.metrics.to_dict()["overloads"],
+        }
+
+    outcome = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    admitted = sorted(outcome["admitted"])
+    rejected = sorted(outcome["rejected"])
+    everything = sorted(admitted + rejected)
+    p99 = _percentile(everything, 0.99)
+    benchmark.extra_info["clients"] = CLIENTS
+    benchmark.extra_info["max_pending"] = MAX_PENDING
+    benchmark.extra_info["admitted"] = len(admitted)
+    benchmark.extra_info["rejected"] = len(rejected)
+    benchmark.extra_info["overloads_counted"] = outcome["overloads"]
+    benchmark.extra_info["p99_response_s"] = round(p99, 4)
+    if rejected:
+        benchmark.extra_info["rejection_p99_s"] = round(
+            _percentile(rejected, 0.99), 4
+        )
+
+    # The acceptance bar: nothing hangs, overflow is rejected (the herd
+    # is 8x the queue bound, so rejections must occur), admitted work
+    # completes, and p99 time-to-response stays bounded — far below
+    # what a 32-deep unbounded queue over 2 workers would cost
+    # (32 * 0.05 / 2 = 0.8s of queueing alone).
+    assert len(admitted) + len(rejected) == CLIENTS
+    assert rejected, "no request was load-shed despite 8x oversubscription"
+    assert admitted, "every request was rejected; admission over-shed"
+    assert p99 < 5.0
+    assert _percentile(rejected, 0.99) < 1.0, "rejections must not queue"

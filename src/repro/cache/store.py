@@ -41,10 +41,12 @@ import os
 import pickle
 import tempfile
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from .. import faults
 from ..trace import span as _trace_span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fsm -> crysl)
@@ -58,6 +60,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fsm -> crysl)
 SCHEMA_VERSION = 1
 
 _SUFFIX = ".artefacts.pkl"
+
+#: Attempts per read/write before a transient I/O error is given up on.
+#: NFS mounts and overlay filesystems intermittently fail with EAGAIN/
+#: EIO under load; one or two quick retries absorb almost all of them,
+#: and a cache that still fails afterwards degrades to recompute — a
+#: cache failure must never abort the request it was accelerating.
+IO_ATTEMPTS = 3
+
+#: Base backoff between retry attempts (doubles per attempt).
+IO_RETRY_BASE_SECONDS = 0.005
 
 
 @dataclass(frozen=True)
@@ -92,7 +104,7 @@ class CachedArtefacts:
 class CacheEvent:
     """A structured, non-fatal cache observation (for diagnostics)."""
 
-    kind: str  # "evicted" | "write-failed"
+    kind: str  # "evicted" | "write-failed" | "io-error"
     key: str
     message: str
 
@@ -145,6 +157,9 @@ class PickleStore:
         self._suffix = suffix
         self._payload_type = payload_type
         self.events: list[CacheEvent] = []
+        #: transient I/O failures absorbed by the bounded retry (each
+        #: failed *attempt* counts, whether or not a retry recovered it)
+        self.io_errors = 0
         # Load/store are already safe under concurrency (atomic file
         # replace, content-addressed keys); the event journal is the
         # one piece of shared mutable state, so it gets its own lock.
@@ -193,13 +208,43 @@ class PickleStore:
         with _trace_span("cache:load"):
             return self._load(key)
 
+    def _read_with_retries(self, path: Path) -> bytes:
+        """Read one entry's bytes, absorbing transient I/O failures.
+
+        ``FileNotFoundError`` is a miss, not a flake — it propagates
+        immediately. Everything else ``OSError``/``EOFError``-shaped is
+        retried :data:`IO_ATTEMPTS` times with a short doubling backoff
+        before the last error is re-raised for the caller to degrade on.
+        """
+        last: Exception | None = None
+        for attempt in range(IO_ATTEMPTS):
+            try:
+                faults.maybe_raise_os("disk_io")
+                return path.read_bytes()
+            except FileNotFoundError:
+                raise
+            except (OSError, EOFError) as exc:
+                last = exc
+                self._count_io_error(key=path.name, error=exc)
+                if attempt + 1 < IO_ATTEMPTS:
+                    time.sleep(IO_RETRY_BASE_SECONDS * (2**attempt))
+        assert last is not None
+        raise last
+
+    def _count_io_error(self, *, key: str, error: Exception) -> None:
+        with self._events_lock:
+            self.io_errors += 1
+            self.events.append(
+                CacheEvent("io-error", key, f"transient I/O failure: {error}")
+            )
+
     def _load(self, key: str) -> LoadResult:
         path = self.path_for(key)
         try:
-            payload = path.read_bytes()
+            payload = self._read_with_retries(path)
         except FileNotFoundError:
             return LoadResult()
-        except OSError as exc:
+        except (OSError, EOFError) as exc:
             self._record(CacheEvent("evicted", key, f"unreadable: {exc}"))
             return LoadResult(evicted=self._evict_file(path))
         try:
@@ -243,21 +288,30 @@ class PickleStore:
 
     def _store(self, key: str, artefacts: CachedArtefacts) -> bool:
         path = self.path_for(key)
-        try:
-            fd, temp_name = tempfile.mkstemp(
-                dir=self.directory, prefix=".write-", suffix=self._suffix
-            )
+        for attempt in range(IO_ATTEMPTS):
             try:
-                with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(artefacts, handle, protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(temp_name, path)
-            except BaseException:
-                os.unlink(temp_name)
-                raise
-        except OSError as exc:
-            self._record(CacheEvent("write-failed", key, str(exc)))
-            return False
-        return True
+                faults.maybe_raise_os("disk_io")
+                fd, temp_name = tempfile.mkstemp(
+                    dir=self.directory, prefix=".write-", suffix=self._suffix
+                )
+                try:
+                    with os.fdopen(fd, "wb") as handle:
+                        pickle.dump(
+                            artefacts, handle, protocol=pickle.HIGHEST_PROTOCOL
+                        )
+                    os.replace(temp_name, path)
+                except BaseException:
+                    os.unlink(temp_name)
+                    raise
+            except (OSError, EOFError) as exc:
+                self._count_io_error(key=key, error=exc)
+                if attempt + 1 < IO_ATTEMPTS:
+                    time.sleep(IO_RETRY_BASE_SECONDS * (2**attempt))
+                    continue
+                self._record(CacheEvent("write-failed", key, str(exc)))
+                return False
+            return True
+        return False  # pragma: no cover - loop always returns
 
     # ------------------------------------------------------------------
     # diagnostics plumbing

@@ -64,14 +64,42 @@ def _build_engine(args: argparse.Namespace) -> CryptoGenEngine:
     directory, so ``analyze`` warm-starts across processes too.
     """
     from .cache import CacheDirectoryError, DiskRuleCache
+    from .engine import BreakerConfig, SupervisorConfig
 
     rules_dir = getattr(args, "rules", None) or None
     verify = bool(getattr(args, "verify", False))
 
+    supervisor_config = None
+    max_tasks = getattr(args, "max_tasks_per_worker", None)
+    memory_mb = getattr(args, "worker_memory_mb", None)
+    if max_tasks is not None or memory_mb is not None:
+        supervisor_config = SupervisorConfig(
+            max_tasks_per_worker=max_tasks, worker_memory_mb=memory_mb
+        )
+    breaker_config = None
+    threshold = getattr(args, "breaker_threshold", None)
+    cooldown = getattr(args, "breaker_cooldown", None)
+    if threshold is not None or cooldown is not None:
+        defaults = BreakerConfig()
+        breaker_config = BreakerConfig(
+            failure_threshold=(
+                threshold if threshold is not None else defaults.failure_threshold
+            ),
+            cooldown_seconds=(
+                cooldown if cooldown is not None else defaults.cooldown_seconds
+            ),
+        )
+
     def engine(cache=None) -> CryptoGenEngine:
+        kwargs = dict(
+            cache=cache,
+            verify=verify,
+            supervisor_config=supervisor_config,
+            breaker_config=breaker_config,
+        )
         if rules_dir:
-            return CryptoGenEngine(rules_dir=rules_dir, cache=cache, verify=verify)
-        return CryptoGenEngine(cache=cache, verify=verify)
+            return CryptoGenEngine(rules_dir=rules_dir, **kwargs)
+        return CryptoGenEngine(**kwargs)
 
     if getattr(args, "no_cache", True):
         return engine()
@@ -228,7 +256,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     engine = _build_engine(args)
     server = EngineServer(
-        engine, timeout=args.timeout, workers=args.serve_workers
+        engine,
+        timeout=args.timeout,
+        workers=args.serve_workers,
+        max_pending=args.max_pending,
+        max_pending_per_conn=args.max_pending_per_conn,
     )
     if args.socket:
         print(f"serving on {args.socket}", file=sys.stderr)
@@ -520,6 +552,55 @@ def build_parser() -> argparse.ArgumentParser:
         action=argparse.BooleanOptionalAction,
         default=False,
         help="re-analyze every generated module before returning it",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the heavy-request queue server-wide; overflow is "
+        "rejected immediately with a retryable OverloadedError response "
+        "(default: unbounded)",
+    )
+    serve.add_argument(
+        "--max-pending-per-conn",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the heavy-request queue per connection (default: "
+        "unbounded)",
+    )
+    serve.add_argument(
+        "--max-tasks-per-worker",
+        type=int,
+        default=None,
+        metavar="N",
+        help="recycle generation worker processes after this many tasks "
+        "each (default: never)",
+    )
+    serve.add_argument(
+        "--worker-memory-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="recycle the generation worker pool when a worker's peak "
+        "RSS crosses this many MiB (default: never)",
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="consecutive failures on one input before its circuit "
+        "breaker opens (default: 5)",
+    )
+    serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds an open circuit breaker waits before its half-open "
+        "probe (default: 30)",
     )
     serve.set_defaults(handler=_cmd_serve)
     return parser

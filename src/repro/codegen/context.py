@@ -41,6 +41,7 @@ from ..diagnostics import (
     DFA_BUILDS,
     DISK_EVICTIONS,
     DISK_HITS,
+    DISK_IO_ERRORS,
     DISK_MISSES,
     DISK_WRITES,
     PATH_ENUMERATIONS,
@@ -110,6 +111,8 @@ class GenerationContext:
                 diag.count(DISK_WRITES, delta.disk_writes)
                 diag.count(DISK_EVICTIONS, delta.disk_evictions)
                 for event in self.ruleset.drain_disk_cache_events():
+                    if event.kind == "io-error":
+                        diag.count(DISK_IO_ERRORS)
                     diag.warn("cache", str(event))
             self.runs += 1
             self.diagnostics.merge(diag)

@@ -33,12 +33,17 @@ process boundary on the way in.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import sys
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Sequence
 
+from .. import faults
 from .selector import GenerationError
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
@@ -81,6 +86,28 @@ class BatchGenerationError(GenerationError):
         super().__init__(
             f"{len(failures)} of {len(modules)} templates failed: {summary}"
         )
+
+
+@dataclass
+class TaskOutcome:
+    """One batch item's result, normalized across execution backends.
+
+    Worker processes produce these from :func:`_run_task` tuples (with
+    their resident-set size piggybacked for the supervisor's memory
+    ceiling); the supervisor's in-process serial fallback produces them
+    directly, flagged ``in_process`` so the drain loop does not merge
+    their diagnostics a second time (in-process generation already
+    records into the shared context).
+    """
+
+    index: int
+    module: "GeneratedModule | None"
+    failure: TemplateFailure | None
+    init_counters: dict | None = None
+    #: the producing worker's peak RSS in MiB (0 for in-process runs)
+    rss_mb: float = 0.0
+    #: True when produced in the parent (supervisor serial fallback)
+    in_process: bool = False
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -129,6 +156,7 @@ def _init_worker(
     cache_dir: str | None,
     max_paths: int | None,
     verify: bool = False,
+    fault_spec: str | None = None,
 ) -> None:
     """Build this worker's warm generator (runs once per process).
 
@@ -139,6 +167,15 @@ def _init_worker(
     from ..crysl.ruleset import RuleSet
     from .context import GenerationContext
     from .generator import CrySLBasedCodeGenerator
+
+    # The parent's active fault plan arrives as an explicit initarg —
+    # forkserver/spawn workers inherit the environment the start-method
+    # server froze at launch, so a spec set in the parent afterwards
+    # would be invisible here. The environment is only a fallback.
+    if fault_spec is not None:
+        faults.configure(fault_spec)
+    elif faults.FAULTS_ENV in os.environ:
+        faults.configure(os.environ[faults.FAULTS_ENV] or None)
 
     ruleset = RuleSet()
     for rule, source in rules_payload:
@@ -156,13 +193,36 @@ def _init_worker(
     _WORKER["init_reported"] = False
 
 
+def _worker_rss_mb() -> float:
+    """This process's peak resident-set size in MiB (0 if unknown)."""
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except (ImportError, OSError):  # pragma: no cover - non-POSIX
+        return 0.0
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
 def _run_task(
     index: int, kind: str, payload: str, name: str
-) -> "tuple[int, GeneratedModule | None, TemplateFailure | None, dict | None]":
+) -> "tuple[int, GeneratedModule | None, TemplateFailure | None, dict | None, float]":
     """Generate one template in this worker; never raises for
-    recoverable pipeline errors."""
+    recoverable pipeline errors.
+
+    Two fault points live here, exercised only inside real pool
+    workers: ``worker_crash`` kills the process outright (the parent
+    sees ``BrokenProcessPool``; the supervisor absorbs it) and
+    ``slow_task`` stalls the task. The supervisor's serial fallback
+    never enters this function, so a crash plan cannot kill the parent.
+    """
     from ..diagnostics import DISK_EVICTIONS, DISK_HITS, DISK_MISSES
 
+    faults.maybe_crash("worker_crash")
+    faults.maybe_sleep("slow_task")
     generator = _WORKER["generator"]
     module, failure = None, None
     try:
@@ -183,12 +243,60 @@ def _run_task(
             DISK_MISSES: stats.disk_misses,
             DISK_EVICTIONS: stats.disk_evictions,
         }
-    return index, module, failure, init_counters
+    return index, module, failure, init_counters, _worker_rss_mb()
 
 
 # ---------------------------------------------------------------------------
 # parent-side driver
 # ---------------------------------------------------------------------------
+
+
+class PoolStalledError(BrokenProcessPool):
+    """A batch made no progress within the stall timeout.
+
+    A wedged worker (e.g. one deadlocked before it ever picked up a
+    task) leaves its executor *looking* healthy — no
+    ``BrokenProcessPool``, the future just never resolves. The stall
+    watchdog converts that silent hang into this loud, supervisable
+    failure. Subclasses ``BrokenProcessPool`` so the supervisor's
+    restart loop handles both identically; the only difference is that
+    a stalled pool must be :meth:`WorkerPool.kill`-ed, not closed
+    (closing joins workers that will never exit).
+    """
+
+
+#: Modules imported into the forkserver process before the first worker
+#: forks, so every worker inherits a warm interpreter instead of paying
+#: the import chain itself. Import failures here are ignored by
+#: multiprocessing; workers then simply import on demand.
+_FORKSERVER_PRELOAD = ["repro.codegen.generator", "repro.cache"]
+
+_MP_CONTEXT: "multiprocessing.context.BaseContext | None" = None
+
+
+def pool_mp_context() -> "multiprocessing.context.BaseContext":
+    """The multiprocessing context every generation pool must use.
+
+    The POSIX default start method is ``fork``, and the serve daemon is
+    heavily multithreaded: forking a multithreaded parent clones every
+    lock in whatever state some *other* thread happened to hold it, so
+    a worker can deadlock before it ever picks up a task — and the
+    executor then waits on its future forever (observed intermittently
+    under the chaos harness). ``forkserver`` forks workers from a
+    clean, single-threaded server process instead; ``spawn`` is the
+    fallback where forkserver is unavailable. Benign race: two threads
+    may build the context concurrently, but the contexts are identical
+    and the extra one is dropped.
+    """
+    global _MP_CONTEXT
+    if _MP_CONTEXT is None:
+        try:
+            context = multiprocessing.get_context("forkserver")
+            context.set_forkserver_preload(_FORKSERVER_PRELOAD)
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context("spawn")
+        _MP_CONTEXT = context
+    return _MP_CONTEXT
 
 
 def _pool_initargs(generator: "CrySLBasedCodeGenerator") -> tuple:
@@ -200,7 +308,15 @@ def _pool_initargs(generator: "CrySLBasedCodeGenerator") -> tuple:
     )
     cache = ruleset.disk_cache
     cache_dir = str(cache.directory) if cache is not None else None
-    return (rules_payload, cache_dir, context.max_paths, generator.verify)
+    plan = faults.active()
+    fault_spec = plan.spec_string() if plan.probabilities else None
+    return (
+        rules_payload,
+        cache_dir,
+        context.max_paths,
+        generator.verify,
+        fault_spec,
+    )
 
 
 class WorkerPool:
@@ -222,6 +338,7 @@ class WorkerPool:
             max_workers=self.jobs,
             initializer=_init_worker,
             initargs=_pool_initargs(generator),
+            mp_context=pool_mp_context(),
         )
 
     @property
@@ -230,11 +347,48 @@ class WorkerPool:
             raise RuntimeError("worker pool is closed")
         return self._executor
 
+    def run_tasks(
+        self,
+        specs: "Sequence[tuple[str, str, str]]",
+        *,
+        stall_timeout: float | None = None,
+    ) -> list[TaskOutcome]:
+        """Run one batch of specs over the pool; results in spec order.
+
+        Raises ``BrokenProcessPool`` if a worker dies mid-batch and
+        :class:`PoolStalledError` if ``stall_timeout`` seconds pass
+        without a single task completing — the raw pool makes no
+        fault-tolerance promises; wrap it in a
+        :class:`repro.engine.supervisor.SupervisedWorkerPool` for those.
+        """
+        return run_specs_on_executor(
+            self.executor, specs, stall_timeout=stall_timeout
+        )
+
     def close(self) -> None:
         """Shut the executor down; idempotent."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+
+    def kill(self) -> None:
+        """Forcibly stop a wedged executor; idempotent.
+
+        ``close()`` joins the workers, which never returns if one of
+        them is deadlocked. This path SIGKILLs the worker processes
+        first and never waits — the only safe teardown after a
+        :class:`PoolStalledError`.
+        """
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except Exception:  # noqa: BLE001 - racing a dying process
+                pass
+        executor.shutdown(wait=False, cancel_futures=True)
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -243,12 +397,82 @@ class WorkerPool:
         self.close()
 
 
+def run_specs_on_executor(
+    executor: ProcessPoolExecutor,
+    specs: "Sequence[tuple[str, str, str]]",
+    *,
+    stall_timeout: float | None = None,
+) -> list[TaskOutcome]:
+    """Submit one batch of specs; collect outcomes in submission order.
+
+    Propagates ``BrokenProcessPool`` (and any other executor-level
+    failure) to the caller — per-template *pipeline* errors are already
+    folded into each :class:`TaskOutcome` by the worker.
+
+    With ``stall_timeout``, a progress watchdog runs over the batch:
+    the clock resets on every task completion, and if it ever expires
+    with tasks still pending the batch raises :class:`PoolStalledError`
+    instead of waiting forever on a wedged worker.
+    """
+    futures = [
+        executor.submit(_run_task, index, kind, payload, name)
+        for index, (kind, payload, name) in enumerate(specs)
+    ]
+    if stall_timeout is not None:
+        pending = set(futures)
+        while pending:
+            done, pending = futures_wait(
+                pending, timeout=stall_timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                for future in pending:
+                    future.cancel()
+                raise PoolStalledError(
+                    f"no task completed within {stall_timeout:.0f}s; "
+                    f"{len(pending)} of {len(specs)} still pending — "
+                    "pool presumed wedged"
+                )
+    outcomes = []
+    for future in futures:
+        index, module, failure, init_counters, rss_mb = future.result()
+        outcomes.append(
+            TaskOutcome(index, module, failure, init_counters, rss_mb)
+        )
+    return outcomes
+
+
+def run_specs_serial(
+    generator: "CrySLBasedCodeGenerator",
+    specs: "Sequence[tuple[str, str, str]]",
+) -> list[TaskOutcome]:
+    """Run one batch in the calling process (the degraded fallback).
+
+    Used by the supervisor once its restart budget is exhausted: slower
+    than the pool, but immune to worker death. Generation goes through
+    the parent's own generator, so diagnostics record directly into the
+    shared context — outcomes are flagged ``in_process`` to keep the
+    drain loop from double-merging them.
+    """
+    outcomes = []
+    for index, (kind, payload, name) in enumerate(specs):
+        module, failure = None, None
+        try:
+            if kind == "path":
+                module = generator.generate_from_file(payload)
+            else:
+                module = generator.generate_from_source(payload, name)
+        except _recoverable_errors() as exc:
+            failure = TemplateFailure(index, name, type(exc).__name__, str(exc))
+        outcomes.append(TaskOutcome(index, module, failure, in_process=True))
+    return outcomes
+
+
 def run_parallel(
     generator: "CrySLBasedCodeGenerator",
     models: "Iterable[TemplateModel | str | Path]",
     jobs: int,
     *,
-    pool: WorkerPool | None = None,
+    pool: "WorkerPool | None" = None,
 ) -> "list[GeneratedModule]":
     """Generate a batch over ``jobs`` worker processes.
 
@@ -257,10 +481,12 @@ def run_parallel(
     worker's warm-start counters; ``context.runs`` advances by the
     number of successful modules.
 
-    With ``pool`` (a :class:`WorkerPool` built over the *same*
-    generator configuration) the batch reuses the resident executor and
-    leaves it running; otherwise a transient executor is created and
-    torn down around the batch.
+    With ``pool`` — a :class:`WorkerPool` (or anything else exposing
+    ``run_tasks``, e.g. the engine's
+    :class:`~repro.engine.supervisor.SupervisedWorkerPool`) built over
+    the *same* generator configuration — the batch reuses the resident
+    executor and leaves it running; otherwise a transient executor is
+    created and torn down around the batch.
     """
     context = generator.context
     specs = [task_spec(model) for model in models]
@@ -270,32 +496,31 @@ def run_parallel(
     modules: "list[GeneratedModule | None]" = [None] * len(specs)
     failures: list[TemplateFailure] = []
 
-    def drain(executor: ProcessPoolExecutor) -> None:
-        futures = [
-            executor.submit(_run_task, index, kind, payload, name)
-            for index, (kind, payload, name) in enumerate(specs)
-        ]
-        for future in futures:
-            index, module, failure, init_counters = future.result()
-            if init_counters:
-                for key, amount in init_counters.items():
+    def fold(outcomes: list[TaskOutcome]) -> None:
+        for outcome in outcomes:
+            if outcome.init_counters:
+                for key, amount in outcome.init_counters.items():
                     context.diagnostics.count(key, amount)
-            if failure is not None:
-                failures.append(failure)
+            if outcome.failure is not None:
+                failures.append(outcome.failure)
                 continue
-            modules[index] = module
-            context.diagnostics.merge(module.diagnostics)
-            context.runs += 1
+            modules[outcome.index] = outcome.module
+            if not outcome.in_process:
+                # Worker contexts are private; fold their record in.
+                # In-process outcomes already recorded into `context`.
+                context.diagnostics.merge(outcome.module.diagnostics)
+                context.runs += 1
 
     if pool is not None:
-        drain(pool.executor)
+        fold(pool.run_tasks(specs))
     else:
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(specs)),
             initializer=_init_worker,
             initargs=_pool_initargs(generator),
+            mp_context=pool_mp_context(),
         ) as executor:
-            drain(executor)
+            fold(run_specs_on_executor(executor, specs))
     if failures:
         failures.sort(key=lambda f: f.index)
         raise BatchGenerationError(failures, modules)

@@ -84,6 +84,24 @@ SUMMARY_MISSES = "summary_cache.misses"
 SUMMARY_STORES = "summary_cache.stores"
 SUMMARY_INVALIDATIONS = "summary_cache.invalidations"
 
+#: Fault-tolerance counters. The disk-cache retry (repro.cache.store)
+#: counts absorbed transient I/O failures; the supervised worker pool
+#: (repro.engine.supervisor) counts pool rebuilds, batch retries,
+#: proactive worker recycles and serial-fallback batches; the circuit
+#: breakers (repro.engine.breaker) count trips and fast-fails; the
+#: serve admission layer (repro.engine.server) counts load-shed and
+#: overload rejections plus accept-loop fd exhaustion events.
+DISK_IO_ERRORS = "disk_cache.io_errors"
+SUPERVISOR_RESTARTS = "supervisor.restarts"
+SUPERVISOR_RETRIES = "supervisor.retries"
+SUPERVISOR_RECYCLES = "supervisor.recycles"
+SUPERVISOR_DEGRADED = "supervisor.degraded_batches"
+BREAKER_OPENS = "breaker.opens"
+BREAKER_FAST_FAILS = "breaker.fast_fails"
+SERVER_SHED = "server.shed_requests"
+SERVER_OVERLOADS = "server.overloads"
+SERVER_ACCEPT_ERRORS = "server.accept_errors"
+
 #: The parameter-resolution cascade of §3.3, tiers a–d.
 TIER_TEMPLATE = "params.tier_a_template"
 TIER_PREDICATE = "params.tier_b_predicate"

@@ -10,6 +10,7 @@ are all thin callers of this facade; :class:`EngineServer` exposes it
 as a daemon speaking newline-delimited JSON (``cognicrypt-gen serve``).
 """
 
+from .breaker import BreakerConfig, BreakerRegistry, CircuitOpenError
 from .core import (
     AnalyzeRequest,
     AnalyzeResult,
@@ -22,10 +23,14 @@ from .core import (
 )
 from .result_cache import ResultCache, ResultKey
 from .server import PROTOCOL_VERSION, EngineServer
+from .supervisor import SupervisedWorkerPool, SupervisorConfig
 
 __all__ = [
     "AnalyzeRequest",
     "AnalyzeResult",
+    "BreakerConfig",
+    "BreakerRegistry",
+    "CircuitOpenError",
     "CryptoGenEngine",
     "EngineError",
     "EngineRequestError",
@@ -35,5 +40,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "ResultCache",
     "ResultKey",
+    "SupervisedWorkerPool",
+    "SupervisorConfig",
     "expand_analyze_paths",
 ]

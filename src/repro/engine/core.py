@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
+from .. import faults
 from ..codegen import (
     BatchGenerationError,
     CrySLBasedCodeGenerator,
@@ -49,7 +50,6 @@ from ..codegen import (
     GenerationContext,
     GenerationError,
     TemplateError,
-    WorkerPool,
 )
 from ..cache.store import SCHEMA_VERSION
 from ..crysl import CrySLError, RuleRepository, RuleSet, bundled_ruleset
@@ -58,7 +58,9 @@ from ..crysl.repository import RefreshReport
 from ..diagnostics import SUMMARY_INVALIDATIONS, Diagnostics, register_stage
 from ..sast.summary_cache import SummaryCache
 from ..trace import Trace, activate as activate_trace
+from .breaker import BreakerConfig, BreakerRegistry, CircuitOpenError
 from .result_cache import DEFAULT_CAPACITY, ResultCache, ResultKey
+from .supervisor import SupervisedWorkerPool, SupervisorConfig
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from ..cache import DiskRuleCache
@@ -113,13 +115,25 @@ class AnalyzeRequest:
 
 @dataclass(frozen=True)
 class EngineError:
-    """A structured, recoverable request failure."""
+    """A structured, recoverable request failure.
+
+    ``retryable`` marks failures a well-behaved client should simply
+    retry (overload, open circuit breaker); ``retry_after_ms`` is the
+    suggested delay when the server can estimate one.
+    """
 
     type: str
     message: str
+    retryable: bool = False
+    retry_after_ms: float | None = None
 
     def to_dict(self) -> dict:
-        return {"type": self.type, "message": self.message}
+        payload = {"type": self.type, "message": self.message}
+        if self.retryable:
+            payload["retryable"] = True
+        if self.retry_after_ms is not None:
+            payload["retry_after_ms"] = self.retry_after_ms
+        return payload
 
     def __str__(self) -> str:
         return f"[{self.type}] {self.message}"
@@ -243,6 +257,8 @@ class CryptoGenEngine:
         verify: bool = False,
         result_cache_size: int = DEFAULT_CAPACITY,
         summary_cache_dir: str | Path | None = None,
+        breaker_config: BreakerConfig | None = None,
+        supervisor_config: SupervisorConfig | None = None,
     ):
         if rules_dir is not None and ruleset is not None:
             raise ValueError("pass rules_dir or ruleset, not both")
@@ -279,6 +295,12 @@ class CryptoGenEngine:
         self.result_cache: "ResultCache[GeneratedModule]" = ResultCache(
             result_cache_size
         )
+        #: per-(op, input-fingerprint) circuit breakers — a poisoned
+        #: template fails fast instead of burning a worker per arrival
+        self.breakers = BreakerRegistry(
+            breaker_config, diagnostics=self.diagnostics
+        )
+        self._supervisor_config = supervisor_config
         self._repository: RuleRepository | None = None
         if rules_dir is not None:
             self._repository = RuleRepository(rules_dir, disk_cache=cache)
@@ -295,7 +317,7 @@ class CryptoGenEngine:
             ruleset.attach_disk_cache(cache)
         else:
             ruleset = bundled_ruleset()
-        self._pool: WorkerPool | None = None
+        self._pool: SupervisedWorkerPool | None = None
         self._build_services(ruleset)
 
     # ------------------------------------------------------------------
@@ -352,12 +374,24 @@ class CryptoGenEngine:
                     )
         return self._analyzer
 
-    def pool(self, jobs: int) -> WorkerPool:
-        """The warm worker pool, (re)created when ``jobs`` grows."""
+    def pool(self, jobs: int) -> SupervisedWorkerPool:
+        """The supervised warm worker pool, (re)created when ``jobs`` grows.
+
+        Supervision means batches never see a raw ``BrokenProcessPool``:
+        worker death restarts the pool (bounded backoff + jitter) and
+        resubmits the batch; an exhausted restart budget degrades the
+        batch to in-process serial execution (see
+        :mod:`repro.engine.supervisor`).
+        """
         if self._pool is not None and self._pool.jobs < jobs:
             self._close_pool()
         if self._pool is None:
-            self._pool = WorkerPool(self._generator, jobs)
+            self._pool = SupervisedWorkerPool(
+                self._generator,
+                jobs,
+                config=self._supervisor_config,
+                diagnostics=self.diagnostics,
+            )
         return self._pool
 
     def _close_pool(self) -> None:
@@ -448,8 +482,57 @@ class CryptoGenEngine:
             module=module,
         )
 
+    def _breaker_fingerprint(self, request: GenerateRequest) -> str | None:
+        """A stable identity for the request's *input* (breaker key).
+
+        Inline sources are keyed by content; template files by content
+        too when readable, falling back to the path spelling (an
+        unreadable path is its own failure mode worth breaking on).
+        ``None`` for requests with no payload at all — a malformed
+        request is not an input identity.
+        """
+        if request.source is not None:
+            basis = request.source.encode("utf-8")
+        elif request.template is not None:
+            try:
+                basis = Path(request.template).read_bytes()
+            except OSError:
+                basis = f"path:{request.template}".encode("utf-8")
+        else:
+            return None
+        return hashlib.sha256(basis).hexdigest()
+
+    def _circuit_open_result(
+        self, request_id: str, op: str, exc: CircuitOpenError
+    ) -> GenerateResult | "AnalyzeResult":
+        """Wrap a breaker fast-fail as a structured, retryable result."""
+        trace = Trace(request_id)
+        with activate_trace(trace), trace.span(f"request:{op}"):
+            trace.event("breaker:fast-fail", op=op)
+        self._count_request()
+        error = EngineError(
+            "CircuitOpenError",
+            str(exc),
+            retryable=True,
+            retry_after_ms=exc.retry_after_ms,
+        )
+        cls = GenerateResult if op == "generate" else AnalyzeResult
+        return cls(
+            request_id=request_id,
+            elapsed_seconds=trace.total_seconds,
+            trace=trace,
+            error=error,
+        )
+
     def generate(self, request: GenerateRequest) -> GenerateResult:
-        """Serve one generation request; recoverable errors are data."""
+        """Serve one generation request; recoverable errors are data.
+
+        Two fault-tolerance layers gate the pipeline: the result cache
+        answers repeats for free, and the input's circuit breaker
+        rejects known-poisoned templates fast (``CircuitOpenError`` as
+        a structured retryable error) instead of burning a worker on
+        every arrival.
+        """
         request_id = self._next_request_id(request.request_id)
         key = self._result_key(request)
         if key is not None:
@@ -457,28 +540,53 @@ class CryptoGenEngine:
             if hit is not None:
                 return self._cached_result(request_id, hit)
             self.diagnostics.count("result_cache.misses")
+        fingerprint = self._breaker_fingerprint(request)
+        breaker_key = ("generate", fingerprint) if fingerprint else None
+        if breaker_key is not None:
+            try:
+                self.breakers.admit(breaker_key)
+            except CircuitOpenError as exc:
+                return self._circuit_open_result(request_id, "generate", exc)
         trace = Trace(request_id)
         module: GeneratedModule | None = None
         error: EngineError | None = None
-        with activate_trace(trace), trace.span("request:generate"):
-            with track_compile_deltas() as delta:
-                try:
-                    if request.source is not None:
-                        module = self._generator.generate_from_source(
-                            request.source,
-                            request.name or "<template>",
-                            verify=request.verify,
+        try:
+            with activate_trace(trace), trace.span("request:generate"):
+                with track_compile_deltas() as delta:
+                    try:
+                        faults.maybe_raise(
+                            "compile_error",
+                            GenerationError("injected compile fault"),
                         )
-                    elif request.template is not None:
-                        module = self._generator.generate_from_file(
-                            request.template, verify=request.verify
-                        )
-                    else:
-                        raise EngineRequestError(
-                            "generate request needs a template path or source"
-                        )
-                except RECOVERABLE_ERRORS as exc:
-                    error = EngineError(type(exc).__name__, str(exc))
+                        if request.source is not None:
+                            module = self._generator.generate_from_source(
+                                request.source,
+                                request.name or "<template>",
+                                verify=request.verify,
+                            )
+                        elif request.template is not None:
+                            module = self._generator.generate_from_file(
+                                request.template, verify=request.verify
+                            )
+                        else:
+                            raise EngineRequestError(
+                                "generate request needs a template path or "
+                                "source"
+                            )
+                    except RECOVERABLE_ERRORS as exc:
+                        error = EngineError(type(exc).__name__, str(exc))
+        except BaseException:
+            # Unexpected exceptions propagate — but they burned a
+            # worker, so they count against the input's breaker (and
+            # release a pending half-open probe slot).
+            if breaker_key is not None:
+                self.breakers.record_failure(breaker_key)
+            raise
+        if breaker_key is not None:
+            if error is None:
+                self.breakers.record_success(breaker_key)
+            else:
+                self.breakers.record_failure(breaker_key)
         if module is not None:
             module.diagnostics.trace = trace
             if key is not None and error is None:
@@ -552,29 +660,60 @@ class CryptoGenEngine:
             )
         return results
 
+    def _analyze_fingerprint(self, request: AnalyzeRequest) -> str | None:
+        """The analysis target set's breaker identity (path + name based)."""
+        if not request.paths and not request.sources:
+            return None
+        digest = hashlib.sha256()
+        for path in sorted(request.paths):
+            digest.update(f"path:{path}\n".encode("utf-8"))
+        for name, text in sorted((request.sources or {}).items()):
+            digest.update(f"source:{name}\n".encode("utf-8"))
+            digest.update(text.encode("utf-8"))
+        return digest.hexdigest()
+
     def analyze(self, request: AnalyzeRequest) -> AnalyzeResult:
         """Serve one whole-project analysis request."""
         request_id = self._next_request_id(request.request_id)
+        fingerprint = self._analyze_fingerprint(request)
+        breaker_key = ("analyze", fingerprint) if fingerprint else None
+        if breaker_key is not None:
+            try:
+                self.breakers.admit(breaker_key)
+            except CircuitOpenError as exc:
+                return self._circuit_open_result(request_id, "analyze", exc)
         trace = Trace(request_id)
         analysis = None
         error: EngineError | None = None
-        with activate_trace(trace), trace.span("request:analyze"):
-            with track_compile_deltas() as delta:
-                try:
-                    sources: dict[str, str] = {}
-                    for path in expand_analyze_paths(request.paths):
-                        sources[str(path)] = path.read_text(encoding="utf-8")
-                    if request.sources:
-                        sources.update(request.sources)
-                    if not sources:
-                        raise EngineRequestError(
-                            "analyze request needs paths or sources"
+        try:
+            with activate_trace(trace), trace.span("request:analyze"):
+                with track_compile_deltas() as delta:
+                    try:
+                        sources: dict[str, str] = {}
+                        for path in expand_analyze_paths(request.paths):
+                            sources[str(path)] = path.read_text(
+                                encoding="utf-8"
+                            )
+                        if request.sources:
+                            sources.update(request.sources)
+                        if not sources:
+                            raise EngineRequestError(
+                                "analyze request needs paths or sources"
+                            )
+                        analysis = self.analyzer.analyze_sources(
+                            sources, jobs=request.jobs
                         )
-                    analysis = self.analyzer.analyze_sources(
-                        sources, jobs=request.jobs
-                    )
-                except RECOVERABLE_ERRORS as exc:
-                    error = EngineError(type(exc).__name__, str(exc))
+                    except RECOVERABLE_ERRORS as exc:
+                        error = EngineError(type(exc).__name__, str(exc))
+        except BaseException:
+            if breaker_key is not None:
+                self.breakers.record_failure(breaker_key)
+            raise
+        if breaker_key is not None:
+            if error is None:
+                self.breakers.record_success(breaker_key)
+            else:
+                self.breakers.record_failure(breaker_key)
         self._count_request()
         return AnalyzeResult(
             request_id=request_id,
@@ -608,6 +747,10 @@ class CryptoGenEngine:
             with self.diagnostics.stage(REPOSITORY_STAGE):
                 report = self._repository.refresh()
             self.diagnostics.count("repository.refreshes")
+            # An explicit refresh is the operator saying "try again":
+            # every tripped breaker's evidence predates it, so all of
+            # them reset — even when no rule actually changed.
+            self.breakers.reset()
             if report.dirty:
                 self.diagnostics.count(
                     "repository.recompiled",
@@ -626,6 +769,38 @@ class CryptoGenEngine:
                 self.diagnostics.count(SUMMARY_INVALIDATIONS, dropped)
                 self._build_services(self._repository.ruleset)
         return report
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+
+    def health(self, *, probe: bool = True) -> dict:
+        """A fault-tolerance snapshot: pool state, breakers, degraded.
+
+        With ``probe`` (the default, used by the serve ``health`` op) a
+        degraded supervisor gets one recovery attempt — the half-open
+        path — so a transient crash storm heals on the next health
+        check instead of waiting for traffic.
+        """
+        with self._lock:
+            pool = self._pool
+        if probe and pool is not None and pool.degraded:
+            pool.probe()
+        pool_stats = pool.to_dict() if pool is not None else None
+        degraded = bool(pool is not None and pool.degraded)
+        disk_cache = (
+            {"io_errors": self._cache.io_errors}
+            if self._cache is not None
+            else None
+        )
+        return {
+            "state": "degraded" if degraded else "healthy",
+            "degraded": degraded,
+            "pool": pool_stats,
+            "breakers": self.breakers.to_dict(),
+            "disk_cache": disk_cache,
+            "requests": self.requests,
+        }
 
     def __repr__(self) -> str:
         return (

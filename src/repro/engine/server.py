@@ -10,7 +10,9 @@ line, correlated by the client-chosen ``id``. Requests:
     response carries the generated module, its report, per-request
     trace and the request's DFA-build delta (``"warm": true`` after
     the first request, ``"cached": true`` when the engine's result
-    cache answered).
+    cache answered). The batch form ``{"op": "generate", "templates":
+    [...], "jobs": N}`` runs over the engine's supervised process pool
+    and answers one response with per-item results.
 ``{"id": 2, "op": "analyze", "paths": [...]}``
     or inline ``"sources": {name: text}``.
 ``{"op": "ping"}`` / ``{"op": "stats"}`` / ``{"op": "refresh-rules"}``
@@ -40,10 +42,38 @@ the loop continues; an unexpected handler crash becomes an
 ``InternalError`` response. ``SIGTERM`` flips a drain flag: in-flight
 requests finish (or hit their deadline), every connection's read side
 is shut down, and the loops exit cleanly.
+
+Fault tolerance (protocol 3). The server admits heavy work
+(``generate``/``analyze``/``refresh-rules``) through a bounded pending
+queue: at most ``--max-pending`` such requests may be queued or running
+server-wide (``--max-pending-per-conn`` per connection), and overflow
+is rejected *immediately* with a retryable ``OverloadedError`` response
+instead of queueing without bound. Control ops (``ping``/``stats``/
+``health``/``shutdown``) always bypass admission, so an overloaded
+server stays observable. Requests may carry a ``deadline_ms`` budget;
+the effective deadline (the smaller of it and ``--timeout``) propagates
+into the queue, and work whose deadline has already expired when a
+worker picks it up is *shed* — answered with a ``TimeoutError`` response
+without executing. ``{"op": "health"}`` reports the supervised
+worker-pool state, circuit-breaker states, queue depth and the
+``degraded`` flag (and gives a degraded pool one recovery probe).
+
+Two structured error kinds carry ``retry_after_ms`` (a suggested client
+backoff, milliseconds) and ``"retryable": true`` inside the ``error``
+object:
+
+``OverloadedError``
+    admission rejected the request; the hint scales with queue depth
+    and the op's recent latency.
+``CircuitOpenError``
+    the engine's circuit breaker for this exact input is open (the
+    input kept failing); the hint is the time until the breaker's
+    half-open probe slot opens. ``refresh-rules`` resets all breakers.
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import selectors
@@ -60,6 +90,12 @@ from pathlib import Path
 from queue import SimpleQueue
 from typing import IO, Callable, Iterator
 
+from .. import faults
+from ..diagnostics import (
+    SERVER_ACCEPT_ERRORS,
+    SERVER_OVERLOADS,
+    SERVER_SHED,
+)
 from .core import (
     SERVE_STAGE,
     AnalyzeRequest,
@@ -67,13 +103,30 @@ from .core import (
     GenerateRequest,
 )
 
-#: Protocol version reported by ``ping`` and ``stats``. Bumped to 2 by
-#: the concurrent-serve rework: responses gained ``seq``/``cached``
-#: fields and timeouts stopped draining the server.
-PROTOCOL_VERSION = 2
+#: Protocol version reported by ``ping``, ``stats`` and ``health``.
+#: Bumped to 3 by the fault-tolerance rework: the ``health`` op, the
+#: ``OverloadedError``/``CircuitOpenError`` response kinds with their
+#: ``retry_after_ms``/``retryable`` fields, and the per-request
+#: ``deadline_ms`` budget are new in 3. (2 added ``seq``/``cached``
+#: fields and non-draining timeouts.)
+PROTOCOL_VERSION = 3
 
 #: Per-op latency samples kept for the percentile estimates.
 LATENCY_WINDOW = 512
+
+#: Ops subject to admission control. Control ops stay admissible so an
+#: overloaded server can still be pinged, inspected and shut down.
+HEAVY_OPS = frozenset({"generate", "analyze", "refresh-rules"})
+
+#: Sleep after an ``EMFILE``/``ENFILE`` accept failure before retrying.
+ACCEPT_BACKOFF_SECONDS = 0.05
+
+#: ``errno`` values meaning "out of file descriptors", not "bad socket".
+_FD_EXHAUSTED_ERRNOS = frozenset({errno.EMFILE, errno.ENFILE})
+
+#: Clamp for the ``OverloadedError`` retry hint, milliseconds.
+RETRY_HINT_MIN_MS = 50.0
+RETRY_HINT_MAX_MS = 5000.0
 
 
 class _ProtocolError(Exception):
@@ -84,12 +137,20 @@ class _ProtocolError(Exception):
         self.kind = kind
 
 
-def _error_response(request_id, kind: str, message: str) -> dict:
-    return {
-        "id": request_id,
-        "ok": False,
-        "error": {"type": kind, "message": message},
-    }
+def _error_response(
+    request_id,
+    kind: str,
+    message: str,
+    *,
+    retryable: bool | None = None,
+    retry_after_ms: float | None = None,
+) -> dict:
+    error: dict = {"type": kind, "message": message}
+    if retryable is not None:
+        error["retryable"] = retryable
+    if retry_after_ms is not None:
+        error["retry_after_ms"] = round(retry_after_ms, 3)
+    return {"id": request_id, "ok": False, "error": error}
 
 
 def _percentile(ordered: list[float], q: float) -> float:
@@ -118,6 +179,9 @@ class ServerMetrics:
         self.dispatched = 0
         self.completed = 0
         self.timeouts = 0
+        self.overloads = 0
+        self.shed = 0
+        self.accept_errors = 0
         self.busy_seconds = 0.0
         self._latencies: dict[str, deque[float]] = {}
 
@@ -140,6 +204,34 @@ class ServerMetrics:
         with self._lock:
             self.timeouts += 1
 
+    def overloaded(self, op: str) -> None:
+        with self._lock:
+            self.overloads += 1
+
+    def shed_request(self, op: str) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def accept_error(self) -> None:
+        with self._lock:
+            self.accept_errors += 1
+
+    def retry_hint_ms(self, op: str, pending: int) -> float:
+        """Estimate how long an overloaded client should wait, in ms.
+
+        Queue depth divided by worker width gives the number of service
+        times ahead of the rejected request; the op's recent p50 (or
+        100ms when no sample exists yet) scales it. Clamped so clients
+        neither hammer (< 50ms) nor stall (> 5s).
+        """
+        with self._lock:
+            samples = self._latencies.get(op)
+            ordered = sorted(samples) if samples else []
+            workers = self.workers
+        service_ms = _percentile(ordered, 0.50) * 1000.0 if ordered else 100.0
+        waves = 1.0 + pending / max(workers, 1)
+        return min(max(service_ms * waves, RETRY_HINT_MIN_MS), RETRY_HINT_MAX_MS)
+
     def to_dict(self) -> dict:
         """A JSON snapshot for the ``stats`` op and the CI artifact."""
         with self._lock:
@@ -160,6 +252,9 @@ class ServerMetrics:
                 "dispatched": self.dispatched,
                 "completed": self.completed,
                 "timeouts": self.timeouts,
+                "overloads": self.overloads,
+                "shed": self.shed,
+                "accept_errors": self.accept_errors,
                 "busy_seconds": self.busy_seconds,
                 "utilization": (
                     self.busy_seconds / capacity_seconds
@@ -181,6 +276,8 @@ class _Pending:
     future: "Future | None" = None
     #: pre-computed response (parse/protocol errors skip the pool)
     response: dict | None = field(default=None)
+    #: absolute monotonic deadline; ``None`` waits forever
+    deadline: float | None = field(default=None)
 
 
 class _StreamTotals:
@@ -188,6 +285,15 @@ class _StreamTotals:
 
     def __init__(self) -> None:
         self.written = 0
+
+
+class _ConnState:
+    """Per-connection admission gauge, touched under the server lock."""
+
+    __slots__ = ("pending",)
+
+    def __init__(self) -> None:
+        self.pending = 0
 
 
 class EngineServer:
@@ -206,6 +312,8 @@ class EngineServer:
         *,
         timeout: float | None = None,
         workers: int | None = None,
+        max_pending: int | None = None,
+        max_pending_per_conn: int | None = None,
     ):
         self.engine = engine
         #: per-request deadline in seconds; ``None`` waits forever
@@ -214,11 +322,21 @@ class EngineServer:
         self.workers = workers if workers is not None else (os.cpu_count() or 4)
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if max_pending_per_conn is not None and max_pending_per_conn < 1:
+            raise ValueError("max_pending_per_conn must be >= 1")
+        #: heavy requests allowed queued-or-running server-wide
+        self.max_pending = max_pending
+        #: heavy requests allowed queued-or-running per connection
+        self.max_pending_per_conn = max_pending_per_conn
         #: requests answered (including error responses), all connections
         self.responses = 0
         self.metrics = ServerMetrics(self.workers)
         self._draining = False
         self._state_lock = threading.Lock()
+        #: heavy requests currently queued or running (admission gauge)
+        self._pending_heavy = 0
         self._pool: ThreadPoolExecutor | None = None
         self._connections: set[socketlib.socket] = set()
         self._wake_write_fd: int | None = None
@@ -227,6 +345,7 @@ class EngineServer:
             "analyze": self._op_analyze,
             "ping": self._op_ping,
             "stats": self._op_stats,
+            "health": self._op_health,
             "refresh-rules": self._op_refresh_rules,
             "shutdown": self._op_shutdown,
         }
@@ -249,7 +368,7 @@ class EngineServer:
             return parse_error
         op = request["op"]
         self.metrics.submitted()
-        return self._execute(op, request)
+        return self._execute(op, request, self._deadline_for(request))
 
     def _parse(self, line: str) -> tuple[dict | None, dict | None]:
         """Parse one line into ``(request, None)`` or ``(None, error)``.
@@ -279,16 +398,94 @@ class EngineServer:
             )
         return request, None
 
-    def _execute(self, op: str, request: dict) -> dict:
+    # ------------------------------------------------------------------
+    # admission control & deadlines
+    # ------------------------------------------------------------------
+
+    def _deadline_for(self, request: dict) -> float | None:
+        """The request's absolute monotonic deadline, or ``None``.
+
+        The budget is the smaller of the server ``--timeout`` and the
+        request's own ``deadline_ms`` field (ignored when not a positive
+        number — a lenient protocol: a malformed budget means no
+        budget, not a rejected request).
+        """
+        budget = self.timeout
+        raw = request.get("deadline_ms")
+        if isinstance(raw, (int, float)) and not isinstance(raw, bool) and raw > 0:
+            client_budget = raw / 1000.0
+            budget = client_budget if budget is None else min(budget, client_budget)
+        if budget is None:
+            return None
+        return time.monotonic() + budget
+
+    def _admit(self, conn: _ConnState | None) -> bool:
+        """Reserve one heavy-request slot; False when the queue is full."""
+        with self._state_lock:
+            if (
+                self.max_pending is not None
+                and self._pending_heavy >= self.max_pending
+            ):
+                return False
+            if (
+                conn is not None
+                and self.max_pending_per_conn is not None
+                and conn.pending >= self.max_pending_per_conn
+            ):
+                return False
+            self._pending_heavy += 1
+            if conn is not None:
+                conn.pending += 1
+            return True
+
+    def _release(self, conn: _ConnState | None) -> None:
+        with self._state_lock:
+            self._pending_heavy -= 1
+            if conn is not None:
+                conn.pending -= 1
+
+    def _pending_depth(self) -> int:
+        with self._state_lock:
+            return self._pending_heavy
+
+    def _overloaded_response(self, request_id, op: str) -> dict:
+        """The structured rejection for a request admission turned away."""
+        retry_after_ms = self.metrics.retry_hint_ms(op, self._pending_depth())
+        self.metrics.overloaded(op)
+        self.engine.diagnostics.count(SERVER_OVERLOADS)
+        limit = self.max_pending
+        return _error_response(
+            request_id,
+            "OverloadedError",
+            f"server pending queue is full ({limit} heavy requests); "
+            "retry after the suggested backoff",
+            retryable=True,
+            retry_after_ms=retry_after_ms,
+        )
+
+    def _execute(
+        self, op: str, request: dict, deadline: float | None = None
+    ) -> dict:
         """Run one validated request (on a pool worker) to a response.
 
         Never raises: protocol rejections and unexpected handler
         crashes both become structured error responses — a concurrent
-        daemon must not die because one request hit a bug.
+        daemon must not die because one request hit a bug. Work whose
+        deadline already expired while queued is shed without running.
         """
         started = time.monotonic()
         try:
+            if deadline is not None and started > deadline:
+                self.metrics.shed_request(op)
+                self.engine.diagnostics.count(SERVER_SHED)
+                return _error_response(
+                    request.get("id"),
+                    "TimeoutError",
+                    "deadline expired while queued; request shed under load",
+                    retryable=True,
+                )
             try:
+                faults.maybe_sleep("slow_task")
                 response = self._ops[op](request)
             except _ProtocolError as exc:
                 return _error_response(request.get("id"), exc.kind, str(exc))
@@ -305,10 +502,15 @@ class EngineServer:
             self.metrics.finished(op, time.monotonic() - started)
 
     def _op_generate(self, request: dict) -> dict:
+        templates = request.get("templates")
+        if templates is not None:
+            return self._generate_batch(request, templates)
         template = request.get("template")
         source = request.get("source")
         if template is None and source is None:
-            raise _ProtocolError("generate needs 'template' or 'source'")
+            raise _ProtocolError(
+                "generate needs 'template', 'templates' or 'source'"
+            )
         result = self.engine.generate(
             GenerateRequest(
                 template=template,
@@ -320,6 +522,37 @@ class EngineServer:
         payload = result.to_dict()
         payload["id"] = request.get("id")
         return payload
+
+    def _generate_batch(self, request: dict, templates) -> dict:
+        """The batch form of ``generate``: ``templates`` + ``jobs``.
+
+        With ``jobs > 1`` the batch runs over the engine's *supervised*
+        process pool — the path that absorbs worker crashes — so this
+        is also how chaos traffic exercises the supervisor over the
+        wire. Per-template failures are reported per item; the batch
+        response itself stays ``ok``.
+        """
+        if not isinstance(templates, (list, tuple)) or not templates:
+            raise _ProtocolError("generate 'templates' must be a non-empty list")
+        jobs = int(request.get("jobs", 1))
+        results = self.engine.generate_many(
+            [str(t) for t in templates], jobs=jobs, verify=request.get("verify")
+        )
+        items = []
+        for result in results:
+            item: dict = {"ok": result.ok}
+            if result.module is not None:
+                item["output_class"] = result.module.output_class
+            if result.error is not None:
+                item["error"] = result.error.to_dict()
+            items.append(item)
+        return {
+            "id": request.get("id"),
+            "ok": True,
+            "op": "generate",
+            "batch": items,
+            "failed": sum(1 for r in results if not r.ok),
+        }
 
     def _op_analyze(self, request: dict) -> dict:
         paths = request.get("paths") or ()
@@ -350,6 +583,7 @@ class EngineServer:
 
     def _op_stats(self, request: dict) -> dict:
         stats = self.engine.ruleset.compile_stats
+        health = self.engine.health(probe=False)
         return {
             "id": request.get("id"),
             "ok": True,
@@ -368,7 +602,48 @@ class EngineServer:
             "result_cache": self.engine.result_cache.to_dict(),
             "summary_cache": self.engine.summary_cache.to_dict(),
             "server": self.metrics.to_dict(),
+            "admission": {
+                "pending": self._pending_depth(),
+                "max_pending": self.max_pending,
+                "max_pending_per_conn": self.max_pending_per_conn,
+            },
+            "supervisor": health["pool"],
+            "breakers": health["breakers"],
+            "degraded": health["degraded"],
             "diagnostics": self.engine.diagnostics.to_dict(),
+        }
+
+    def _op_health(self, request: dict) -> dict:
+        """Fault-tolerance snapshot: pool, breakers, queue, degrade flag.
+
+        Probing is on by default — a degraded supervisor gets one
+        recovery attempt per health check — and can be suppressed with
+        ``"probe": false`` for a pure read.
+        """
+        probe = bool(request.get("probe", True))
+        health = self.engine.health(probe=probe)
+        degraded = health["degraded"]
+        return {
+            "id": request.get("id"),
+            "ok": True,
+            "op": "health",
+            "protocol": PROTOCOL_VERSION,
+            "state": "degraded" if degraded else "healthy",
+            "degraded": degraded,
+            "pool": health["pool"],
+            "breakers": health["breakers"],
+            "disk_cache": health["disk_cache"],
+            "queue": {
+                "pending": self._pending_depth(),
+                "max_pending": self.max_pending,
+                "max_pending_per_conn": self.max_pending_per_conn,
+            },
+            "server": {
+                "timeouts": self.metrics.timeouts,
+                "overloads": self.metrics.overloads,
+                "shed": self.metrics.shed,
+                "accept_errors": self.metrics.accept_errors,
+            },
         }
 
     def _op_refresh_rules(self, request: dict) -> dict:
@@ -473,6 +748,7 @@ class EngineServer:
         pool = self._ensure_pool()
         queue: "SimpleQueue[_Pending | None]" = SimpleQueue()
         totals = _StreamTotals()
+        conn = _ConnState()
         writer = threading.Thread(
             target=self._write_responses,
             args=(queue, out, totals),
@@ -502,14 +778,39 @@ class EngineServer:
                     )
                     continue
                 op = request["op"]
+                heavy = op in HEAVY_OPS
+                if heavy and not self._admit(conn):
+                    # Load shed at the door: the rejection is answered
+                    # in sequence like any response, but never queues.
+                    queue.put(
+                        _Pending(
+                            seq=seq,
+                            request_id=request.get("id"),
+                            op=op,
+                            submitted_at=time.monotonic(),
+                            response=self._overloaded_response(
+                                request.get("id"), op
+                            ),
+                        )
+                    )
+                    continue
+                deadline = self._deadline_for(request)
                 self.metrics.submitted()
+                future = pool.submit(self._execute, op, request, deadline)
+                if heavy:
+                    # Done-callbacks fire on completion *and* on
+                    # cancellation, so drained futures release too.
+                    future.add_done_callback(
+                        lambda _f, conn=conn: self._release(conn)
+                    )
                 queue.put(
                     _Pending(
                         seq=seq,
                         request_id=request.get("id"),
                         op=op,
                         submitted_at=time.monotonic(),
-                        future=pool.submit(self._execute, op, request),
+                        future=future,
+                        deadline=deadline,
                     )
                 )
                 if op == "shutdown":
@@ -554,9 +855,8 @@ class EngineServer:
     def _await_response(self, pending: _Pending) -> dict:
         """Wait one future out under the per-request deadline."""
         remaining: float | None = None
-        if self.timeout is not None:
-            elapsed = time.monotonic() - pending.submitted_at
-            remaining = max(0.0, self.timeout - elapsed)
+        if pending.deadline is not None:
+            remaining = max(0.0, pending.deadline - time.monotonic())
         try:
             return pending.future.result(timeout=remaining)
         except FutureTimeout:
@@ -565,10 +865,11 @@ class EngineServer:
             # keeps serving. Only this request pays.
             pending.future.cancel()
             self.metrics.timed_out(pending.op or "?")
+            budget = pending.deadline - pending.submitted_at
             return _error_response(
                 pending.request_id,
                 "TimeoutError",
-                f"request exceeded the {self.timeout:.1f}s deadline and was "
+                f"request exceeded its {budget:.1f}s deadline and was "
                 "abandoned; the server keeps serving",
             )
         except CancelledError:
@@ -614,7 +915,31 @@ class EngineServer:
                     if key.fileobj is server:
                         try:
                             connection, _ = server.accept()
-                        except (BlockingIOError, OSError):
+                        except BlockingIOError:
+                            continue
+                        except OSError as exc:
+                            if exc.errno in _FD_EXHAUSTED_ERRNOS:
+                                # Out of file descriptors: not fatal and
+                                # not the listener's fault. Back off so
+                                # in-flight connections can close and
+                                # return fds, then keep accepting.
+                                self.metrics.accept_error()
+                                self.engine.diagnostics.count(
+                                    SERVER_ACCEPT_ERRORS
+                                )
+                                print(
+                                    json.dumps(
+                                        {
+                                            "event": "accept-error",
+                                            "errno": exc.errno,
+                                            "error": exc.strerror,
+                                            "backoff_s": ACCEPT_BACKOFF_SECONDS,
+                                        }
+                                    ),
+                                    file=sys.stderr,
+                                    flush=True,
+                                )
+                                time.sleep(ACCEPT_BACKOFF_SECONDS)
                             continue
                         with self._state_lock:
                             self._connections.add(connection)

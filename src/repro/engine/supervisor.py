@@ -1,0 +1,340 @@
+"""A supervised process worker pool: restart, retry, recycle, degrade.
+
+The raw :class:`~repro.codegen.parallel.WorkerPool` makes a throughput
+promise and no robustness promise: one worker death (OOM kill, injected
+crash, a C-extension segfault) poisons the executor and every future on
+it surfaces ``BrokenProcessPool``. A resident engine cannot pass that
+to a client — the pool is an implementation detail of *its* batch, so
+the engine's supervisor absorbs the failure:
+
+* **Restart with backoff.** On ``BrokenProcessPool`` the dead executor
+  is discarded and a fresh warm pool is built after a bounded
+  exponential backoff with jitter (so many supervisors recovering at
+  once do not stampede the machine).
+* **Bounded retry.** Batch tasks are template paths or source text —
+  idempotent by construction — so the in-flight batch is resubmitted to
+  the rebuilt pool, up to :attr:`SupervisorConfig.max_restarts` times
+  per batch.
+* **Recycle before rot.** Long-lived workers accumulate memory; the
+  supervisor proactively rebuilds the pool at a batch boundary once it
+  has executed :attr:`SupervisorConfig.max_tasks_per_worker` tasks per
+  worker, or when any worker's reported peak RSS crosses
+  :attr:`SupervisorConfig.worker_memory_mb` (``--max-tasks-per-worker``
+  / ``--worker-memory-mb``).
+* **Degrade, don't die.** When one batch exhausts the restart budget,
+  it executes serially in the parent process — slower, but immune to
+  worker death — and the supervisor reports ``degraded: true`` until a
+  later batch (or an explicit :meth:`SupervisedWorkerPool.probe`, the
+  ``health`` op's recovery path) brings a healthy pool back.
+
+The state machine, as reported by ``health``/``stats``::
+
+    idle ──first batch──▶ running ──BrokenProcessPool──▶ restarting
+      ▲                     ▲  │                            │
+      └──── close() ────────┘  └──◀── rebuilt+batch ok ─────┤
+                               │                            ▼
+                               └──◀── probe()/batch ── degraded
+                                        (budget exhausted)
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from ..codegen.parallel import (
+    PoolStalledError,
+    TaskOutcome,
+    WorkerPool,
+    run_specs_serial,
+)
+from ..diagnostics import (
+    SUPERVISOR_DEGRADED,
+    SUPERVISOR_RECYCLES,
+    SUPERVISOR_RESTARTS,
+    SUPERVISOR_RETRIES,
+    Diagnostics,
+)
+from ..trace import event as trace_event
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..codegen.generator import CrySLBasedCodeGenerator
+
+#: Supervisor states (the wire spelling in ``health``/``stats``).
+IDLE = "idle"
+RUNNING = "running"
+DEGRADED = "degraded"
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Tuning knobs for one supervised pool."""
+
+    #: pool rebuilds allowed per batch before degrading to serial
+    max_restarts: int = 5
+    #: first backoff before a rebuild, in seconds (doubles per restart)
+    backoff_base_seconds: float = 0.05
+    #: backoff ceiling, in seconds
+    backoff_max_seconds: float = 2.0
+    #: jitter fraction: each sleep is scaled by ``1 ± jitter``
+    jitter: float = 0.25
+    #: recycle the pool after this many tasks per worker (None = never)
+    max_tasks_per_worker: int | None = None
+    #: recycle when a worker's peak RSS crosses this, in MiB (None = never)
+    worker_memory_mb: int | None = None
+    #: declare a batch wedged after this long with zero task
+    #: completions (None = wait forever); a stalled pool is killed and
+    #: restarted exactly like a crashed one
+    stall_timeout_seconds: float | None = 300.0
+
+
+class SupervisedWorkerPool:
+    """A :class:`WorkerPool` wrapped in the restart/retry/degrade loop.
+
+    Drop-in for the raw pool where it matters: exposes the same
+    ``jobs``/``run_tasks``/``close`` surface, so
+    :func:`repro.codegen.parallel.run_parallel` drives it unchanged.
+    Thread-safe: the engine's batch lock already serializes batches,
+    but state transitions are locked anyway so ``health`` snapshots
+    from serve worker threads never read torn state.
+    """
+
+    def __init__(
+        self,
+        generator: "CrySLBasedCodeGenerator",
+        jobs: int,
+        *,
+        config: SupervisorConfig | None = None,
+        diagnostics: Diagnostics | None = None,
+    ):
+        self._generator = generator
+        self.jobs = jobs
+        self.config = config or SupervisorConfig()
+        self.diagnostics = diagnostics
+        self._lock = threading.Lock()
+        self._pool: WorkerPool | None = None
+        self._rng = random.Random()
+        #: tasks executed through the current pool incarnation
+        self._tasks_since_spawn = 0
+        #: peak worker RSS reported by the current incarnation, MiB
+        self._max_rss_mb = 0.0
+        self._degraded = False
+        self._started = False
+        # lifetime counters (survive pool rebuilds)
+        self.restarts = 0
+        self.retries = 0
+        self.recycles = 0
+        self.degraded_batches = 0
+        self.batches = 0
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        with self._lock:
+            return self._degraded
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            if self._degraded:
+                return DEGRADED
+            return RUNNING if self._started else IDLE
+
+    def to_dict(self) -> dict:
+        """A JSON snapshot for ``health``/``stats``."""
+        with self._lock:
+            return {
+                "state": (
+                    DEGRADED
+                    if self._degraded
+                    else (RUNNING if self._started else IDLE)
+                ),
+                "degraded": self._degraded,
+                "jobs": self.jobs,
+                "batches": self.batches,
+                "restarts": self.restarts,
+                "retries": self.retries,
+                "recycles": self.recycles,
+                "degraded_batches": self.degraded_batches,
+                "tasks_since_spawn": self._tasks_since_spawn,
+                "max_worker_rss_mb": round(self._max_rss_mb, 1),
+                "max_restarts": self.config.max_restarts,
+                "max_tasks_per_worker": self.config.max_tasks_per_worker,
+                "worker_memory_mb": self.config.worker_memory_mb,
+                "stall_timeout_seconds": self.config.stall_timeout_seconds,
+            }
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+
+    def _ensure_pool(self) -> WorkerPool:
+        with self._lock:
+            if self._pool is None:
+                self._pool = WorkerPool(self._generator, self.jobs)
+                self._tasks_since_spawn = 0
+                self._max_rss_mb = 0.0
+            self._started = True
+            return self._pool
+
+    def _discard_pool(self, *, force: bool = False) -> None:
+        """Drop the current pool. ``force`` kills instead of closing —
+        required for a *stalled* pool, whose workers never exit and
+        would hang ``close()``'s join forever."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                if force:
+                    pool.kill()
+                else:
+                    pool.close()
+            except Exception:  # noqa: BLE001 - broken pools die loudly
+                pass
+
+    def _backoff(self, attempt: int) -> float:
+        """The bounded, jittered sleep before rebuild ``attempt``."""
+        base = min(
+            self.config.backoff_base_seconds * (2**attempt),
+            self.config.backoff_max_seconds,
+        )
+        spread = self.config.jitter * base
+        return max(0.0, base + self._rng.uniform(-spread, spread))
+
+    def probe(self) -> bool:
+        """Try to leave degraded mode by rebuilding the pool once.
+
+        The ``health`` op's half-open path: a degraded supervisor gets
+        one cheap recovery attempt per probe instead of waiting for the
+        next batch. Returns True when the supervisor is healthy after
+        the call.
+        """
+        if not self.degraded:
+            return True
+        self._discard_pool()
+        try:
+            self._ensure_pool()
+        except Exception:  # noqa: BLE001 - stay degraded on any failure
+            return False
+        with self._lock:
+            self._degraded = False
+        trace_event("supervisor:recovered", via="probe")
+        return True
+
+    def close(self) -> None:
+        """Shut the underlying pool down; idempotent."""
+        self._discard_pool()
+        with self._lock:
+            self._started = False
+
+    def __enter__(self) -> "SupervisedWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the supervised batch
+    # ------------------------------------------------------------------
+
+    def run_tasks(
+        self, specs: "Sequence[tuple[str, str, str]]"
+    ) -> list[TaskOutcome]:
+        """Run one batch to completion, whatever the workers do.
+
+        Never raises ``BrokenProcessPool``: a crash mid-batch rebuilds
+        the pool (bounded backoff + jitter) and resubmits the whole
+        batch — tasks are idempotent — up to the restart budget, after
+        which the batch runs serially in-process and the supervisor is
+        marked degraded. A later successful pool batch clears the flag.
+        """
+        with self._lock:
+            self.batches += 1
+        attempt = 0
+        while True:
+            if self._recycle_due():
+                self._recycle()
+            try:
+                outcomes = self._ensure_pool().run_tasks(
+                    specs, stall_timeout=self.config.stall_timeout_seconds
+                )
+            except BrokenProcessPool as exc:
+                # A stalled pool still has live (wedged) workers, so it
+                # must be killed; a broken one can be closed normally.
+                self._discard_pool(force=isinstance(exc, PoolStalledError))
+                with self._lock:
+                    self.restarts += 1
+                if self.diagnostics is not None:
+                    self.diagnostics.count(SUPERVISOR_RESTARTS)
+                trace_event(
+                    "supervisor:restart", attempt=attempt, batch=len(specs)
+                )
+                if attempt >= self.config.max_restarts:
+                    return self._run_degraded(specs)
+                time.sleep(self._backoff(attempt))
+                attempt += 1
+                with self._lock:
+                    self.retries += 1
+                if self.diagnostics is not None:
+                    self.diagnostics.count(SUPERVISOR_RETRIES)
+                continue
+            self._note_batch(outcomes)
+            return outcomes
+
+    def _run_degraded(
+        self, specs: "Sequence[tuple[str, str, str]]"
+    ) -> list[TaskOutcome]:
+        with self._lock:
+            self._degraded = True
+            self.degraded_batches += 1
+        if self.diagnostics is not None:
+            self.diagnostics.count(SUPERVISOR_DEGRADED)
+        trace_event("supervisor:degraded", batch=len(specs))
+        return run_specs_serial(self._generator, specs)
+
+    def _note_batch(self, outcomes: list[TaskOutcome]) -> None:
+        """Successful pool batch: account for recycling, clear degrade."""
+        with self._lock:
+            self._tasks_since_spawn += len(outcomes)
+            for outcome in outcomes:
+                if outcome.rss_mb > self._max_rss_mb:
+                    self._max_rss_mb = outcome.rss_mb
+            recovered = self._degraded
+            self._degraded = False
+        if recovered:
+            trace_event("supervisor:recovered", via="batch")
+
+    def _recycle_due(self) -> bool:
+        with self._lock:
+            if self._pool is None:
+                return False
+            per_worker = self.config.max_tasks_per_worker
+            if (
+                per_worker is not None
+                and self._tasks_since_spawn >= per_worker * self.jobs
+            ):
+                return True
+            ceiling = self.config.worker_memory_mb
+            return ceiling is not None and self._max_rss_mb >= ceiling
+
+    def _recycle(self) -> None:
+        """Planned pool rebuild at a batch boundary (not a failure)."""
+        self._discard_pool()
+        with self._lock:
+            self.recycles += 1
+        if self.diagnostics is not None:
+            self.diagnostics.count(SUPERVISOR_RECYCLES)
+        trace_event("supervisor:recycle")
+
+    def __repr__(self) -> str:
+        return (
+            f"<SupervisedWorkerPool jobs={self.jobs} state={self.state} "
+            f"restarts={self.restarts}>"
+        )

@@ -45,6 +45,9 @@ class Span:
     start: float
     #: filled in when the span closes
     seconds: float = 0.0
+    #: structured annotations (fault-tolerance events: breaker trips,
+    #: shed requests, supervisor restarts); ``None`` when unannotated
+    meta: dict | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -53,6 +56,7 @@ class Span:
             "name": self.name,
             "start": self.start,
             "seconds": self.seconds,
+            **({"meta": self.meta} if self.meta else {}),
         }
 
 
@@ -84,6 +88,24 @@ class Trace:
         finally:
             record.seconds = time.perf_counter() - started
             self._stack.pop()
+
+    def event(self, name: str, **meta: object) -> Span:
+        """Record one instantaneous, annotated span (no duration).
+
+        Fault-tolerance layers use this to pin *what happened* onto the
+        request's cost tree — a breaker fast-fail, a shed request, a
+        supervisor restart — without opening a timing scope.
+        """
+        self._counter += 1
+        record = Span(
+            span_id=f"s{self._counter}",
+            parent_id=self._stack[-1] if self._stack else None,
+            name=name,
+            start=time.perf_counter() - self._epoch,
+            meta=dict(meta) if meta else None,
+        )
+        self.spans.append(record)
+        return record
 
     @property
     def total_seconds(self) -> float:
@@ -122,3 +144,11 @@ def span(name: str) -> Iterator[Span | None]:
         return
     with trace.span(name) as record:
         yield record
+
+
+def event(name: str, **meta: object) -> Span | None:
+    """Record an annotated instant on the active trace; no-op without one."""
+    trace = _ACTIVE.get()
+    if trace is None:
+        return None
+    return trace.event(name, **meta)

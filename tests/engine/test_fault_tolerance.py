@@ -1,0 +1,785 @@
+"""The fault-tolerance layer: supervisor, breakers, admission, chaos.
+
+Four promises under test, bottom-up:
+
+* the :mod:`repro.faults` injection harness is deterministic and inert
+  when unconfigured;
+* the :class:`SupervisedWorkerPool` absorbs ``BrokenProcessPool`` —
+  restart with backoff, bounded retry, recycling, degrade-to-serial;
+* the engine's circuit breakers fail poisoned inputs fast and recover
+  via half-open probes or ``refresh-rules``;
+* the serve layer sheds load structurally (``OverloadedError`` with
+  ``retry_after_ms``, deadline shedding) and a real socket server
+  survives a seeded chaos storm — worker crashes, flaky disk, slow
+  tasks — with zero non-structured failures and a healthy final
+  ``health``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import socket as socketlib
+import threading
+import time
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+
+import pytest
+
+from repro import faults
+from repro.codegen import parallel
+from repro.codegen.parallel import PoolStalledError, TaskOutcome
+from repro.engine import (
+    BreakerConfig,
+    BreakerRegistry,
+    CircuitOpenError,
+    CryptoGenEngine,
+    EngineServer,
+    GenerateRequest,
+    SupervisedWorkerPool,
+    SupervisorConfig,
+)
+from repro.engine import supervisor as supervisor_module
+from repro.usecases import use_case
+
+TEMPLATE = str(use_case(1).template_path())
+TEMPLATE_2 = str(use_case(2).template_path())
+TEMPLATE_3 = str(use_case(3).template_path())
+
+ANALYZE_SOURCES = {
+    "helpers.py": "def make_iv():\n    return b'0' * 16\n",
+    "app.py": (
+        "from helpers import make_iv\n"
+        "def run():\n"
+        "    return make_iv()\n"
+    ),
+}
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    """Every test starts and ends with fault injection disarmed."""
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def _run(server: EngineServer, requests: list) -> list[dict]:
+    lines = [r if isinstance(r, str) else json.dumps(r) for r in requests]
+    out = io.StringIO()
+    server.serve_stream(iter(line + "\n" for line in lines), out)
+    return [json.loads(line) for line in out.getvalue().splitlines()]
+
+
+# ---------------------------------------------------------------------------
+# the fault-injection harness itself
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_spec_parses_points_probabilities_and_seed(self):
+        plan = faults.FaultPlan.from_spec(
+            "worker_crash:0.2, disk_io:0.1,seed=42"
+        )
+        assert plan.probabilities == {"worker_crash": 0.2, "disk_io": 0.1}
+        assert plan.seed == 42
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(faults.FaultSpecError, match="unknown fault point"):
+            faults.FaultPlan.from_spec("reactor_meltdown:0.5")
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(faults.FaultSpecError, match=r"\[0, 1\]"):
+            faults.FaultPlan.from_spec("disk_io:1.5")
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(faults.FaultSpecError):
+            faults.FaultPlan.from_spec("disk_io=0.5")
+
+    def test_seeded_plans_draw_identically(self):
+        draws = []
+        for _ in range(2):
+            plan = faults.FaultPlan.from_spec("disk_io:0.5,seed=7")
+            draws.append([plan.should_fire("disk_io") for _ in range(64)])
+        assert draws[0] == draws[1]
+        assert any(draws[0]) and not all(draws[0])
+
+    def test_fired_counts_accumulate(self):
+        plan = faults.FaultPlan({"disk_io": 1.0})
+        for _ in range(3):
+            assert plan.should_fire("disk_io")
+        assert plan.to_dict()["fired"]["disk_io"] == 3
+
+    def test_unconfigured_helpers_are_noops(self):
+        faults.configure(None)
+        assert not faults.enabled()
+        faults.maybe_crash()
+        faults.maybe_raise_os()
+        faults.maybe_sleep()
+        faults.maybe_raise("compile_error", RuntimeError("never"))
+
+    def test_environment_spec_is_lazily_loaded(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "slow_task:1.0,seed=1")
+        faults.reset()
+        assert faults.enabled()
+        assert faults.active().probabilities == {"slow_task": 1.0}
+
+    def test_configure_raises_on_demand(self):
+        faults.configure("compile_error:1.0")
+        marker = RuntimeError("injected")
+        with pytest.raises(RuntimeError, match="injected"):
+            faults.maybe_raise("compile_error", marker)
+
+
+# ---------------------------------------------------------------------------
+# the supervised worker pool (unit level, faked raw pool)
+# ---------------------------------------------------------------------------
+
+
+class _FakeGenerator:
+    """Stands in for the real generator in serial-fallback paths."""
+
+    def generate_from_file(self, path):
+        return f"gen:{path}"
+
+    def generate_from_source(self, source, name):
+        return f"gen:{name}"
+
+
+def _install_fake_pool(monkeypatch, behaviors: list, rss_mb: float = 10.0):
+    """Replace the raw WorkerPool with a scripted fake.
+
+    ``behaviors`` is consumed one entry per ``run_tasks`` call:
+    ``"crash"`` raises ``BrokenProcessPool``, ``"stall"`` raises
+    ``PoolStalledError``, anything else succeeds. Returns a counters
+    dict (``built``/``runs``/``closed``/``killed``).
+    """
+    calls = {"built": 0, "runs": 0, "closed": 0, "killed": 0}
+
+    class FakePool:
+        def __init__(self, generator, jobs):
+            calls["built"] += 1
+            self.jobs = jobs
+
+        def run_tasks(self, specs, *, stall_timeout=None):
+            calls["runs"] += 1
+            behavior = behaviors.pop(0) if behaviors else "ok"
+            if behavior == "crash":
+                raise BrokenProcessPool("injected worker death")
+            if behavior == "stall":
+                raise PoolStalledError("injected wedged pool")
+            return [
+                TaskOutcome(i, f"module-{i}", None, rss_mb=rss_mb)
+                for i in range(len(specs))
+            ]
+
+        def close(self):
+            calls["closed"] += 1
+
+        def kill(self):
+            calls["killed"] += 1
+
+    monkeypatch.setattr(supervisor_module, "WorkerPool", FakePool)
+    return calls
+
+
+FAST_BACKOFF = dict(backoff_base_seconds=0.001, backoff_max_seconds=0.002)
+SPECS = [("path", "a.py", "a.py"), ("path", "b.py", "b.py")]
+
+
+class TestSupervisedWorkerPool:
+    def test_restart_after_worker_death_then_success(self, monkeypatch):
+        calls = _install_fake_pool(monkeypatch, ["crash", "ok"])
+        pool = SupervisedWorkerPool(
+            _FakeGenerator(), 2, config=SupervisorConfig(**FAST_BACKOFF)
+        )
+        outcomes = pool.run_tasks(SPECS)
+        assert [o.module for o in outcomes] == ["module-0", "module-1"]
+        assert pool.restarts == 1 and pool.retries == 1
+        assert calls["built"] == 2  # dead pool discarded, fresh one built
+        assert not pool.degraded
+        assert pool.state == "running"
+
+    def test_degrades_to_serial_when_budget_exhausted(self, monkeypatch):
+        _install_fake_pool(monkeypatch, ["crash", "crash"])
+        pool = SupervisedWorkerPool(
+            _FakeGenerator(),
+            2,
+            config=SupervisorConfig(max_restarts=1, **FAST_BACKOFF),
+        )
+        outcomes = pool.run_tasks(SPECS)
+        # The batch still completed — in-process, crash-immune.
+        assert all(o.in_process for o in outcomes)
+        assert [o.module for o in outcomes] == ["gen:a.py", "gen:b.py"]
+        assert pool.degraded and pool.state == "degraded"
+        assert pool.degraded_batches == 1
+        assert pool.to_dict()["degraded"] is True
+
+    def test_successful_batch_clears_degraded(self, monkeypatch):
+        _install_fake_pool(monkeypatch, ["crash", "crash", "ok"])
+        pool = SupervisedWorkerPool(
+            _FakeGenerator(),
+            2,
+            config=SupervisorConfig(max_restarts=1, **FAST_BACKOFF),
+        )
+        pool.run_tasks(SPECS)
+        assert pool.degraded
+        pool.run_tasks(SPECS)
+        assert not pool.degraded
+
+    def test_probe_recovers_a_degraded_pool(self, monkeypatch):
+        _install_fake_pool(monkeypatch, ["crash", "crash"])
+        pool = SupervisedWorkerPool(
+            _FakeGenerator(),
+            2,
+            config=SupervisorConfig(max_restarts=1, **FAST_BACKOFF),
+        )
+        pool.run_tasks(SPECS)
+        assert pool.degraded
+        assert pool.probe() is True
+        assert not pool.degraded
+
+    def test_recycles_after_task_budget(self, monkeypatch):
+        calls = _install_fake_pool(monkeypatch, [])
+        pool = SupervisedWorkerPool(
+            _FakeGenerator(),
+            1,
+            config=SupervisorConfig(max_tasks_per_worker=1, **FAST_BACKOFF),
+        )
+        pool.run_tasks(SPECS)  # 2 tasks through a 1-worker pool
+        pool.run_tasks(SPECS)  # budget exceeded -> planned rebuild first
+        assert pool.recycles == 1
+        assert calls["built"] == 2
+
+    def test_recycles_on_memory_ceiling(self, monkeypatch):
+        calls = _install_fake_pool(monkeypatch, [], rss_mb=512.0)
+        pool = SupervisedWorkerPool(
+            _FakeGenerator(),
+            1,
+            config=SupervisorConfig(worker_memory_mb=256, **FAST_BACKOFF),
+        )
+        pool.run_tasks(SPECS)
+        pool.run_tasks(SPECS)
+        assert pool.recycles == 1
+        assert calls["built"] == 2
+
+    def test_backoff_is_bounded(self):
+        pool = SupervisedWorkerPool(
+            _FakeGenerator(),
+            1,
+            config=SupervisorConfig(
+                backoff_base_seconds=0.05, backoff_max_seconds=0.2, jitter=0.25
+            ),
+        )
+        for attempt in range(10):
+            sleep = pool._backoff(attempt)
+            assert 0.0 <= sleep <= 0.2 * 1.25
+
+    def test_stalled_pool_is_killed_not_closed_and_restarted(
+        self, monkeypatch
+    ):
+        # A wedged pool still has live workers — joining them would
+        # hang forever, so the supervisor must kill() it.
+        calls = _install_fake_pool(monkeypatch, ["stall", "ok"])
+        pool = SupervisedWorkerPool(
+            _FakeGenerator(), 2, config=SupervisorConfig(**FAST_BACKOFF)
+        )
+        outcomes = pool.run_tasks(SPECS)
+        assert [o.module for o in outcomes] == ["module-0", "module-1"]
+        assert pool.restarts == 1
+        assert calls["killed"] == 1 and calls["closed"] == 0
+        assert not pool.degraded
+
+    def test_persistent_stall_degrades_to_serial(self, monkeypatch):
+        _install_fake_pool(monkeypatch, ["stall", "stall"])
+        pool = SupervisedWorkerPool(
+            _FakeGenerator(),
+            2,
+            config=SupervisorConfig(max_restarts=1, **FAST_BACKOFF),
+        )
+        outcomes = pool.run_tasks(SPECS)
+        assert all(o.in_process for o in outcomes)
+        assert pool.degraded
+
+
+# ---------------------------------------------------------------------------
+# pool plumbing: fork safety and the stall watchdog
+# ---------------------------------------------------------------------------
+
+
+class TestPoolPlumbing:
+    def test_pool_never_forks_a_multithreaded_parent(self):
+        # Regression guard: the serve daemon is multithreaded, and
+        # fork-after-threads intermittently deadlocks workers before
+        # they pick up their first task (the executor then waits on
+        # the future forever). The pool must use a start method that
+        # does not fork the parent directly.
+        assert parallel.pool_mp_context().get_start_method() != "fork"
+
+    def test_stall_watchdog_raises_instead_of_waiting_forever(
+        self, monkeypatch
+    ):
+        # A thread executor sees the monkeypatched task directly (no
+        # pickling), so a never-finishing task models a wedged worker.
+        from concurrent.futures import ThreadPoolExecutor
+
+        release = threading.Event()
+
+        def wedged_task(index, kind, payload, name):
+            release.wait(5.0)
+            return index, None, None, None, 0.0
+
+        monkeypatch.setattr(parallel, "_run_task", wedged_task)
+        with ThreadPoolExecutor(max_workers=1) as executor:
+            started = time.monotonic()
+            with pytest.raises(PoolStalledError):
+                parallel.run_specs_on_executor(
+                    executor, SPECS, stall_timeout=0.05
+                )
+            assert time.monotonic() - started < 2.0
+            release.set()  # let the wedged task finish so shutdown joins
+
+    def test_watchdog_resets_on_progress(self, monkeypatch):
+        # Slow-but-progressing batches must not trip the watchdog: the
+        # clock is per-completion, not per-batch.
+        from concurrent.futures import ThreadPoolExecutor
+
+        def slow_task(index, kind, payload, name):
+            time.sleep(0.04)
+            return index, f"module-{index}", None, None, 0.0
+
+        monkeypatch.setattr(parallel, "_run_task", slow_task)
+        specs = [("path", f"{n}.py", f"{n}.py") for n in range(4)]
+        with ThreadPoolExecutor(max_workers=1) as executor:
+            # 4 serial tasks x 40ms ≈ 160ms total, but no single gap
+            # exceeds the 60ms stall budget.
+            outcomes = parallel.run_specs_on_executor(
+                executor, specs, stall_timeout=0.06
+            )
+        assert [o.module for o in outcomes] == [
+            f"module-{n}" for n in range(4)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# circuit breakers (registry unit level)
+# ---------------------------------------------------------------------------
+
+
+class TestBreakerRegistry:
+    KEY = ("generate", "a" * 64)
+
+    def _tripped(self, registry: BreakerRegistry) -> None:
+        for _ in range(registry.config.failure_threshold):
+            registry.record_failure(self.KEY)
+
+    def test_trips_after_consecutive_failures(self):
+        registry = BreakerRegistry(BreakerConfig(failure_threshold=3))
+        registry.record_failure(self.KEY)
+        registry.record_failure(self.KEY)
+        registry.admit(self.KEY)  # still closed
+        registry.record_failure(self.KEY)
+        assert registry.state_of(self.KEY) == "open"
+        with pytest.raises(CircuitOpenError) as excinfo:
+            registry.admit(self.KEY)
+        assert excinfo.value.retry_after_ms > 0
+
+    def test_success_resets_the_failure_count(self):
+        registry = BreakerRegistry(BreakerConfig(failure_threshold=2))
+        registry.record_failure(self.KEY)
+        registry.record_success(self.KEY)
+        registry.record_failure(self.KEY)
+        assert registry.state_of(self.KEY) == "closed"
+
+    def test_half_open_admits_one_probe_then_closes_on_success(self):
+        registry = BreakerRegistry(
+            BreakerConfig(failure_threshold=2, cooldown_seconds=0.01)
+        )
+        self._tripped(registry)
+        time.sleep(0.02)
+        registry.admit(self.KEY)  # the probe slot
+        assert registry.state_of(self.KEY) == "half-open"
+        # A second caller while the probe is in flight still fails fast.
+        with pytest.raises(CircuitOpenError):
+            registry.admit(self.KEY)
+        registry.record_success(self.KEY)
+        assert registry.state_of(self.KEY) == "closed"
+        registry.admit(self.KEY)
+
+    def test_half_open_probe_failure_reopens(self):
+        registry = BreakerRegistry(
+            BreakerConfig(failure_threshold=2, cooldown_seconds=0.01)
+        )
+        self._tripped(registry)
+        time.sleep(0.02)
+        registry.admit(self.KEY)
+        registry.record_failure(self.KEY)
+        assert registry.state_of(self.KEY) == "open"
+        with pytest.raises(CircuitOpenError):
+            registry.admit(self.KEY)
+
+    def test_reset_drops_everything(self):
+        registry = BreakerRegistry(BreakerConfig(failure_threshold=1))
+        self._tripped(registry)
+        assert registry.reset() == 1
+        registry.admit(self.KEY)
+        assert registry.to_dict()["resets"] == 1
+
+    def test_registry_is_bounded(self):
+        registry = BreakerRegistry(
+            BreakerConfig(failure_threshold=1, max_breakers=2)
+        )
+        for n in range(5):
+            registry.record_failure(("generate", f"fingerprint-{n}"))
+        assert registry.to_dict()["tracked"] <= 2
+
+    def test_snapshot_reports_open_keys(self):
+        registry = BreakerRegistry(BreakerConfig(failure_threshold=1))
+        registry.record_failure(self.KEY)
+        snapshot = registry.to_dict()
+        assert snapshot["by_state"]["open"] == 1
+        assert snapshot["open"][0]["op"] == "generate"
+
+
+# ---------------------------------------------------------------------------
+# circuit breakers through the engine (the acceptance shape)
+# ---------------------------------------------------------------------------
+
+BAD_SOURCE = "this is not a python template {{{"
+
+
+class TestEngineBreakers:
+    @pytest.fixture()
+    def engine(self):
+        eng = CryptoGenEngine(
+            breaker_config=BreakerConfig(
+                failure_threshold=5, cooldown_seconds=60.0
+            )
+        )
+        yield eng
+        eng.close()
+
+    def _fail_once(self, engine) -> object:
+        result = engine.generate(
+            GenerateRequest(source=BAD_SOURCE, name="bad.py")
+        )
+        assert result.error is not None
+        return result
+
+    def test_five_failures_open_the_breaker_then_fast_fail(self, engine):
+        for _ in range(5):
+            result = self._fail_once(engine)
+            assert result.error.type != "CircuitOpenError"
+        # Tripped: the same input now fails fast, structurally.
+        fast = self._fail_once(engine)
+        assert fast.error.type == "CircuitOpenError"
+        assert fast.error.retryable is True
+        assert fast.error.retry_after_ms > 0
+        # Fast means fast: no pipeline work, sub-10ms (best of 5 to
+        # keep a loaded CI box from flaking the assertion).
+        timings = []
+        for _ in range(5):
+            started = time.perf_counter()
+            self._fail_once(engine)
+            timings.append(time.perf_counter() - started)
+        assert min(timings) < 0.010
+
+    def test_other_inputs_are_unaffected(self, engine):
+        for _ in range(6):
+            self._fail_once(engine)
+        good = engine.generate(GenerateRequest(template=TEMPLATE))
+        assert good.error is None
+
+    def test_half_open_probe_closes_after_transient_failures(self):
+        engine = CryptoGenEngine(
+            breaker_config=BreakerConfig(
+                failure_threshold=3, cooldown_seconds=0.05
+            )
+        )
+        try:
+            # A *transient* poison: the injected compile fault fails a
+            # perfectly good template until the fault is disarmed.
+            faults.configure("compile_error:1.0")
+            for _ in range(3):
+                result = engine.generate(GenerateRequest(template=TEMPLATE))
+                assert result.error is not None
+            tripped = engine.generate(GenerateRequest(template=TEMPLATE))
+            assert tripped.error.type == "CircuitOpenError"
+            faults.reset()
+            time.sleep(0.06)
+            # Cooldown elapsed: this request is the half-open probe; it
+            # succeeds and closes the breaker.
+            probe = engine.generate(GenerateRequest(template=TEMPLATE))
+            assert probe.error is None
+            again = engine.generate(GenerateRequest(template=TEMPLATE))
+            assert again.error is None
+        finally:
+            engine.close()
+
+    def test_refresh_rules_resets_breakers(self, tmp_path):
+        import shutil
+
+        rules = tmp_path / "rules"
+        rules.mkdir()
+        for path in sorted(Path("src/repro/rules").glob("*.crysl")):
+            shutil.copy(path, rules / path.name)
+        engine = CryptoGenEngine(
+            rules_dir=rules,
+            breaker_config=BreakerConfig(
+                failure_threshold=2, cooldown_seconds=600.0
+            ),
+        )
+        try:
+            for _ in range(2):
+                result = engine.generate(
+                    GenerateRequest(source=BAD_SOURCE, name="bad.py")
+                )
+                assert result.error is not None
+            tripped = engine.generate(
+                GenerateRequest(source=BAD_SOURCE, name="bad.py")
+            )
+            assert tripped.error.type == "CircuitOpenError"
+            engine.refresh_rules()
+            # The operator said "try again": the pipeline actually runs.
+            retried = engine.generate(
+                GenerateRequest(source=BAD_SOURCE, name="bad.py")
+            )
+            assert retried.error is not None
+            assert retried.error.type != "CircuitOpenError"
+        finally:
+            engine.close()
+
+
+# ---------------------------------------------------------------------------
+# admission control, deadline shedding, health (serve layer)
+# ---------------------------------------------------------------------------
+
+
+class TestAdmissionControl:
+    def _slow_server(self, monkeypatch, **kwargs) -> EngineServer:
+        server = EngineServer(CryptoGenEngine(), **kwargs)
+        real_generate = server.engine.generate
+
+        def slow_generate(request):
+            time.sleep(0.3)
+            return real_generate(request)
+
+        monkeypatch.setattr(server.engine, "generate", slow_generate)
+        return server
+
+    def test_overflow_is_rejected_with_retry_hint(self, monkeypatch):
+        server = self._slow_server(monkeypatch, workers=4, max_pending=2)
+        responses = _run(
+            server,
+            [
+                {"id": n, "op": "generate", "template": TEMPLATE}
+                for n in range(1, 5)
+            ]
+            + [{"id": 99, "op": "ping"}],
+        )
+        admitted = responses[:2]
+        rejected = responses[2:4]
+        ping = responses[4]
+        assert all(r["ok"] for r in admitted)
+        for response in rejected:
+            assert response["ok"] is False
+            assert response["error"]["type"] == "OverloadedError"
+            assert response["error"]["retryable"] is True
+            assert response["error"]["retry_after_ms"] >= 50.0
+        # Control ops bypass admission: the overloaded server stays
+        # observable.
+        assert ping["ok"] and ping["op"] == "ping"
+        # Ordered responses survived the rejections.
+        assert [r["seq"] for r in responses] == [1, 2, 3, 4, 5]
+        assert server.metrics.to_dict()["overloads"] == 2
+
+    def test_per_connection_bound(self, monkeypatch):
+        server = self._slow_server(
+            monkeypatch, workers=4, max_pending_per_conn=1
+        )
+        responses = _run(
+            server,
+            [
+                {"id": 1, "op": "generate", "template": TEMPLATE},
+                {"id": 2, "op": "generate", "template": TEMPLATE},
+            ],
+        )
+        assert responses[0]["ok"]
+        assert responses[1]["error"]["type"] == "OverloadedError"
+
+    def test_slots_are_released_after_completion(self, monkeypatch):
+        server = self._slow_server(monkeypatch, workers=2, max_pending=1)
+        first = _run(server, [{"id": 1, "op": "generate", "template": TEMPLATE}])
+        assert first[0]["ok"]
+        # serve_stream tears the pool down; a fresh stream on the same
+        # server must get a fresh admission slot.
+        assert server._pending_depth() == 0
+
+    def test_queued_past_deadline_is_shed_without_running(self):
+        server = EngineServer(CryptoGenEngine())
+        try:
+            response = server._execute(
+                "ping",
+                {"id": 1, "op": "ping"},
+                deadline=time.monotonic() - 1.0,
+            )
+            assert response["ok"] is False
+            assert response["error"]["type"] == "TimeoutError"
+            assert "shed" in response["error"]["message"]
+            assert server.metrics.to_dict()["shed"] == 1
+        finally:
+            server.engine.close()
+
+    def test_deadline_ms_combines_with_server_timeout(self):
+        server = EngineServer(CryptoGenEngine(), timeout=10.0)
+        try:
+            now = time.monotonic()
+            tight = server._deadline_for({"op": "ping", "deadline_ms": 100})
+            assert tight is not None and tight - now < 1.0
+            loose = server._deadline_for({"op": "ping", "deadline_ms": 60000})
+            assert loose is not None and 9.0 < loose - now <= 10.1
+            assert server._deadline_for({"op": "ping", "deadline_ms": "bogus"})
+            no_limit = EngineServer(CryptoGenEngine())
+            assert no_limit._deadline_for({"op": "ping"}) is None
+            no_limit.engine.close()
+        finally:
+            server.engine.close()
+
+
+class TestHealthOp:
+    def test_health_reports_healthy_baseline(self):
+        server = EngineServer(
+            CryptoGenEngine(), max_pending=8, max_pending_per_conn=2
+        )
+        [response] = _run(server, [{"id": 1, "op": "health"}])
+        assert response["ok"]
+        assert response["state"] == "healthy"
+        assert response["degraded"] is False
+        assert response["protocol"] == 3
+        assert response["queue"]["max_pending"] == 8
+        assert response["queue"]["max_pending_per_conn"] == 2
+        assert response["breakers"]["tracked"] == 0
+        assert response["server"]["overloads"] == 0
+
+    def test_stats_carries_the_fault_tolerance_blocks(self):
+        server = EngineServer(CryptoGenEngine())
+        [response] = _run(server, [{"id": 1, "op": "stats"}])
+        assert "admission" in response
+        assert "breakers" in response
+        assert response["degraded"] is False
+
+
+# ---------------------------------------------------------------------------
+# the chaos storm (acceptance): 4 clients, 200 requests, seeded faults
+# ---------------------------------------------------------------------------
+
+CHAOS_SPEC = "worker_crash:0.2,disk_io:0.1,slow_task:0.1,seed=1234"
+CHAOS_CLIENTS = 4
+CHAOS_PER_CLIENT = 50
+
+
+def _start_socket_server(
+    tmp_path: Path, engine: CryptoGenEngine, **kwargs
+) -> tuple[EngineServer, Path, threading.Thread]:
+    path = tmp_path / "chaos.sock"
+    server = EngineServer(engine, **kwargs)
+    thread = threading.Thread(
+        target=server.serve_socket, args=(path,), daemon=True
+    )
+    thread.start()
+    deadline = time.monotonic() + 10.0
+    while not path.exists():
+        assert time.monotonic() < deadline, "server socket never appeared"
+        time.sleep(0.01)
+    return server, path, thread
+
+
+def _roundtrip(path: Path, requests: list[dict]) -> list[dict]:
+    sock = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+    sock.connect(str(path))
+    sock.sendall("".join(json.dumps(r) + "\n" for r in requests).encode())
+    reader = sock.makefile("r", encoding="utf-8")
+    responses = [json.loads(reader.readline()) for _ in requests]
+    sock.close()
+    return responses
+
+
+def _chaos_requests(tag: int) -> list[dict]:
+    """One client's 50-request mix: generates, analyzes, pool batches."""
+    requests = []
+    for n in range(CHAOS_PER_CLIENT):
+        request_id = f"c{tag}-{n}"
+        if n % 25 == 7:
+            # Batch generates route through the supervised process
+            # pool — the only path the worker_crash fault can reach.
+            requests.append(
+                {
+                    "id": request_id,
+                    "op": "generate",
+                    "templates": [TEMPLATE, TEMPLATE_2, TEMPLATE_3],
+                    "jobs": 2,
+                }
+            )
+        elif n % 5 == 2:
+            requests.append(
+                {"id": request_id, "op": "analyze", "sources": ANALYZE_SOURCES}
+            )
+        else:
+            requests.append(
+                {"id": request_id, "op": "generate", "template": TEMPLATE}
+            )
+    return requests
+
+
+@pytest.mark.slow
+def test_chaos_storm_zero_failures_and_healthy_finish(tmp_path, monkeypatch):
+    monkeypatch.setenv(faults.FAULTS_ENV, CHAOS_SPEC)
+    faults.reset()  # re-arm the lazy environment load in this process
+    engine = CryptoGenEngine(cache_dir=tmp_path / "cache")
+    server, path, thread = _start_socket_server(tmp_path, engine)
+
+    failures: list[str] = []
+    responses_per_client: dict[int, int] = {}
+
+    def client(tag: int) -> None:
+        responses = _roundtrip(path, _chaos_requests(tag))
+        responses_per_client[tag] = len(responses)
+        for response in responses:
+            if not isinstance(response, dict) or "ok" not in response:
+                failures.append(f"non-structured response: {response!r}")
+            elif not response["ok"]:
+                failures.append(str(response)[:200])
+            elif response.get("batch") is not None and response["failed"]:
+                failures.append(f"batch item failed: {response!r}"[:200])
+
+    threads = [
+        threading.Thread(target=client, args=(tag,))
+        for tag in range(CHAOS_CLIENTS)
+    ]
+    for worker in threads:
+        worker.start()
+    for worker in threads:
+        worker.join(timeout=600)
+        assert not worker.is_alive(), "chaos client hung"
+
+    assert not failures, failures[:5]
+    assert responses_per_client == {
+        tag: CHAOS_PER_CLIENT for tag in range(CHAOS_CLIENTS)
+    }
+
+    [stats] = _roundtrip(path, [{"id": "stats", "op": "stats"}])
+    [health] = _roundtrip(path, [{"id": "health", "op": "health"}])
+    _roundtrip(path, [{"id": "bye", "op": "shutdown"}])
+    thread.join(30.0)
+
+    # The storm actually stormed: the supervisor restarted the pool at
+    # least once (worker_crash p=0.2 over 24+ pool tasks), and the serve
+    # loop still answered everything.
+    assert stats["supervisor"] is not None
+    assert stats["supervisor"]["restarts"] > 0
+    assert stats["server"]["completed"] >= CHAOS_CLIENTS * CHAOS_PER_CLIENT
+    # The final health check comes back healthy (probing recovers a
+    # degraded pool if one batch exhausted its restart budget).
+    assert health["ok"] and health["state"] == "healthy"
+    assert health["degraded"] is False
