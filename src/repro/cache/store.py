@@ -51,13 +51,19 @@ from ..trace import span as _trace_span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fsm -> crysl)
     from ..fsm.automaton import DFA
+    from ..fsm.kernel import DfaKernel
 
 #: Version of the compiled-artefact layout *and* of the pipeline
 #: semantics baked into it. Bump on any change to DFA construction,
 #: path expansion, label expansion or the section indexes; every PR
 #: that touches those layers must treat this constant as part of its
 #: contract (see docs/ARCHITECTURE.md, "schema-version bump rules").
-SCHEMA_VERSION = 1
+#:
+#: v2: :class:`CachedArtefacts` gained the compiled table kernel
+#: (``kernel``) and DFAs stopped pickling their lazy memos; v1 entries
+#: are unreachable under v2 keys, and a v1 payload encountered at a v2
+#: key (or any schema drift) is evicted on load.
+SCHEMA_VERSION = 2
 
 _SUFFIX = ".artefacts.pkl"
 
@@ -88,6 +94,10 @@ class CachedArtefacts:
     rule_class: str
     #: the ORDER automaton (plain ints/strings; pickles compactly)
     dfa: "DFA"
+    #: the automaton's compiled table kernel (interned symbols, dense
+    #: transition table, liveness bitmasks) — persisted so a warm start
+    #: skips the kernel build along with the DFA build
+    kernel: "DfaKernel"
     #: enumerated repetition-free accepting paths, as label sequences
     path_labels: tuple[tuple[str, ...], ...]
     #: label -> concrete event labels (aggregates pre-expanded)

@@ -6,6 +6,8 @@ reproduction: a :class:`CompiledRule` lazily derives and caches the
 expensive by-products of one parsed rule —
 
 * the ORDER automaton (``dfa``),
+* its compiled table kernel (``kernel``) — interned symbols, dense
+  transition table, liveness bitmasks; the form every hot path steps,
 * the repetition-free accepting paths (``paths``),
 * label → concrete-event expansions (``expand_label``),
 * pre-indexed ENSURES/CONSTRAINTS/EVENTS tables
@@ -180,6 +182,7 @@ class CompiledRule:
         "_stats",
         "_lock",
         "_dfa",
+        "_kernel",
         "_paths",
         "_expansions",
         "_granted",
@@ -211,6 +214,7 @@ class CompiledRule:
         #: because ``paths`` forces ``dfa`` while holding it
         self._lock = threading.RLock()
         self._dfa = None
+        self._kernel = None
         self._paths: tuple[tuple[ast.Event, ...], ...] | None = None
         self._expansions: dict[str, tuple[str, ...]] = {}
         self._granted: dict[tuple[str, ...], tuple[ast.PredicateUse, ...]] = {}
@@ -238,6 +242,22 @@ class CompiledRule:
         return dfa
 
     @property
+    def kernel(self):
+        """The ORDER DFA's compiled table kernel (single-flight).
+
+        Warm starts rehydrate this straight from the disk cache; cold
+        starts derive it from :attr:`dfa` — either way every walker
+        this rule's consumers allocate shares one kernel instance.
+        """
+        kernel = self._kernel
+        if kernel is None:
+            with self._lock:
+                if self._kernel is None:
+                    self._kernel = self.dfa.kernel
+                kernel = self._kernel
+        return kernel
+
+    @property
     def paths(self) -> tuple[tuple[ast.Event, ...], ...]:
         """The repetition-free accepting paths, enumerated on first access."""
         paths = self._paths
@@ -246,9 +266,15 @@ class CompiledRule:
                 if self._paths is None:
                     from ..fsm.paths import enumerate_paths
 
+                    # Validation steps the table kernel, not the dict
+                    # DFA: alternation-heavy rules re-check many label
+                    # sequences, and each check is pure stepping.
                     self._paths = tuple(
                         enumerate_paths(
-                            self.rule, dfa=self.dfa, max_paths=self.max_paths
+                            self.rule,
+                            dfa=self.dfa,
+                            kernel=self.kernel,
+                            max_paths=self.max_paths,
                         )
                     )
                     self._stats.bump("path_enumerations")
@@ -305,6 +331,7 @@ class CompiledRule:
         except IndexError:
             return False
         self._dfa = artefacts.dfa
+        self._kernel = artefacts.kernel
         self._paths = tuple(paths)
         self._expansions = dict(artefacts.expansions)
         self._ensures_by_name = ensures_by_name
@@ -340,6 +367,7 @@ class CompiledRule:
             schema_version=SCHEMA_VERSION,
             rule_class=self.rule.class_name,
             dfa=self._dfa,
+            kernel=self.kernel,
             path_labels=tuple(
                 tuple(event.label for event in path) for path in self._paths
             ),

@@ -1,17 +1,22 @@
 """Finite-state machinery for CrySL ORDER patterns.
 
-NFA/DFA construction (Thompson + subset construction) and the paper's
-repetition-free accepting-path enumeration (§3.3, step 3 of Figure 6).
+NFA/DFA construction (Thompson + subset construction), the paper's
+repetition-free accepting-path enumeration (§3.3, step 3 of Figure 6),
+and the compiled table kernels (:mod:`repro.fsm.kernel`) the hot paths
+run on.
 """
 
 from .automaton import DFA, NFA, DfaWalker, determinize
-from .build import build_dfa, build_nfa, rule_dfa
+from .build import build_dfa, build_nfa, rule_dfa, rule_kernel
+from .kernel import DfaKernel, KernelWalker
 from .paths import MAX_PATHS, PathExplosionError, enumerate_paths, path_parameter_count
 
 __all__ = [
     "DFA",
+    "DfaKernel",
     "NFA",
     "DfaWalker",
+    "KernelWalker",
     "MAX_PATHS",
     "PathExplosionError",
     "build_dfa",
@@ -20,4 +25,5 @@ __all__ = [
     "enumerate_paths",
     "path_parameter_count",
     "rule_dfa",
+    "rule_kernel",
 ]

@@ -10,8 +10,12 @@ machinery; they are also reused verbatim by the typestate analysis in
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle guard)
+    from .kernel import DfaKernel
 
 
 @dataclass
@@ -26,6 +30,8 @@ class NFA:
     accepting: set[int] = field(default_factory=set)
     _transitions: dict[int, dict[str | None, set[int]]] = field(default_factory=dict)
     _state_count: int = 0
+    #: memoised :attr:`alphabet`, invalidated by :meth:`add_transition`
+    _alphabet: frozenset[str] | None = field(default=None, repr=False, compare=False)
 
     def new_state(self) -> int:
         state = self._state_count
@@ -35,16 +41,22 @@ class NFA:
 
     def add_transition(self, source: int, symbol: str | None, target: int) -> None:
         self._transitions.setdefault(source, {}).setdefault(symbol, set()).add(target)
+        self._alphabet = None
 
     def transitions_from(self, state: int) -> dict[str | None, set[int]]:
         return self._transitions.get(state, {})
 
     @property
     def alphabet(self) -> frozenset[str]:
-        symbols: set[str] = set()
-        for moves in self._transitions.values():
-            symbols.update(s for s in moves if s is not None)
-        return frozenset(symbols)
+        """The symbol set, computed once (construction-time mutation
+        through :meth:`add_transition` invalidates the memo)."""
+        alphabet = self._alphabet
+        if alphabet is None:
+            symbols: set[str] = set()
+            for moves in self._transitions.values():
+                symbols.update(s for s in moves if s is not None)
+            alphabet = self._alphabet = frozenset(symbols)
+        return alphabet
 
     def epsilon_closure(self, states: Iterable[int]) -> frozenset[int]:
         """All states reachable from ``states`` via epsilon moves."""
@@ -89,10 +101,47 @@ class DFA:
 
     @property
     def alphabet(self) -> frozenset[str]:
-        symbols: set[str] = set()
-        for moves in self.transitions:
-            symbols.update(moves)
-        return frozenset(symbols)
+        """The symbol set, computed once (the dataclass is frozen, so
+        the memo can never go stale; ``object.__setattr__`` sidesteps
+        the frozen guard)."""
+        alphabet = self.__dict__.get("_alphabet")
+        if alphabet is None:
+            symbols: set[str] = set()
+            for moves in self.transitions:
+                symbols.update(moves)
+            alphabet = frozenset(symbols)
+            object.__setattr__(self, "_alphabet", alphabet)
+        return alphabet
+
+    @property
+    def kernel(self) -> "DfaKernel":
+        """This automaton compiled to its table kernel, built once.
+
+        The kernel is the hot-path form (see :mod:`repro.fsm.kernel`);
+        this dict-based DFA remains the reference implementation the
+        equivalence suite checks it against.
+        """
+        kernel = self.__dict__.get("_kernel")
+        if kernel is None:
+            from .kernel import DfaKernel
+
+            kernel = DfaKernel.from_dfa(self)
+            object.__setattr__(self, "_kernel", kernel)
+        return kernel
+
+    def __getstate__(self) -> dict:
+        # Keep lazily-derived memos (alphabet, kernel) out of pickles:
+        # the disk rule cache persists the kernel as its own artefact,
+        # and a rehydrated DFA rebuilds cheap memos on demand.
+        return {
+            "start": self.start,
+            "accepting": self.accepting,
+            "transitions": self.transitions,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
 
     def step(self, state: int | None, symbol: str) -> int | None:
         """One transition; ``None`` is the dead state."""
@@ -136,10 +185,10 @@ class DFA:
         Used by diagnostics ("expected one of: ...") and by tests.
         """
         results: list[tuple[str, ...]] = []
-        queue: list[tuple[int, tuple[str, ...]]] = [(self.start, ())]
+        queue: deque[tuple[int, tuple[str, ...]]] = deque([(self.start, ())])
         seen_words: set[tuple[str, ...]] = set()
         while queue and len(results) < limit:
-            state, word = queue.pop(0)
+            state, word = queue.popleft()
             if state in self.accepting and word not in seen_words:
                 results.append(word)
                 seen_words.add(word)
@@ -189,7 +238,13 @@ class DfaWalker:
 
 
 def determinize(nfa: NFA) -> DFA:
-    """Subset construction."""
+    """Subset construction.
+
+    Epsilon closures are memoised per target set for the duration of
+    the construction: alternation- and loop-heavy ORDER expressions
+    reach the same target sets from many subset states, and each
+    closure is a DFS worth computing once.
+    """
     start_set = nfa.epsilon_closure({nfa.start})
     index: dict[frozenset[int], int] = {start_set: 0}
     worklist = [start_set]
@@ -197,6 +252,7 @@ def determinize(nfa: NFA) -> DFA:
     accepting: set[int] = set()
     if start_set & nfa.accepting:
         accepting.add(0)
+    closures: dict[frozenset[int], frozenset[int]] = {}
     while worklist:
         current = worklist.pop()
         current_index = index[current]
@@ -207,7 +263,10 @@ def determinize(nfa: NFA) -> DFA:
                     continue
                 moves.setdefault(symbol, set()).update(targets)
         for symbol, targets in moves.items():
-            closure = nfa.epsilon_closure(targets)
+            target_key = frozenset(targets)
+            closure = closures.get(target_key)
+            if closure is None:
+                closure = closures[target_key] = nfa.epsilon_closure(target_key)
             if closure not in index:
                 index[closure] = len(transitions)
                 transitions.append({})

@@ -88,3 +88,13 @@ def build_dfa(order: ast.OrderExpr | None, rule: ast.Rule) -> DFA:
 def rule_dfa(rule: ast.Rule) -> DFA:
     """Convenience: the DFA of ``rule``'s ORDER section."""
     return build_dfa(rule.order, rule)
+
+
+def rule_kernel(rule: ast.Rule):
+    """Convenience: the compiled table kernel of ``rule``'s ORDER DFA.
+
+    Prefer :attr:`repro.crysl.compiled.CompiledRule.kernel` when a rule
+    set is in play — it shares one kernel per rule process-wide and can
+    come warm off the disk cache.
+    """
+    return rule_dfa(rule).kernel

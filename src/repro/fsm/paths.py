@@ -60,6 +60,7 @@ def enumerate_paths(
     dfa=None,
     max_paths: int | None = None,
     validated: set[tuple[str, ...]] | None = None,
+    kernel=None,
 ) -> list[tuple[ast.Event, ...]]:
     """All repetition-free accepting call paths of ``rule``, as events.
 
@@ -67,7 +68,7 @@ def enumerate_paths(
     the deterministic traversal the generator relies on. Deduplication
     happens *before* the DFA-acceptance consistency check, so
     alternation-heavy ORDER expressions (which expand to many duplicate
-    label sequences) pay one ``dfa.accepts`` per unique path, not per
+    label sequences) pay one ``accepts`` per unique path, not per
     expansion.
 
     Pass a prebuilt ``dfa`` (e.g. from
@@ -75,8 +76,10 @@ def enumerate_paths(
     it here; with it, an optional ``validated`` set records which label
     sequences have already passed the acceptance check for *that* DFA,
     so repeated enumerations skip the redundant re-validation entirely
-    (the set is updated in place). ``max_paths`` overrides the module
-    default :data:`MAX_PATHS`.
+    (the set is updated in place), and an optional ``kernel`` (the
+    DFA's compiled :class:`~repro.fsm.kernel.DfaKernel`) runs the
+    acceptance checks on the table kernel instead of the dict automaton.
+    ``max_paths`` overrides the module default :data:`MAX_PATHS`.
     """
     if rule.order is None:
         # No ORDER: any single event is a valid (degenerate) path.
@@ -88,10 +91,12 @@ def enumerate_paths(
     if dfa is None:
         dfa = rule_dfa(rule)
         validated = None  # a fresh DFA invalidates any caller-side memo
+        kernel = None
+    machine = kernel if kernel is not None else dfa
     result: list[tuple[ast.Event, ...]] = []
     for labels in label_paths:
         if validated is None or labels not in validated:
-            if not dfa.accepts(labels):
+            if not machine.accepts(labels):
                 raise AssertionError(
                     f"{rule.class_name}: enumerated path {labels} not accepted "
                     "by the rule's own DFA — expansion and construction disagree"

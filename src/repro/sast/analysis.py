@@ -41,7 +41,7 @@ from ..constraints import Binding, BindingSource, ConstraintEvaluator, Environme
 from ..constraints.types import TypeRegistry, default_registry
 from ..crysl import ast as crysl_ast
 from ..crysl.ruleset import RuleSet, bundled_ruleset
-from ..fsm import DfaWalker
+from ..fsm import KernelWalker
 from .ir import ArgFact, CallRecord, FunctionIR, HelperCall, ObjectTrace, lift_module
 from .report import AnalysisResult, Finding, FindingKind
 from .summaries import (
@@ -59,7 +59,7 @@ class _TraceState:
 
     trace: ObjectTrace
     rule: crysl_ast.Rule
-    walker: DfaWalker
+    walker: KernelWalker
     env: Environment
     labels: list[str] = field(default_factory=list)
     tainted: bool = False
@@ -85,11 +85,13 @@ class CrySLAnalyzer:
         self._ruleset = ruleset or bundled_ruleset()
         self._registry = registry or default_registry()
         self._rules_by_simple = {rule.simple_name: rule for rule in self._ruleset}
-        # DFAs and signature tables come from the rule set's compiled-rule
-        # cache, so a generator and an analyzer sharing one rule set (the
-        # eval harness) build each rule's automaton exactly once.
-        self._dfas = {
-            rule.simple_name: self._ruleset.compiled(rule).dfa
+        # Automaton kernels and signature tables come from the rule set's
+        # compiled-rule cache, so a generator and an analyzer sharing one
+        # rule set (the eval harness) build each rule's automaton exactly
+        # once — and every walker the analyzer allocates steps the dense
+        # table kernel, not the dict DFA.
+        self._kernels = {
+            rule.simple_name: self._ruleset.compiled(rule).kernel
             for rule in self._ruleset
         }
         self._result_classes = self._compute_result_classes()
@@ -273,7 +275,7 @@ class _FunctionEngine:
         state = _TraceState(
             trace=trace,
             rule=rule,
-            walker=DfaWalker(analyzer._dfas[trace.class_name]),
+            walker=KernelWalker(analyzer._kernels[trace.class_name]),
             env=Environment(),
             live=trace.creation is None,
         )
@@ -355,8 +357,9 @@ class _FunctionEngine:
 
         if not state.walker.feed(event.label):
             if trace.from_parameter:
-                # Parameters may arrive mid-protocol; restart silently.
-                state.walker = DfaWalker(analyzer._dfas[rule.simple_name])
+                # Parameters may arrive mid-protocol; restart silently
+                # (in place — no fresh walker allocation per restart).
+                state.walker.reset()
             else:
                 state.tainted = True
                 self._finding(
@@ -740,23 +743,32 @@ class _FunctionEngine:
         summary: FunctionSummary,
     ) -> bool:
         """Feed the callee's typestate labels into the caller's walker."""
-        for label in effect.labels:
-            state.saw_any_event = True
-            state.labels.append(label)
-            if state.walker.feed(label):
-                continue
+        labels = effect.labels
+        if not labels:
+            return True
+        state.saw_any_event = True
+        state.labels.extend(labels)
+        offset = 0
+        while True:
+            violation = state.walker.replay(
+                labels[offset:] if offset else labels
+            )
+            if violation < 0:
+                return True
             if state.trace.from_parameter:
-                # Our own provenance is unknown too; restart, and let
-                # our caller judge the combined label sequence.
-                state.walker = DfaWalker(
-                    self._analyzer._dfas[state.rule.simple_name]
-                )
+                # Our own provenance is unknown too; restart past the
+                # violating label, and let our caller judge the
+                # combined label sequence.
+                state.walker.reset()
+                offset += violation + 1
+                if offset >= len(labels):
+                    return True
                 continue
             state.tainted = True
             self._finding(
                 FindingKind.TYPESTATE,
                 f"call to {summary.qualname} violates the usage pattern "
-                f"(replays event {label})",
+                f"(replays event {labels[offset + violation]})",
                 call.line,
                 state.trace.variable,
                 state.rule.class_name,
@@ -764,7 +776,6 @@ class _FunctionEngine:
                 end_line=call.end_line,
             )
             return False
-        return True
 
     def _check_obligations(
         self,
@@ -889,10 +900,10 @@ class _FunctionEngine:
         )
         state = self._adopt(trace)
         state.tainted = effect.tainted
-        for label in effect.labels:
+        if effect.labels:
             state.saw_any_event = True
-            state.labels.append(label)
-            state.walker.feed(label)
+            state.labels.extend(effect.labels)
+            effect.replay_into(state.walker)
         if not effect.tainted:
             for name in sorted(effect.predicates):
                 self._grant(call.result_var, name)

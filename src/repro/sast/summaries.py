@@ -68,6 +68,12 @@ class ReturnEffect:
     tainted: bool = False
     param_source: int | None = None
 
+    def replay_into(self, walker) -> bool:
+        """Feed the recorded typestate labels into a caller's walker
+        (a :class:`~repro.fsm.kernel.KernelWalker`); returns whether
+        the walker is still out of the dead state afterwards."""
+        return walker.replay(self.labels) < 0
+
 
 @dataclass
 class FunctionSummary:

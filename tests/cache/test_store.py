@@ -126,6 +126,7 @@ class TestStoreAndLoad:
             schema_version=SCHEMA_VERSION + 1,
             rule_class=artefacts.rule_class,
             dfa=artefacts.dfa,
+            kernel=artefacts.kernel,
             path_labels=artefacts.path_labels,
             expansions=artefacts.expansions,
             ensures_index=artefacts.ensures_index,
@@ -257,6 +258,24 @@ class TestRuleSetIntegration:
         (path,) = warm.compiled(rule).paths
         assert path[0] is rule.events[0]
         assert path[1] is rule.events[1]
+
+    def test_kernel_rehydrates_with_the_entry(self, tmp_path):
+        """A warm start gets the compiled table kernel straight off
+        disk — stepping it must not force a DFA (let alone a kernel)
+        build, and it must agree with a freshly compiled kernel."""
+        primed = _ruleset(tmp_path)
+        _prime(primed)
+        (rule,) = list(primed)
+        cold_kernel = primed.compiled(rule).kernel
+
+        warm = _ruleset(tmp_path)
+        (warm_rule,) = list(warm)
+        kernel = warm.compiled(warm_rule).kernel
+        assert warm.compile_stats.dfa_builds == 0
+        assert kernel == cold_kernel
+        walker = kernel.walk()
+        assert walker.feed("g") and walker.feed("d")
+        assert walker.in_accepting_state
 
     def test_rules_without_source_never_persist(self, tmp_path):
         ruleset = RuleSet()

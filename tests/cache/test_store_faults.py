@@ -36,6 +36,7 @@ def _artefacts(cache) -> CachedArtefacts:
         schema_version=cache.schema_version,
         rule_class="x.Digest",
         dfa=None,
+        kernel=None,
         path_labels=(),
         expansions={},
         ensures_index={},

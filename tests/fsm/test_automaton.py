@@ -108,3 +108,78 @@ class TestWalker:
         walker.feed("a")
         walker.feed("b")
         assert walker.history == ["a", "b"]
+
+
+class TestAlphabetCaching:
+    def test_nfa_alphabet_memo_invalidated_by_mutation(self):
+        nfa = _simple_nfa()
+        first = nfa.alphabet
+        assert nfa.alphabet is first  # memoised, no rescan
+        extra = nfa.new_state()
+        nfa.add_transition(nfa.start, "d", extra)
+        assert nfa.alphabet == {"a", "b", "c", "d"}
+
+    def test_nfa_epsilon_moves_stay_out_of_the_alphabet(self):
+        nfa = _simple_nfa()
+        nfa.add_transition(nfa.start, None, nfa.start)
+        assert None not in nfa.alphabet
+
+    def test_dfa_alphabet_memo(self):
+        dfa = determinize(_simple_nfa())
+        first = dfa.alphabet
+        assert first == {"a", "b", "c"}
+        assert dfa.alphabet is first  # frozen dataclass: memo never stales
+
+
+class TestDeterminizeClosureMemo:
+    def test_repeated_target_sets_compute_one_closure(self, monkeypatch):
+        """Subset construction reaching the same target set from many
+        states must run the closure DFS once per distinct set."""
+        # b-transitions from two different states into one epsilon-heavy
+        # tail: both subset states move on "b" to the same target set.
+        nfa = NFA()
+        s0 = nfa.new_state()
+        nfa.start = s0
+        left, right, tail, end = (nfa.new_state() for _ in range(4))
+        nfa.add_transition(s0, "a", left)
+        nfa.add_transition(s0, "c", right)
+        nfa.add_transition(left, "b", tail)
+        nfa.add_transition(right, "b", tail)
+        nfa.add_transition(tail, None, end)
+        nfa.accepting = {end}
+
+        seen: list[frozenset[int]] = []
+        original = NFA.epsilon_closure
+
+        def spy(self, states):
+            key = frozenset(states)
+            if key == frozenset({tail}):
+                seen.append(key)
+            return original(self, states)
+
+        monkeypatch.setattr(NFA, "epsilon_closure", spy)
+        dfa = determinize(nfa)
+        assert dfa.accepts(["a", "b"]) and dfa.accepts(["c", "b"])
+        assert len(seen) == 1  # memo: one DFS for the shared target set
+
+
+class TestShortestWordsBfs:
+    def test_breadth_first_order_over_a_wide_automaton(self):
+        """Short words always precede longer ones — the deque rewrite
+        must keep strict BFS order."""
+        nfa = NFA()
+        s0 = nfa.new_state()
+        nfa.start = s0
+        one = nfa.new_state()
+        two_a, two_b = nfa.new_state(), nfa.new_state()
+        nfa.add_transition(s0, "x", one)
+        nfa.add_transition(s0, "p", two_a)
+        nfa.add_transition(two_a, "q", two_b)
+        nfa.accepting = {one, two_b}
+        dfa = determinize(nfa)
+        words = dfa.shortest_accepting_words()
+        assert words == [("x",), ("p", "q")]
+
+    def test_limit_is_respected(self):
+        dfa = determinize(_simple_nfa())
+        assert len(dfa.shortest_accepting_words(limit=1)) == 1
